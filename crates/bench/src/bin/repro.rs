@@ -1,0 +1,68 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p idio-bench --release --bin repro            # everything, full scale
+//! cargo run -p idio-bench --release --bin repro -- --quick # shrunk runs
+//! cargo run -p idio-bench --release --bin repro -- fig9 fig10
+//! cargo run -p idio-bench --release --bin repro -- --series fig5
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use idio_bench::json::figure_to_json;
+use idio_bench::{run_experiment, EXPERIMENTS};
+use idio_core::experiments::Scale;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::full();
+    let mut print_series = false;
+    let mut as_json = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--series" => print_series = true,
+            "--json" => as_json = true,
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--series] [--json] [experiment...]");
+                println!("experiments: {}", EXPERIMENTS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for name in &names {
+        let started = Instant::now();
+        match run_experiment(name, scale) {
+            Ok(result) => {
+                if as_json {
+                    println!("{}", figure_to_json(&result));
+                    continue;
+                }
+                println!("{result}");
+                if print_series {
+                    for (label, series) in &result.series {
+                        println!("-- series {label} ({} samples)", series.len());
+                        for s in series.samples() {
+                            if s.value != 0.0 {
+                                println!("{:.1}us {:.2}", s.at.as_us_f64(), s.value);
+                            }
+                        }
+                    }
+                }
+                println!("[{name} took {:.1?}]\n", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("known experiments: {}", EXPERIMENTS.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,226 @@
+//! Run a custom IDIO simulation from the command line.
+//!
+//! ```text
+//! cargo run -p idio-bench --release --bin simulate -- \
+//!     --policy idio --nf touchdrop --rate 25 --bursty --ring 1024 \
+//!     --packet 1514 --cores 2 --duration-ms 20 --antagonist
+//! ```
+//!
+//! Prints the run report (transaction totals, latency percentiles, burst
+//! processing times) for the configured scenario.
+
+use std::process::ExitCode;
+
+use idio_core::config::SystemConfig;
+use idio_core::net::gen::{BurstSpec, TrafficPattern};
+use idio_core::net::packet::Dscp;
+use idio_core::policy::SteeringPolicy;
+use idio_core::stack::nf::NfKind;
+use idio_core::system::System;
+use idio_engine::time::{Duration, SimTime};
+
+struct Args {
+    policy: SteeringPolicy,
+    nf: NfKind,
+    rate_gbps: f64,
+    bursty: bool,
+    poisson: bool,
+    ring: u32,
+    packet: u16,
+    cores: usize,
+    duration_ms: u64,
+    antagonist: bool,
+    class1: bool,
+    mlc_thr_mtps: Option<f64>,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            policy: SteeringPolicy::Idio,
+            nf: NfKind::TouchDrop,
+            rate_gbps: 25.0,
+            bursty: true,
+            poisson: false,
+            ring: 1024,
+            packet: 1514,
+            cores: 2,
+            duration_ms: 20,
+            antagonist: false,
+            class1: false,
+            mlc_thr_mtps: None,
+            seed: 0xD10,
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "usage: simulate [options]\n\
+         --policy ddio|invalidate|prefetch|static|idio   (default idio)\n\
+         --nf touchdrop|l2fwd|payload-drop|copy|deepfwd  (default touchdrop)\n\
+         --rate <gbps>                                   (default 25)\n\
+         --bursty | --steady | --poisson                 (default bursty)\n\
+         --ring <slots>                                  (default 1024)\n\
+         --packet <bytes>                                (default 1514)\n\
+         --cores <n>                                     (default 2)\n\
+         --duration-ms <ms>                              (default 20)\n\
+         --antagonist                                    co-run LLCAntagonist\n\
+         --class1                                        mark flows app class 1\n\
+         --mlc-thr <mtps>                                override mlcTHR\n\
+         --seed <n>                                      PRNG seed"
+    );
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--policy" => {
+                args.policy = match val("--policy")?.to_lowercase().as_str() {
+                    "ddio" => SteeringPolicy::Ddio,
+                    "invalidate" => SteeringPolicy::InvalidateOnly,
+                    "prefetch" => SteeringPolicy::PrefetchOnly,
+                    "static" => SteeringPolicy::StaticIdio,
+                    "idio" => SteeringPolicy::Idio,
+                    other => return Err(format!("unknown policy '{other}'")),
+                }
+            }
+            "--nf" => {
+                args.nf = match val("--nf")?.to_lowercase().as_str() {
+                    "touchdrop" => NfKind::TouchDrop,
+                    "l2fwd" => NfKind::L2Fwd,
+                    "payload-drop" | "payloaddrop" => NfKind::L2FwdPayloadDrop,
+                    "copy" => NfKind::TouchDropCopy,
+                    "deepfwd" => NfKind::DeepFwd,
+                    other => return Err(format!("unknown nf '{other}'")),
+                }
+            }
+            "--rate" => args.rate_gbps = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
+            "--bursty" => args.bursty = true,
+            "--steady" => args.bursty = false,
+            "--poisson" => {
+                args.bursty = false;
+                args.poisson = true;
+            }
+            "--ring" => args.ring = val("--ring")?.parse().map_err(|e| format!("{e}"))?,
+            "--packet" => args.packet = val("--packet")?.parse().map_err(|e| format!("{e}"))?,
+            "--cores" => args.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-ms" => {
+                args.duration_ms = val("--duration-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--antagonist" => args.antagonist = true,
+            "--class1" => args.class1 = true,
+            "--mlc-thr" => {
+                args.mlc_thr_mtps = Some(val("--mlc-thr")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let period = Duration::from_ms(5);
+    let traffic = if args.bursty {
+        TrafficPattern::Bursty(BurstSpec::for_ring(
+            args.ring,
+            args.packet,
+            args.rate_gbps,
+            period,
+        ))
+    } else if args.poisson {
+        TrafficPattern::Poisson {
+            rate_gbps: args.rate_gbps,
+            seed: args.seed,
+        }
+    } else {
+        TrafficPattern::Steady {
+            rate_gbps: args.rate_gbps,
+        }
+    };
+
+    let mut cfg = SystemConfig::touchdrop_scenario(args.cores, traffic);
+    cfg.ring_size = args.ring;
+    cfg.duration = SimTime::from_ms(args.duration_ms);
+    cfg.drain_grace = Duration::from_ms(5);
+    cfg.seed = args.seed;
+    for w in &mut cfg.workloads {
+        w.kind = args.nf;
+        w.packet_len = args.packet;
+        if args.class1 {
+            w.dscp = Dscp::CLASS1_DEFAULT;
+        }
+    }
+    if let Some(thr) = args.mlc_thr_mtps {
+        cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
+    }
+    cfg = cfg.with_policy(args.policy);
+    if args.antagonist {
+        cfg = cfg.with_antagonist();
+    }
+
+    println!(
+        "simulating: {} x {} {} at {} Gbps ({}), ring {}, {} B packets, {} ms{}",
+        args.cores,
+        args.nf,
+        args.policy,
+        args.rate_gbps,
+        if args.bursty {
+            "bursty"
+        } else if args.poisson {
+            "poisson"
+        } else {
+            "steady"
+        },
+        args.ring,
+        args.packet,
+        args.duration_ms,
+        if args.antagonist { ", + antagonist" } else { "" },
+    );
+    let report = System::new(cfg).run();
+    print!("{report}");
+    if !report.bursts.is_empty() {
+        println!("bursts:");
+        for b in report.bursts.iter().take(8) {
+            println!(
+                "  #{:<3} dma {:>10} .. {:>10}  exec_end {:>10}  exe {}  pkts {}",
+                b.index,
+                format!("{}", b.first_dma),
+                format!("{}", b.dma_end),
+                format!("{}", b.exec_end),
+                b.exe_time(),
+                b.packets
+            );
+        }
+    }
+    let share = &report.timelines.dma_llc_share;
+    if !share.is_empty() {
+        println!(
+            "dma share of LLC capacity: mean {:.3}, max {:.3}",
+            share.mean(),
+            share.max_value()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,150 @@
+//! Minimal JSON serialisation for figure results (no external
+//! dependencies), so `repro --json` output can be piped straight into
+//! plotting scripts.
+
+use idio_core::experiments::FigureResult;
+
+/// Escapes a string for JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest roundtrip representation Rust offers.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no infinities; encode as null.
+        "null".to_string()
+    }
+}
+
+/// Renders one figure result as a JSON object:
+///
+/// ```json
+/// {
+///   "id": "fig9",
+///   "title": "...",
+///   "columns": ["rate", "policy", ...],
+///   "rows": [["100G", "DDIO", ...], ...],
+///   "series": {"100_DDIO_mlc_wb": [[10.0, 92.5], ...]}
+/// }
+/// ```
+///
+/// Series samples are `[time_us, value]` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use idio_bench::json::figure_to_json;
+/// use idio_core::experiments;
+///
+/// let json = figure_to_json(&experiments::table2());
+/// assert!(json.contains("\"id\": \"table2\""));
+/// assert!(json.contains("TouchDrop"));
+/// ```
+pub fn figure_to_json(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"id\": {},\n", json_string(fig.id)));
+    out.push_str(&format!("  \"title\": {},\n", json_string(&fig.title)));
+
+    let cols: Vec<String> = fig.columns.iter().map(|c| json_string(c)).collect();
+    out.push_str(&format!("  \"columns\": [{}],\n", cols.join(", ")));
+
+    let rows: Vec<String> = fig
+        .rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+            format!("    [{}]", cells.join(", "))
+        })
+        .collect();
+    out.push_str(&format!("  \"rows\": [\n{}\n  ],\n", rows.join(",\n")));
+
+    let series: Vec<String> = fig
+        .series
+        .iter()
+        .map(|(name, ts)| {
+            let samples: Vec<String> = ts
+                .samples()
+                .iter()
+                .map(|s| format!("[{}, {}]", json_f64(s.at.as_us_f64()), json_f64(s.value)))
+                .collect();
+            format!("    {}: [{}]", json_string(name), samples.join(", "))
+        })
+        .collect();
+    out.push_str(&format!("  \"series\": {{\n{}\n  }}\n", series.join(",\n")));
+    out.push('}');
+    out
+}
+
+/// Renders a list of figures as a JSON array.
+pub fn figures_to_json(figs: &[FigureResult]) -> String {
+    let items: Vec<String> = figs.iter().map(figure_to_json).collect();
+    format!("[\n{}\n]", items.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idio_core::experiments;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_valid_json() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0"); // "2" would also be valid; keep decimal
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn table_round_trips_structurally() {
+        let json = figure_to_json(&experiments::table1());
+        // Spot-check structure without a JSON parser dependency.
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"columns\"").count(), 1);
+        assert_eq!(json.matches("\"rows\"").count(), 1);
+        assert_eq!(json.matches("\"series\"").count(), 1);
+        // Balanced braces and brackets.
+        let braces =
+            json.matches('{').count() as i64 - json.matches('}').count() as i64;
+        assert_eq!(braces, 0);
+        let brackets =
+            json.matches('[').count() as i64 - json.matches(']').count() as i64;
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn array_of_figures() {
+        let json = figures_to_json(&[experiments::table1(), experiments::table2()]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"table1\"") && json.contains("\"table2\""));
+    }
+}

@@ -1,0 +1,83 @@
+//! # idio-bench
+//!
+//! Benchmark harness for the IDIO reproduction. Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run -p idio-bench --release --bin
+//!   repro -- [fig...]`) regenerates every table and figure of the paper's
+//!   evaluation and prints them;
+//! * the **Criterion benches** (`cargo bench`) run one scaled-down
+//!   experiment per figure so regressions in simulator behaviour or speed
+//!   are caught continuously.
+//!
+//! The actual experiment drivers live in [`idio_core::experiments`]; this
+//! crate only selects, times, and prints them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use idio_core::experiments::{self, FigureResult, Scale};
+
+/// Known experiment names, in paper order.
+pub const EXPERIMENTS: [&str; 17] = [
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig9",
+    "fig10",
+    "fig11",
+    "direct-dram",
+    "fig12",
+    "fig13",
+    "fig14",
+    "future-work",
+    "bloating",
+    "copy-mode",
+    "baselines",
+    "ring-sweep",
+    "packet-sweep",
+];
+
+/// Runs one experiment by name.
+///
+/// # Errors
+///
+/// Returns the unknown name back to the caller.
+pub fn run_experiment(name: &str, scale: Scale) -> Result<FigureResult, String> {
+    Ok(match name {
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2(),
+        "fig4" => experiments::fig4(scale),
+        "fig5" => experiments::fig5(scale),
+        "fig9" => experiments::fig9(scale),
+        "fig10" => experiments::fig10(scale),
+        "fig11" => experiments::fig11(scale),
+        "direct-dram" | "direct_dram" => experiments::direct_dram(scale),
+        "fig12" => experiments::fig12(scale),
+        "fig13" => experiments::fig13(scale),
+        "fig14" => experiments::fig14(scale),
+        "future-work" | "future_work" => experiments::future_work(scale),
+        "bloating" => experiments::bloating(scale),
+        "copy-mode" | "copy_mode" => experiments::copy_mode(scale),
+        "baselines" => experiments::baselines(scale),
+        "ring-sweep" | "ring_sweep" => experiments::ring_sweep(scale),
+        "packet-sweep" | "packet_sweep" => experiments::packet_sweep(scale),
+        other => return Err(format!("unknown experiment '{other}'")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve() {
+        // Only the cheap table experiments actually run here; the rest are
+        // validated by the integration suite and the repro binary.
+        assert!(run_experiment("table1", Scale::quick()).is_ok());
+        assert!(run_experiment("table2", Scale::quick()).is_ok());
+        assert!(run_experiment("nope", Scale::quick()).is_err());
+    }
+}

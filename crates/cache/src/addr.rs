@@ -1,0 +1,267 @@
+//! Physical addresses, cache-line addresses, pages, and core identifiers.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Bytes per cache line (fixed at 64 across the modelled hierarchy).
+pub const LINE_SIZE: u64 = 64;
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+/// Bytes per page (4 KiB, used by the `Invalidatable` PTE bit).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A byte-granular physical address.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::{Addr, LINE_SIZE};
+///
+/// let a = Addr::new(0x1_0040);
+/// assert_eq!(a.line().base().get(), 0x1_0040);
+/// assert_eq!((a + 3).line(), a.line());
+/// assert_ne!((a + LINE_SIZE).line(), a.line());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Raw byte value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Whether the address is aligned to a cache-line boundary.
+    #[inline]
+    pub const fn is_line_aligned(self) -> bool {
+        self.0.is_multiple_of(LINE_SIZE)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line-granular address (byte address shifted right by 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Raw line number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The `n`-th line after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Iterates over the cache lines covering `[start, start + len)`.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::{lines_covering, Addr};
+///
+/// // 1514 bytes starting line-aligned cover 24 lines.
+/// assert_eq!(lines_covering(Addr::new(0), 1514).count(), 24);
+/// // An unaligned 64-byte span covers 2 lines.
+/// assert_eq!(lines_covering(Addr::new(32), 64).count(), 2);
+/// ```
+pub fn lines_covering(start: Addr, len: u64) -> impl Iterator<Item = LineAddr> {
+    let first = start.line().get();
+    let last = if len == 0 {
+        first
+    } else {
+        (start.get() + len - 1) >> LINE_SHIFT
+    };
+    let end = if len == 0 { first } else { last + 1 };
+    (first..end).map(LineAddr::new)
+}
+
+/// A page-granular address (byte address shifted right by 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a raw page number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PageAddr(raw)
+    }
+
+    /// Raw page number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this page.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+/// A physical core identifier.
+///
+/// IDIO's TLP encoding supports up to 63 cores (the all-ones pattern is
+/// reserved for application class 1); this limit is enforced by the NIC
+/// crate, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core id.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        CoreId(raw)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Index as `usize`, for container indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(raw: u16) -> Self {
+        CoreId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_derivation() {
+        let a = Addr::new(0x12345);
+        assert_eq!(a.line().get(), 0x12345 >> 6);
+        assert_eq!(a.page().get(), 0x12345 >> 12);
+        assert_eq!(a.line().page(), a.page());
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let l = LineAddr::new(100);
+        assert_eq!(l.base().line(), l);
+        assert!(l.base().is_line_aligned());
+    }
+
+    #[test]
+    fn lines_covering_edges() {
+        assert_eq!(lines_covering(Addr::new(0), 0).count(), 0);
+        assert_eq!(lines_covering(Addr::new(0), 1).count(), 1);
+        assert_eq!(lines_covering(Addr::new(0), 64).count(), 1);
+        assert_eq!(lines_covering(Addr::new(0), 65).count(), 2);
+        assert_eq!(lines_covering(Addr::new(63), 2).count(), 2);
+        // 2 KiB DMA buffer covers 32 lines.
+        assert_eq!(lines_covering(Addr::new(0x8000), 2048).count(), 32);
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!((a + 28) - a, 28);
+    }
+
+    #[test]
+    fn core_id_conversions() {
+        let c: CoreId = 3u16.into();
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "core3");
+    }
+}

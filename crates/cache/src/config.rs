@@ -1,0 +1,222 @@
+//! Cache hierarchy configuration (geometry, latency, way partitioning).
+
+use crate::replacement::ReplacementKind;
+use crate::set::WayMask;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in core cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    pub const fn new(size_bytes: u64, ways: usize, latency_cycles: u64) -> Self {
+        CacheGeometry {
+            size_bytes,
+            ways,
+            latency_cycles,
+        }
+    }
+
+    /// Capacity in 64-byte lines.
+    pub const fn lines(&self) -> u64 {
+        self.size_bytes / crate::addr::LINE_SIZE
+    }
+}
+
+/// Full hierarchy configuration.
+///
+/// The defaults follow the paper's Table I gem5 configuration with the
+/// Fig. 5 LLC scaling: 64 KiB 2-way L1D (2 CC), 1 MiB 8-way MLC (12 CC),
+/// and a 3 MiB 12-way shared LLC (24 CC) of which 2 ways are DDIO ways.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::config::HierarchyConfig;
+///
+/// let cfg = HierarchyConfig::paper_default(2);
+/// assert_eq!(cfg.mlc_for_core(0).size_bytes, 1 << 20);
+/// assert_eq!(cfg.llc.ways, 12);
+/// assert_eq!(cfg.ddio_mask().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Number of cores (each with a private L1D and MLC).
+    pub num_cores: usize,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Default private MLC (L2) geometry.
+    pub mlc: CacheGeometry,
+    /// Per-core MLC overrides (e.g. the 256 KiB MLC used for the
+    /// LLCAntagonist core in Sec. VI). `None` means use [`Self::mlc`].
+    pub mlc_overrides: Vec<Option<CacheGeometry>>,
+    /// Shared LLC geometry (total, not per-core).
+    pub llc: CacheGeometry,
+    /// Number of LLC ways reserved for DDIO write-allocation (lowest ways).
+    pub ddio_ways: usize,
+    /// LLC ways core-demand fills and MLC victims may allocate into.
+    /// Defaults to the complement of the DDIO ways: consumed DMA buffers
+    /// bloat across the *non-DDIO* ways (Sec. III observation 3) while the
+    /// DDIO partition stays reserved for inbound writes — keeping core
+    /// victims out of the I/O ways, as CAT-based deployments (and IAT) set
+    /// it up. The Fig. 4 `*_1way` configurations restrict this further.
+    pub core_alloc_ways: Option<WayMask>,
+    /// Replacement policy of the private caches (L1D and MLC).
+    pub private_replacement: ReplacementKind,
+    /// Replacement policy of the shared LLC.
+    pub llc_replacement: ReplacementKind,
+    /// Capacity of the MLC snoop-filter directory in entries; `None`
+    /// models an unbounded directory. A bounded directory back-invalidates
+    /// the MLC line whose entry is evicted to make room (the structure Yan
+    /// et al. exploit in "Attack Directories, Not Caches").
+    pub directory_entries: Option<usize>,
+}
+
+impl HierarchyConfig {
+    /// The Table I configuration scaled to the Fig. 5 evaluation setup
+    /// (3 MiB LLC), for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn paper_default(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        HierarchyConfig {
+            num_cores,
+            l1d: CacheGeometry::new(64 << 10, 2, 2),
+            mlc: CacheGeometry::new(1 << 20, 8, 12),
+            mlc_overrides: vec![None; num_cores],
+            llc: CacheGeometry::new(3 << 20, 12, 24),
+            ddio_ways: 2,
+            core_alloc_ways: None,
+            private_replacement: ReplacementKind::Lru,
+            llc_replacement: ReplacementKind::Lru,
+            directory_entries: None,
+        }
+    }
+
+    /// The MLC geometry for a specific core, honouring overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn mlc_for_core(&self, core: usize) -> CacheGeometry {
+        assert!(core < self.num_cores, "core {core} out of range");
+        self.mlc_overrides
+            .get(core)
+            .copied()
+            .flatten()
+            .unwrap_or(self.mlc)
+    }
+
+    /// The DDIO way mask (lowest [`Self::ddio_ways`] ways).
+    pub fn ddio_mask(&self) -> WayMask {
+        WayMask::first(self.ddio_ways)
+    }
+
+    /// The way mask core demand fills and MLC victims allocate through
+    /// (the non-DDIO ways unless overridden).
+    pub fn core_mask(&self) -> WayMask {
+        self.core_alloc_ways
+            .unwrap_or_else(|| self.ddio_mask().complement(self.llc.ways))
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the configuration is invalid
+    /// (zero cores, DDIO ways exceeding LLC associativity, capacities not
+    /// divisible into sets, or an empty core allocation mask).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cores == 0 {
+            return Err("num_cores must be positive".into());
+        }
+        if self.ddio_ways == 0 || self.ddio_ways > self.llc.ways {
+            return Err(format!(
+                "ddio_ways {} must be in 1..={}",
+                self.ddio_ways, self.llc.ways
+            ));
+        }
+        if self.core_mask().is_empty() {
+            return Err("core allocation mask selects no LLC way".into());
+        }
+        for (geom, name) in [(self.l1d, "l1d"), (self.mlc, "mlc"), (self.llc, "llc")] {
+            if geom.size_bytes % (crate::addr::LINE_SIZE * geom.ways as u64) != 0 {
+                return Err(format!("{name} capacity not divisible into sets"));
+            }
+        }
+        if self.directory_entries == Some(0) {
+            return Err("directory must have at least one entry".into());
+        }
+        for (i, ov) in self.mlc_overrides.iter().enumerate() {
+            if let Some(g) = ov {
+                if g.size_bytes % (crate::addr::LINE_SIZE * g.ways as u64) != 0 {
+                    return Err(format!("mlc override for core {i} not divisible into sets"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::paper_default(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let cfg = HierarchyConfig::paper_default(2);
+        assert_eq!(cfg.l1d, CacheGeometry::new(65536, 2, 2));
+        assert_eq!(cfg.mlc, CacheGeometry::new(1048576, 8, 12));
+        assert_eq!(cfg.llc.latency_cycles, 24);
+        assert_eq!(cfg.mlc.lines(), 16384);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn mlc_override_applies() {
+        let mut cfg = HierarchyConfig::paper_default(3);
+        cfg.mlc_overrides[1] = Some(CacheGeometry::new(256 << 10, 8, 12));
+        assert_eq!(cfg.mlc_for_core(1).size_bytes, 256 << 10);
+        assert_eq!(cfg.mlc_for_core(0).size_bytes, 1 << 20);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ddio_ways() {
+        let mut cfg = HierarchyConfig::paper_default(1);
+        cfg.ddio_ways = 13;
+        assert!(cfg.validate().is_err());
+        cfg.ddio_ways = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_core_mask() {
+        let mut cfg = HierarchyConfig::paper_default(1);
+        cfg.core_alloc_ways = Some(WayMask::EMPTY);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn one_way_cat_config_validates() {
+        let mut cfg = HierarchyConfig::paper_default(2);
+        cfg.core_alloc_ways = Some(WayMask::range(2, 3));
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.core_mask().count(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The MLC snoop-filter directory ("Excl MLC" tags in Fig. 1).
+//!
+//! The LLC of a non-inclusive Skylake-class hierarchy keeps a directory of
+//! cache lines that are valid in some core's MLC, so inbound PCIe writes and
+//! cross-core requests can be filtered to the right private cache. We model
+//! the directory as a map that is unbounded by default — directory-capacity
+//! back-invalidations are orthogonal to the mechanisms IDIO adds — with an
+//! optional entry bound ([`MlcDirectory::with_capacity`]) whose evictions
+//! back-invalidate the displaced MLC lines.
+
+use std::collections::HashMap;
+
+use crate::addr::{CoreId, LineAddr};
+
+/// Tracks which cores' MLCs hold each line.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::{CoreId, LineAddr};
+/// use idio_cache::directory::MlcDirectory;
+///
+/// let mut dir = MlcDirectory::new(4);
+/// let evicted = dir.add(LineAddr::new(7), CoreId::new(2));
+/// assert!(evicted.is_none(), "unbounded directories never evict");
+/// assert_eq!(dir.holder(LineAddr::new(7)), Some(CoreId::new(2)));
+/// dir.remove(LineAddr::new(7), CoreId::new(2));
+/// assert_eq!(dir.holder(LineAddr::new(7)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlcDirectory {
+    entries: HashMap<LineAddr, u64>,
+    num_cores: usize,
+    /// Maximum tracked lines; `None` = unbounded.
+    capacity: Option<usize>,
+    /// FIFO of insertion order (lazily cleaned), used for capacity
+    /// evictions.
+    order: std::collections::VecDeque<LineAddr>,
+}
+
+/// A directory entry displaced by a capacity conflict. The hierarchy must
+/// back-invalidate the named cores' copies of the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryEviction {
+    /// The line whose tracking entry was evicted.
+    pub line: LineAddr,
+    /// Bitmask of cores holding the line.
+    pub holders: u64,
+}
+
+impl MlcDirectory {
+    /// Creates an empty, unbounded directory for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or exceeds 64.
+    pub fn new(num_cores: usize) -> Self {
+        Self::with_capacity(num_cores, None)
+    }
+
+    /// Creates a directory with a bounded entry count. Inserting beyond
+    /// the bound evicts the oldest entry (FIFO) and reports it so the
+    /// caller can back-invalidate the MLC copies — the behaviour that
+    /// makes snoop-filter directories a shared resource worth attacking
+    /// (Yan et al.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or exceeds 64, or if `capacity` is
+    /// `Some(0)`.
+    pub fn with_capacity(num_cores: usize, capacity: Option<usize>) -> Self {
+        assert!(num_cores > 0 && num_cores <= 64, "1..=64 cores supported");
+        assert!(capacity != Some(0), "directory capacity must be positive");
+        MlcDirectory {
+            entries: HashMap::new(),
+            num_cores,
+            capacity,
+            order: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Records that `core`'s MLC now holds `line`. Returns the entry that
+    /// had to be evicted to make room, if the directory is bounded and
+    /// full.
+    #[must_use = "a directory eviction requires back-invalidating MLC copies"]
+    pub fn add(&mut self, line: LineAddr, core: CoreId) -> Option<DirectoryEviction> {
+        debug_assert!(core.index() < self.num_cores);
+        if let Some(mask) = self.entries.get_mut(&line) {
+            *mask |= 1u64 << core.index();
+            return None;
+        }
+        // New entry: make room first if bounded.
+        let mut evicted = None;
+        if let Some(cap) = self.capacity {
+            while self.entries.len() >= cap {
+                let old = self
+                    .order
+                    .pop_front()
+                    .expect("entries outnumber the order queue");
+                if let Some(holders) = self.entries.remove(&old) {
+                    evicted = Some(DirectoryEviction { line: old, holders });
+                    break;
+                }
+                // Stale queue entry (line already removed); keep popping.
+            }
+        }
+        self.entries.insert(line, 1u64 << core.index());
+        self.order.push_back(line);
+        evicted
+    }
+
+    /// Records that `core`'s MLC no longer holds `line`.
+    pub fn remove(&mut self, line: LineAddr, core: CoreId) {
+        if let Some(mask) = self.entries.get_mut(&line) {
+            *mask &= !(1u64 << core.index());
+            if *mask == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Whether any MLC holds `line`.
+    pub fn is_cached(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Whether `core`'s MLC holds `line` according to the directory.
+    pub fn holds(&self, line: LineAddr, core: CoreId) -> bool {
+        self.entries
+            .get(&line)
+            .is_some_and(|m| m >> core.index() & 1 == 1)
+    }
+
+    /// The lowest-numbered core holding `line`, if any.
+    ///
+    /// The workloads modelled here never share lines between cores, so a
+    /// single holder is the common case; when multiple cores hold a line the
+    /// lowest id is returned deterministically.
+    pub fn holder(&self, line: LineAddr) -> Option<CoreId> {
+        self.entries
+            .get(&line)
+            .map(|m| CoreId::new(m.trailing_zeros() as u16))
+    }
+
+    /// All cores holding `line`.
+    pub fn holders(&self, line: LineAddr) -> Vec<CoreId> {
+        match self.entries.get(&line) {
+            None => Vec::new(),
+            Some(&mask) => (0..self.num_cores as u16)
+                .filter(|&c| mask >> c & 1 == 1)
+                .map(CoreId::new)
+                .collect(),
+        }
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut d = MlcDirectory::new(4);
+        let _ = d.add(line(1), CoreId::new(3));
+        assert!(d.is_cached(line(1)));
+        assert!(d.holds(line(1), CoreId::new(3)));
+        assert!(!d.holds(line(1), CoreId::new(0)));
+        d.remove(line(1), CoreId::new(3));
+        assert!(!d.is_cached(line(1)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn multiple_holders_tracked() {
+        let mut d = MlcDirectory::new(8);
+        let _ = d.add(line(9), CoreId::new(5));
+        let _ = d.add(line(9), CoreId::new(2));
+        assert_eq!(d.holder(line(9)), Some(CoreId::new(2)));
+        assert_eq!(d.holders(line(9)), vec![CoreId::new(2), CoreId::new(5)]);
+        d.remove(line(9), CoreId::new(2));
+        assert_eq!(d.holder(line(9)), Some(CoreId::new(5)));
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut d = MlcDirectory::new(2);
+        d.remove(line(4), CoreId::new(1));
+        assert!(d.is_empty());
+        let _ = d.add(line(4), CoreId::new(0));
+        d.remove(line(4), CoreId::new(1));
+        assert!(d.is_cached(line(4)));
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut d = MlcDirectory::new(2);
+        let _ = d.add(line(4), CoreId::new(1));
+        let _ = d.add(line(4), CoreId::new(1));
+        assert_eq!(d.len(), 1);
+        d.remove(line(4), CoreId::new(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn zero_cores_rejected() {
+        let _ = MlcDirectory::new(0);
+    }
+}

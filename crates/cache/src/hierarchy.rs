@@ -1,0 +1,1042 @@
+//! The non-inclusive MLC + LLC hierarchy state machine.
+//!
+//! This module encodes the data-movement semantics of Figs. 1 and 2 of the
+//! paper at cache-line granularity:
+//!
+//! * **PCIe writes** (RX DMA) invalidate any MLC-resident copy, update an
+//!   LLC-resident copy in place, and otherwise write-allocate into the DDIO
+//!   ways. A dirty victim pushed out of the DDIO ways goes to DRAM — the
+//!   *DMA leak*.
+//! * **CPU demand fills** move an LLC-resident line into the requesting
+//!   core's MLC (the LLC copy is relinquished; its tag lives on in the MLC
+//!   directory) — the hierarchy is exclusive between MLC and LLC data ways.
+//! * **MLC victims** are installed into the LLC through the *core* way mask
+//!   (all ways by default), so consumed DMA buffers spread beyond the DDIO
+//!   partition — the *DMA bloating* effect.
+//! * **PCIe reads** (TX DMA) pull MLC-resident lines back into the LLC
+//!   before serving the device.
+//! * The **self-invalidate** maintenance operation drops dead buffer lines
+//!   without any writeback (IDIO mechanism 1).
+//! * **Prefetch fills** move a line LLC → MLC on behalf of the IDIO
+//!   controller's hints (IDIO mechanism 2).
+//! * **Direct-DRAM placement** bypasses the hierarchy for class-1 payloads
+//!   (IDIO mechanism 3).
+
+use crate::addr::{CoreId, LineAddr};
+use crate::config::HierarchyConfig;
+use crate::directory::MlcDirectory;
+use crate::set::{SetAssocCache, WayMask};
+use crate::stats::HierarchyStats;
+
+/// Where a CPU demand access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Served by the core's L1 data cache.
+    L1,
+    /// Served by the core's private MLC.
+    Mlc,
+    /// Served by the shared LLC (line migrates into the MLC).
+    Llc,
+    /// Served by another core's MLC via a cache-to-cache transfer.
+    RemoteMlc,
+    /// Served from DRAM.
+    Dram,
+}
+
+/// DRAM traffic generated as a side effect of one hierarchy operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemEffects {
+    /// Number of DRAM line reads triggered (0 or 1).
+    pub dram_reads: u32,
+    /// Number of DRAM line writes triggered (victim writebacks or direct
+    /// DMA stores).
+    pub dram_writes: u32,
+}
+
+impl MemEffects {
+    /// Merges another effect set into this one.
+    pub fn merge(&mut self, other: MemEffects) {
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+    }
+}
+
+/// Result of a CPU demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuAccess {
+    /// Level that served the access.
+    pub level: HitLevel,
+    /// DRAM traffic triggered.
+    pub effects: MemEffects,
+}
+
+/// Steering decision for an inbound PCIe (DMA) write, as made by the IDIO
+/// controller (or fixed to `Llc` under baseline DDIO).
+///
+/// MLC steering is expressed as an LLC placement plus a prefetch hint issued
+/// by the controller — matching the paper's queued-prefetcher design — so it
+/// does not appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaPlacement {
+    /// Write-allocate/update in the LLC (classic DDIO).
+    Llc,
+    /// Bypass the hierarchy and write DRAM directly (IDIO selective direct
+    /// DRAM access, class-1 payloads).
+    Dram,
+}
+
+/// What an inbound PCIe write did in the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcieWriteKind {
+    /// Updated a line already resident in the LLC (any way).
+    LlcUpdate,
+    /// Write-allocated a new line into the DDIO ways.
+    LlcAlloc,
+    /// Went straight to DRAM.
+    DirectDram,
+}
+
+/// Result of an inbound PCIe write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcieWrite {
+    /// How the write was placed.
+    pub kind: PcieWriteKind,
+    /// Core whose MLC copy was invalidated, if any.
+    pub invalidated_core: Option<CoreId>,
+    /// DRAM traffic triggered.
+    pub effects: MemEffects,
+}
+
+/// Where an outbound PCIe read was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieReadSource {
+    /// The line was pulled out of a core's MLC (written back to the LLC
+    /// first, per Fig. 1).
+    Mlc,
+    /// Served directly from the LLC.
+    Llc,
+    /// Served from DRAM.
+    Dram,
+}
+
+/// Result of an outbound PCIe read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcieRead {
+    /// Where the data came from.
+    pub source: PcieReadSource,
+    /// DRAM traffic triggered.
+    pub effects: MemEffects,
+}
+
+/// Scope of a self-invalidation (IDIO's invalidate-without-writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvalidateScope {
+    /// Drop the line from the issuing core's L1D and MLC only (the literal
+    /// instruction semantics of Sec. V-D).
+    PrivateOnly,
+    /// Additionally drop a dead LLC copy (used for zero-copy NFs whose
+    /// buffers were pulled back into the LLC by the TX path, Sec. VII).
+    IncludeLlc,
+}
+
+/// Result of a self-invalidation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalidateOutcome {
+    /// A private (L1/MLC) copy was dropped.
+    pub private_dropped: bool,
+    /// An LLC copy was dropped (only with [`InvalidateScope::IncludeLlc`]).
+    pub llc_dropped: bool,
+}
+
+/// Result of an IDIO prefetch fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// The line was moved from the LLC into the core's MLC.
+    Filled(MemEffects),
+    /// The line was already in the core's private caches; nothing to do.
+    AlreadyPrivate,
+    /// The line was no longer in the LLC; the hint was dropped (prefetches
+    /// never escalate to DRAM).
+    NotInLlc,
+}
+
+#[derive(Debug)]
+struct PrivateCaches {
+    l1d: SetAssocCache,
+    mlc: SetAssocCache,
+}
+
+/// The complete modelled cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::{CoreId, LineAddr};
+/// use idio_cache::config::HierarchyConfig;
+/// use idio_cache::hierarchy::{DmaPlacement, Hierarchy, HitLevel, PcieWriteKind};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::paper_default(2));
+/// let line = LineAddr::new(0x100);
+///
+/// // NIC delivers a packet line: write-allocates into the DDIO ways.
+/// let w = h.pcie_write(line, DmaPlacement::Llc);
+/// assert_eq!(w.kind, PcieWriteKind::LlcAlloc);
+///
+/// // The core then reads it: LLC hit, line migrates to the MLC.
+/// let r = h.cpu_read(CoreId::new(0), line);
+/// assert_eq!(r.level, HitLevel::Llc);
+/// assert!(h.mlc(CoreId::new(0)).contains(line));
+/// assert!(!h.llc().contains(line));
+/// ```
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    cores: Vec<PrivateCaches>,
+    llc: SetAssocCache,
+    dir: MlcDirectory,
+    stats: HierarchyStats,
+    mlc_mask: Vec<WayMask>,
+    l1_mask: WayMask,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`HierarchyConfig::validate`]).
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid hierarchy config: {e}");
+        }
+        let cores = (0..cfg.num_cores)
+            .map(|i| {
+                let mlc_geom = cfg.mlc_for_core(i);
+                PrivateCaches {
+                    l1d: SetAssocCache::with_capacity_policy(
+                        "l1d",
+                        cfg.l1d.size_bytes,
+                        cfg.l1d.ways,
+                        cfg.private_replacement,
+                    ),
+                    mlc: SetAssocCache::with_capacity_policy(
+                        "mlc",
+                        mlc_geom.size_bytes,
+                        mlc_geom.ways,
+                        cfg.private_replacement,
+                    ),
+                }
+            })
+            .collect();
+        let llc = SetAssocCache::with_capacity_policy(
+            "llc",
+            cfg.llc.size_bytes,
+            cfg.llc.ways,
+            cfg.llc_replacement,
+        );
+        let dir = MlcDirectory::with_capacity(cfg.num_cores, cfg.directory_entries);
+        let stats = HierarchyStats::new(cfg.num_cores);
+        let mlc_mask = (0..cfg.num_cores)
+            .map(|i| WayMask::all(cfg.mlc_for_core(i).ways))
+            .collect();
+        let l1_mask = WayMask::all(cfg.l1d.ways);
+        Hierarchy {
+            cfg,
+            cores,
+            llc,
+            dir,
+            stats,
+            mlc_mask,
+            l1_mask,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Zeroes all statistics (e.g. after a cache warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::new(self.cfg.num_cores);
+    }
+
+    /// The shared LLC array (read-only, for inspection and tests).
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// A core's MLC array (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn mlc(&self, core: CoreId) -> &SetAssocCache {
+        &self.cores[core.index()].mlc
+    }
+
+    /// A core's L1D array (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn l1d(&self, core: CoreId) -> &SetAssocCache {
+        &self.cores[core.index()].l1d
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cfg.num_cores
+    }
+
+    /// Current number of DDIO ways.
+    pub fn ddio_ways(&self) -> usize {
+        self.cfg.ddio_ways
+    }
+
+    /// Re-partitions the LLC at runtime: the lowest `n` ways become the
+    /// DDIO ways (IAT-style dynamic I/O way allocation). Resident lines
+    /// stay where they are; only future allocations follow the new masks.
+    ///
+    /// Has no effect on configurations with an explicit
+    /// [`HierarchyConfig::core_alloc_ways`] override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or leaves no way for core fills.
+    pub fn set_ddio_ways(&mut self, n: usize) {
+        assert!(
+            n >= 1 && n < self.cfg.llc.ways,
+            "ddio ways {n} must be in 1..{}",
+            self.cfg.llc.ways
+        );
+        self.cfg.ddio_ways = n;
+    }
+
+    // ----- internal fill helpers -------------------------------------------------
+
+    /// Installs `line` into `core`'s MLC, cascading the victim into the LLC
+    /// (an "MLC writeback") and a dirty LLC victim to DRAM (an "LLC
+    /// writeback"). Updates the directory.
+    /// Registers `line` as held by `core`, processing any directory
+    /// capacity eviction: the displaced entry's cores are back-invalidated
+    /// and dirty data is pushed into the LLC.
+    fn dir_add(&mut self, line: LineAddr, core: CoreId) -> MemEffects {
+        let mut fx = MemEffects::default();
+        if let Some(ev) = self.dir.add(line, core) {
+            self.stats.shared.dir_back_invalidations.inc();
+            for c in 0..self.cfg.num_cores {
+                if ev.holders >> c & 1 == 1 {
+                    let hi = c;
+                    let mut dirty = false;
+                    if let Some(l1) = self.cores[hi].l1d.remove(ev.line) {
+                        dirty |= l1.dirty;
+                    }
+                    if let Some(mlc) = self.cores[hi].mlc.remove(ev.line) {
+                        dirty |= mlc.dirty;
+                    }
+                    // The directory entry itself is already gone.
+                    self.stats.core[hi].mlc_wb.inc();
+                    if dirty {
+                        self.stats.core[hi].mlc_wb_dirty.inc();
+                    }
+                    fx.merge(self.fill_llc(ev.line, dirty));
+                }
+            }
+        }
+        fx
+    }
+
+    fn fill_mlc(&mut self, core: CoreId, line: LineAddr, dirty: bool) -> MemEffects {
+        let mut fx = MemEffects::default();
+        let ci = core.index();
+        let (victim, _) = self.cores[ci].mlc.insert(line, dirty, self.mlc_mask[ci]);
+        fx.merge(self.dir_add(line, core));
+        if let Some(v) = victim {
+            debug_assert_ne!(v.line, line);
+            // Back-invalidate the (inclusive) L1 copy; its dirtiness folds
+            // into the victim data.
+            let mut victim_dirty = v.dirty;
+            if let Some(l1) = self.cores[ci].l1d.remove(v.line) {
+                victim_dirty |= l1.dirty;
+            }
+            self.dir.remove(v.line, core);
+            self.stats.core[ci].mlc_wb.inc();
+            if victim_dirty {
+                self.stats.core[ci].mlc_wb_dirty.inc();
+            }
+            fx.merge(self.fill_llc(v.line, victim_dirty));
+        }
+        fx
+    }
+
+    /// Installs a line into the LLC through the core allocation mask,
+    /// handling the victim cascade to DRAM.
+    fn fill_llc(&mut self, line: LineAddr, dirty: bool) -> MemEffects {
+        let mut fx = MemEffects::default();
+        let (victim, _) = self.llc.insert(line, dirty, self.cfg.core_mask());
+        if let Some(v) = victim {
+            if v.dirty {
+                self.stats.shared.llc_wb.inc();
+                self.stats.shared.dram_writes.inc();
+                fx.dram_writes += 1;
+            } else {
+                self.stats.shared.llc_evict_clean.inc();
+            }
+        }
+        fx
+    }
+
+    /// Installs `line` into `core`'s L1D. The line must already be MLC
+    /// resident (L1 is inclusive in the MLC).
+    fn fill_l1(&mut self, core: CoreId, line: LineAddr) {
+        let ci = core.index();
+        debug_assert!(self.cores[ci].mlc.contains(line), "L1 fill breaks inclusion");
+        let (victim, _) = self.cores[ci].l1d.insert(line, false, self.l1_mask);
+        if let Some(v) = victim {
+            if v.dirty {
+                // Fold L1 dirtiness back into the MLC copy.
+                let present = self.cores[ci].mlc.mark_dirty(v.line);
+                debug_assert!(present, "L1 victim not in MLC: inclusion broken");
+            }
+        }
+    }
+
+    /// Removes `line` from `core`'s private caches, returning whether it was
+    /// present and whether any copy was dirty.
+    fn remove_private(&mut self, core: CoreId, line: LineAddr) -> Option<bool> {
+        let ci = core.index();
+        let l1 = self.cores[ci].l1d.remove(line);
+        let mlc = self.cores[ci].mlc.remove(line);
+        if mlc.is_none() {
+            debug_assert!(l1.is_none(), "L1 held a line the MLC did not: inclusion broken");
+            return None;
+        }
+        self.dir.remove(line, core);
+        Some(l1.is_some_and(|e| e.dirty) || mlc.is_some_and(|e| e.dirty))
+    }
+
+    // ----- CPU demand path -------------------------------------------------------
+
+    /// A CPU demand load of one cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cpu_read(&mut self, core: CoreId, line: LineAddr) -> CpuAccess {
+        self.cpu_access(core, line, false)
+    }
+
+    /// A CPU demand store of one cache line (write-allocate; the line is
+    /// dirtied in the private caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cpu_write(&mut self, core: CoreId, line: LineAddr) -> CpuAccess {
+        self.cpu_access(core, line, true)
+    }
+
+    fn cpu_access(&mut self, core: CoreId, line: LineAddr, store: bool) -> CpuAccess {
+        let ci = core.index();
+        let mut fx = MemEffects::default();
+
+        // L1 hit.
+        if self.cores[ci].l1d.touch(line).is_some() {
+            self.stats.core[ci].l1_hits.inc();
+            if store {
+                self.cores[ci].l1d.mark_dirty(line);
+            }
+            return CpuAccess {
+                level: HitLevel::L1,
+                effects: fx,
+            };
+        }
+
+        // MLC hit.
+        if self.cores[ci].mlc.touch(line).is_some() {
+            self.stats.core[ci].mlc_hits.inc();
+            self.fill_l1(core, line);
+            if store {
+                self.cores[ci].l1d.mark_dirty(line);
+                self.cores[ci].mlc.mark_dirty(line);
+            }
+            return CpuAccess {
+                level: HitLevel::Mlc,
+                effects: fx,
+            };
+        }
+
+        self.stats.core[ci].mlc_misses.inc();
+
+        // LLC hit: the line migrates into the MLC (exclusive fill).
+        if let Some(entry) = self.llc.remove(line) {
+            self.stats.shared.llc_hits.inc();
+            fx.merge(self.fill_mlc(core, line, entry.dirty || store));
+            self.fill_l1(core, line);
+            if store {
+                self.cores[ci].l1d.mark_dirty(line);
+            }
+            return CpuAccess {
+                level: HitLevel::Llc,
+                effects: fx,
+            };
+        }
+
+        // Cache-to-cache transfer from another core's MLC.
+        if let Some(holder) = self.dir.holder(line) {
+            debug_assert_ne!(holder, core, "directory stale: missed own MLC line");
+            if holder != core {
+                let dirty = self
+                    .remove_private(holder, line)
+                    .expect("directory pointed at a core without the line");
+                self.stats.core[ci].c2c_transfers.inc();
+                fx.merge(self.fill_mlc(core, line, dirty || store));
+                self.fill_l1(core, line);
+                if store {
+                    self.cores[ci].l1d.mark_dirty(line);
+                }
+                return CpuAccess {
+                    level: HitLevel::RemoteMlc,
+                    effects: fx,
+                };
+            }
+        }
+
+        // DRAM fill.
+        self.stats.shared.llc_misses.inc();
+        self.stats.shared.dram_reads.inc();
+        fx.dram_reads += 1;
+        fx.merge(self.fill_mlc(core, line, store));
+        self.fill_l1(core, line);
+        if store {
+            self.cores[ci].l1d.mark_dirty(line);
+        }
+        CpuAccess {
+            level: HitLevel::Dram,
+            effects: fx,
+        }
+    }
+
+    // ----- PCIe / DMA path -------------------------------------------------------
+
+    /// An inbound full-line PCIe write (RX DMA), with the placement decided
+    /// by the steering policy.
+    pub fn pcie_write(&mut self, line: LineAddr, placement: DmaPlacement) -> PcieWrite {
+        self.stats.shared.pcie_writes.inc();
+        let mut fx = MemEffects::default();
+
+        // Invalidate any private copies: the NIC overwrites the whole line,
+        // so the core-resident data is dead and is dropped without
+        // writeback (Fig. 1 steps P1-1 / P2-1).
+        let mut invalidated_core = None;
+        for holder in self.dir.holders(line) {
+            self.remove_private(holder, line);
+            self.stats.core[holder.index()].mlc_inval_by_dma.inc();
+            invalidated_core = Some(holder);
+        }
+
+        match placement {
+            DmaPlacement::Dram => {
+                // Selective direct DRAM access: drop any (now dead) LLC copy
+                // and store the line in memory.
+                self.llc.remove(line);
+                self.stats.shared.dma_direct_dram.inc();
+                self.stats.shared.dram_writes.inc();
+                fx.dram_writes += 1;
+                PcieWrite {
+                    kind: PcieWriteKind::DirectDram,
+                    invalidated_core,
+                    effects: fx,
+                }
+            }
+            DmaPlacement::Llc => {
+                if self.llc.contains(line) {
+                    // In-place update, regardless of which way holds it
+                    // (Fig. 1 steps P2-2 / P3-1).
+                    let (victim, _) = self.llc.insert(line, true, self.cfg.ddio_mask());
+                    debug_assert!(victim.is_none());
+                    self.stats.shared.ddio_updates.inc();
+                    PcieWrite {
+                        kind: PcieWriteKind::LlcUpdate,
+                        invalidated_core,
+                        effects: fx,
+                    }
+                } else {
+                    // Write-allocate into the DDIO ways (Fig. 1 step P5-1).
+                    let (victim, _) = self.llc.insert(line, true, self.cfg.ddio_mask());
+                    self.stats.shared.ddio_allocs.inc();
+                    if let Some(v) = victim {
+                        self.stats.shared.ddio_evictions.inc();
+                        if v.dirty {
+                            // The DMA leak: RX data pushed to DRAM before
+                            // the core ever touched it.
+                            self.stats.shared.llc_wb.inc();
+                            self.stats.shared.dram_writes.inc();
+                            fx.dram_writes += 1;
+                        } else {
+                            self.stats.shared.llc_evict_clean.inc();
+                        }
+                    }
+                    PcieWrite {
+                        kind: PcieWriteKind::LlcAlloc,
+                        invalidated_core,
+                        effects: fx,
+                    }
+                }
+            }
+        }
+    }
+
+    /// An outbound PCIe read (TX DMA) of one line.
+    pub fn pcie_read(&mut self, line: LineAddr) -> PcieRead {
+        self.stats.shared.pcie_reads.inc();
+        let mut fx = MemEffects::default();
+
+        // An MLC-resident line is written back to the LLC first, then
+        // served (Fig. 1 steps P1-1 / P2-1; Fig. 3 right).
+        if let Some(holder) = self.dir.holder(line) {
+            let dirty = self
+                .remove_private(holder, line)
+                .expect("directory pointed at a core without the line");
+            let hi = holder.index();
+            self.stats.core[hi].mlc_wb.inc();
+            self.stats.core[hi].mlc_wb_by_pcie_rd.inc();
+            if dirty {
+                self.stats.core[hi].mlc_wb_dirty.inc();
+            }
+            fx.merge(self.fill_llc(line, dirty));
+            return PcieRead {
+                source: PcieReadSource::Mlc,
+                effects: fx,
+            };
+        }
+
+        if self.llc.touch(line).is_some() {
+            self.stats.shared.pcie_rd_llc_hits.inc();
+            return PcieRead {
+                source: PcieReadSource::Llc,
+                effects: fx,
+            };
+        }
+
+        self.stats.shared.pcie_rd_dram.inc();
+        self.stats.shared.dram_reads.inc();
+        fx.dram_reads += 1;
+        PcieRead {
+            source: PcieReadSource::Dram,
+            effects: fx,
+        }
+    }
+
+    // ----- IDIO mechanisms -------------------------------------------------------
+
+    /// The invalidate-without-writeback maintenance operation (IDIO
+    /// mechanism 1). Drops the line from `core`'s private caches — and,
+    /// with [`InvalidateScope::IncludeLlc`], from the LLC — without any
+    /// writeback.
+    ///
+    /// Page-permission checking (the `Invalidatable` PTE bit) is enforced a
+    /// level up, in [`crate::maintenance`].
+    pub fn self_invalidate(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        scope: InvalidateScope,
+    ) -> InvalidateOutcome {
+        let mut out = InvalidateOutcome::default();
+        if self.remove_private(core, line).is_some() {
+            self.stats.core[core.index()].self_invalidations.inc();
+            out.private_dropped = true;
+        }
+        if scope == InvalidateScope::IncludeLlc && self.llc.remove(line).is_some() {
+            self.stats.shared.llc_self_invalidations.inc();
+            out.llc_dropped = true;
+        }
+        out
+    }
+
+    /// An IDIO prefetch fill: moves `line` from the LLC into `core`'s MLC
+    /// (IDIO mechanism 2). Never escalates to DRAM on an LLC miss.
+    pub fn prefetch_fill(&mut self, core: CoreId, line: LineAddr) -> PrefetchOutcome {
+        let ci = core.index();
+        if self.cores[ci].mlc.contains(line) {
+            return PrefetchOutcome::AlreadyPrivate;
+        }
+        match self.llc.remove(line) {
+            Some(entry) => {
+                let fx = self.fill_mlc(core, line, entry.dirty);
+                self.stats.core[ci].prefetch_fills.inc();
+                PrefetchOutcome::Filled(fx)
+            }
+            None => {
+                self.stats.core[ci].prefetch_misses.inc();
+                PrefetchOutcome::NotInLlc
+            }
+        }
+    }
+
+    /// A *deep* prefetch fill used by the CPU-paced prefetcher (Sec. VII
+    /// future work): like [`Hierarchy::prefetch_fill`], but on an LLC miss
+    /// the line is fetched from DRAM — the regulated prefetcher walks the
+    /// ring buffer just ahead of the CPU pointer, so it can recover lines
+    /// that already leaked to memory.
+    pub fn prefetch_fill_deep(&mut self, core: CoreId, line: LineAddr) -> PrefetchOutcome {
+        let ci = core.index();
+        match self.prefetch_fill(core, line) {
+            PrefetchOutcome::NotInLlc => {
+                let mut fx = MemEffects {
+                    dram_reads: 1,
+                    dram_writes: 0,
+                };
+                self.stats.shared.dram_reads.inc();
+                fx.merge(self.fill_mlc(core, line, false));
+                self.stats.core[ci].prefetch_fills.inc();
+                PrefetchOutcome::Filled(fx)
+            }
+            other => other,
+        }
+    }
+
+    /// Flushes `line` to DRAM and invalidates every cached copy (classic
+    /// `clflush` semantics; used when the kernel prepares an `Invalidatable`
+    /// buffer).
+    pub fn flush_line(&mut self, line: LineAddr) -> MemEffects {
+        let mut dirty = false;
+        for holder in self.dir.holders(line) {
+            dirty |= self.remove_private(holder, line).unwrap_or(false);
+        }
+        if let Some(e) = self.llc.remove(line) {
+            dirty |= e.dirty;
+        }
+        let mut fx = MemEffects::default();
+        if dirty {
+            self.stats.shared.dram_writes.inc();
+            fx.dram_writes += 1;
+        }
+        fx
+    }
+
+    /// Verifies internal consistency; intended for tests and property
+    /// checks.
+    ///
+    /// Checks:
+    /// * L1D contents are a subset of the MLC (inclusion),
+    /// * the directory exactly mirrors MLC residency,
+    /// * no line is simultaneously in the LLC and any MLC (exclusivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        for (ci, pc) in self.cores.iter().enumerate() {
+            let core = CoreId::new(ci as u16);
+            for e in pc.l1d.iter() {
+                assert!(
+                    pc.mlc.contains(e.line),
+                    "{core}: L1 line {} not in MLC (inclusion broken)",
+                    e.line
+                );
+            }
+            for e in pc.mlc.iter() {
+                assert!(
+                    self.dir.holds(e.line, core),
+                    "{core}: MLC line {} missing from directory",
+                    e.line
+                );
+                assert!(
+                    !self.llc.contains(e.line),
+                    "{core}: line {} in both MLC and LLC (exclusivity broken)",
+                    e.line
+                );
+            }
+        }
+        // Directory entries must be backed by actual MLC residency.
+        for (ci, pc) in self.cores.iter().enumerate() {
+            let core = CoreId::new(ci as u16);
+            let count = pc.mlc.iter().count();
+            let dir_count = pc
+                .mlc
+                .iter()
+                .filter(|e| self.dir.holds(e.line, core))
+                .count();
+            assert_eq!(count, dir_count, "{core}: directory undercounts MLC lines");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheGeometry;
+
+    fn tiny_config() -> HierarchyConfig {
+        // 2 cores; L1 2 sets x 2 ways, MLC 4 sets x 2 ways, LLC 4 sets x 4
+        // ways with 2 DDIO ways — small enough to force evictions quickly.
+        HierarchyConfig {
+            num_cores: 2,
+            l1d: CacheGeometry::new(2 * 2 * 64, 2, 2),
+            mlc: CacheGeometry::new(4 * 2 * 64, 2, 12),
+            mlc_overrides: vec![None; 2],
+            llc: CacheGeometry::new(4 * 4 * 64, 4, 24),
+            ddio_ways: 2,
+            core_alloc_ways: None,
+            private_replacement: crate::replacement::ReplacementKind::Lru,
+            llc_replacement: crate::replacement::ReplacementKind::Lru,
+            directory_entries: None,
+        }
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    const C0: CoreId = CoreId::new(0);
+    const C1: CoreId = CoreId::new(1);
+
+    #[test]
+    fn cold_read_fills_from_dram() {
+        let mut h = Hierarchy::new(tiny_config());
+        let a = h.cpu_read(C0, line(1));
+        assert_eq!(a.level, HitLevel::Dram);
+        assert_eq!(a.effects.dram_reads, 1);
+        assert!(h.mlc(C0).contains(line(1)));
+        assert!(h.l1d(C0).contains(line(1)));
+        assert!(!h.llc().contains(line(1)));
+        h.check_invariants();
+    }
+
+    #[test]
+    fn repeat_read_hits_l1_then_mlc() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_read(C0, line(1));
+        assert_eq!(h.cpu_read(C0, line(1)).level, HitLevel::L1);
+        // Evict from tiny L1 (2 sets: lines 1, 3, 5 map to set 1).
+        h.cpu_read(C0, line(3));
+        h.cpu_read(C0, line(5));
+        assert_eq!(h.cpu_read(C0, line(1)).level, HitLevel::Mlc);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn pcie_write_allocates_in_ddio_ways() {
+        let mut h = Hierarchy::new(tiny_config());
+        let w = h.pcie_write(line(7), DmaPlacement::Llc);
+        assert_eq!(w.kind, PcieWriteKind::LlcAlloc);
+        assert!(h.llc().probe(line(7)).unwrap().dirty);
+        assert!(h.llc().way_of(line(7)).unwrap() < 2, "must land in a DDIO way");
+    }
+
+    #[test]
+    fn dma_leak_on_ddio_way_overflow() {
+        let mut h = Hierarchy::new(tiny_config());
+        // 3 lines in the same set through 2 DDIO ways: the third evicts a
+        // dirty RX line to DRAM.
+        h.pcie_write(line(0), DmaPlacement::Llc);
+        h.pcie_write(line(4), DmaPlacement::Llc);
+        let w = h.pcie_write(line(8), DmaPlacement::Llc);
+        assert_eq!(w.effects.dram_writes, 1);
+        assert_eq!(h.stats().shared.llc_wb.get(), 1);
+        assert_eq!(h.stats().shared.ddio_evictions.get(), 1);
+    }
+
+    #[test]
+    fn pcie_write_invalidates_mlc_copy_without_writeback() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_read(C0, line(9));
+        assert!(h.mlc(C0).contains(line(9)));
+        let w = h.pcie_write(line(9), DmaPlacement::Llc);
+        assert_eq!(w.invalidated_core, Some(C0));
+        assert!(!h.mlc(C0).contains(line(9)));
+        assert!(!h.l1d(C0).contains(line(9)));
+        assert_eq!(h.stats().core(C0).mlc_inval_by_dma.get(), 1);
+        // No MLC writeback happened: the data was dropped dead.
+        assert_eq!(h.stats().core(C0).mlc_wb.get(), 0);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn llc_hit_migrates_line_to_mlc() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.pcie_write(line(5), DmaPlacement::Llc);
+        let a = h.cpu_read(C1, line(5));
+        assert_eq!(a.level, HitLevel::Llc);
+        assert!(h.mlc(C1).contains(line(5)));
+        assert!(!h.llc().contains(line(5)));
+        // Dirtiness travelled with the line.
+        assert!(h.mlc(C1).probe(line(5)).unwrap().dirty);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn mlc_victim_bloats_into_non_ddio_ways() {
+        let mut h = Hierarchy::new(tiny_config());
+        // MLC has 4 sets x 2 ways; lines 0,4,8 collide in MLC set 0 and LLC
+        // set 0. Read three colliding lines: the first is evicted to LLC.
+        h.cpu_read(C0, line(0));
+        h.cpu_read(C0, line(4));
+        h.cpu_read(C0, line(8));
+        assert_eq!(h.stats().core(C0).mlc_wb.get(), 1);
+        assert!(h.llc().contains(line(0)));
+        h.check_invariants();
+    }
+
+    #[test]
+    fn pcie_read_pulls_mlc_line_back_to_llc() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_write(C0, line(3));
+        let r = h.pcie_read(line(3));
+        assert_eq!(r.source, PcieReadSource::Mlc);
+        assert!(!h.mlc(C0).contains(line(3)));
+        assert!(h.llc().contains(line(3)));
+        assert!(h.llc().probe(line(3)).unwrap().dirty);
+        assert_eq!(h.stats().core(C0).mlc_wb_by_pcie_rd.get(), 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn pcie_read_from_llc_and_dram() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.pcie_write(line(2), DmaPlacement::Llc);
+        assert_eq!(h.pcie_read(line(2)).source, PcieReadSource::Llc);
+        let r = h.pcie_read(line(100));
+        assert_eq!(r.source, PcieReadSource::Dram);
+        assert_eq!(r.effects.dram_reads, 1);
+    }
+
+    #[test]
+    fn direct_dram_bypasses_hierarchy() {
+        let mut h = Hierarchy::new(tiny_config());
+        let w = h.pcie_write(line(6), DmaPlacement::Dram);
+        assert_eq!(w.kind, PcieWriteKind::DirectDram);
+        assert_eq!(w.effects.dram_writes, 1);
+        assert!(!h.llc().contains(line(6)));
+        assert_eq!(h.stats().shared.dma_direct_dram.get(), 1);
+    }
+
+    #[test]
+    fn direct_dram_drops_stale_llc_copy() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.pcie_write(line(6), DmaPlacement::Llc);
+        h.pcie_write(line(6), DmaPlacement::Dram);
+        assert!(!h.llc().contains(line(6)));
+        // Only the direct write reached DRAM; the stale copy was dropped.
+        assert_eq!(h.stats().shared.dram_writes.get(), 1);
+    }
+
+    #[test]
+    fn self_invalidate_drops_without_writeback() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_write(C0, line(11));
+        let out = h.self_invalidate(C0, line(11), InvalidateScope::PrivateOnly);
+        assert!(out.private_dropped);
+        assert!(!h.mlc(C0).contains(line(11)));
+        assert_eq!(h.stats().shared.dram_writes.get(), 0);
+        assert_eq!(h.stats().core(C0).self_invalidations.get(), 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn self_invalidate_llc_scope() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.pcie_write(line(12), DmaPlacement::Llc);
+        let out = h.self_invalidate(C0, line(12), InvalidateScope::IncludeLlc);
+        assert!(!out.private_dropped);
+        assert!(out.llc_dropped);
+        assert!(!h.llc().contains(line(12)));
+    }
+
+    #[test]
+    fn self_invalidate_absent_line_is_noop() {
+        let mut h = Hierarchy::new(tiny_config());
+        let out = h.self_invalidate(C0, line(42), InvalidateScope::IncludeLlc);
+        assert!(!out.private_dropped && !out.llc_dropped);
+        assert_eq!(h.stats().core(C0).self_invalidations.get(), 0);
+    }
+
+    #[test]
+    fn prefetch_fill_moves_llc_line_to_mlc() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.pcie_write(line(13), DmaPlacement::Llc);
+        match h.prefetch_fill(C0, line(13)) {
+            PrefetchOutcome::Filled(_) => {}
+            other => panic!("expected fill, got {other:?}"),
+        }
+        assert!(h.mlc(C0).contains(line(13)));
+        assert!(!h.llc().contains(line(13)));
+        assert_eq!(h.stats().core(C0).prefetch_fills.get(), 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn prefetch_fill_misses_do_not_touch_dram() {
+        let mut h = Hierarchy::new(tiny_config());
+        assert_eq!(h.prefetch_fill(C0, line(50)), PrefetchOutcome::NotInLlc);
+        assert_eq!(h.stats().shared.dram_reads.get(), 0);
+        assert_eq!(h.stats().core(C0).prefetch_misses.get(), 1);
+    }
+
+    #[test]
+    fn prefetch_fill_already_private_is_noop() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_read(C0, line(3));
+        assert_eq!(h.prefetch_fill(C0, line(3)), PrefetchOutcome::AlreadyPrivate);
+    }
+
+    #[test]
+    fn c2c_transfer_moves_line_between_cores() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_write(C0, line(17));
+        let a = h.cpu_read(C1, line(17));
+        assert_eq!(a.level, HitLevel::RemoteMlc);
+        assert!(!h.mlc(C0).contains(line(17)));
+        assert!(h.mlc(C1).contains(line(17)));
+        // Dirtiness travelled.
+        assert!(h.mlc(C1).probe(line(17)).unwrap().dirty);
+        assert_eq!(h.stats().core(C1).c2c_transfers.get(), 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn flush_writes_dirty_data_to_dram() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_write(C0, line(20));
+        let fx = h.flush_line(line(20));
+        assert_eq!(fx.dram_writes, 1);
+        assert!(!h.mlc(C0).contains(line(20)));
+        let fx2 = h.flush_line(line(20));
+        assert_eq!(fx2.dram_writes, 0);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn stats_reset_zeroes_everything() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.cpu_read(C0, line(1));
+        h.pcie_write(line(2), DmaPlacement::Llc);
+        h.reset_stats();
+        assert_eq!(h.stats().shared.pcie_writes.get(), 0);
+        assert_eq!(h.stats().core(C0).l1_hits.get(), 0);
+        // State survives the reset.
+        assert!(h.mlc(C0).contains(line(1)));
+    }
+
+    #[test]
+    fn cat_partitioning_confines_core_fills() {
+        let mut cfg = tiny_config();
+        cfg.core_alloc_ways = Some(WayMask::range(3, 4));
+        let mut h = Hierarchy::new(cfg);
+        // Force MLC victims: read 3 colliding lines (MLC set 0).
+        h.cpu_read(C0, line(0));
+        h.cpu_read(C0, line(4));
+        h.cpu_read(C0, line(8));
+        // Victim must be in way 3 only.
+        assert_eq!(h.llc().way_of(line(0)), Some(3));
+    }
+}

@@ -1,0 +1,552 @@
+//! Set-associative cache arrays with LRU replacement and way masks.
+//!
+//! [`SetAssocCache`] is the building block for every cache level. It is a
+//! pure state machine over cache-line tags — data contents are never
+//! modelled, only presence and dirtiness. Allocation can be restricted to a
+//! subset of ways via a [`WayMask`], which models both the DDIO way
+//! partition and CAT-style way partitioning (the `*_1way` configurations of
+//! Fig. 4).
+
+use std::fmt;
+
+use crate::addr::LineAddr;
+use crate::replacement::{ReplacementKind, ReplacementPolicy};
+
+/// A bitmask selecting a subset of a cache's ways.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::set::WayMask;
+///
+/// let ddio = WayMask::first(2);
+/// assert!(ddio.contains(0) && ddio.contains(1) && !ddio.contains(2));
+/// let rest = ddio.complement(11);
+/// assert_eq!(rest.count(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WayMask(u64);
+
+impl WayMask {
+    /// A mask selecting no ways. Allocation with this mask always fails.
+    pub const EMPTY: WayMask = WayMask(0);
+
+    /// Selects all `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` exceeds 64.
+    pub fn all(ways: usize) -> Self {
+        assert!(ways <= 64, "at most 64 ways supported");
+        if ways == 64 {
+            WayMask(u64::MAX)
+        } else {
+            WayMask((1u64 << ways) - 1)
+        }
+    }
+
+    /// Selects the first `n` ways (ways `0..n`).
+    pub fn first(n: usize) -> Self {
+        Self::all(n)
+    }
+
+    /// Selects ways `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > 64`.
+    pub fn range(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi <= 64, "invalid way range");
+        WayMask(Self::all(hi).0 & !Self::all(lo).0)
+    }
+
+    /// Whether way `w` is selected.
+    #[inline]
+    pub const fn contains(self, w: usize) -> bool {
+        w < 64 && (self.0 >> w) & 1 == 1
+    }
+
+    /// Number of selected ways.
+    #[inline]
+    pub const fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Ways in `0..total` not selected by `self`.
+    pub fn complement(self, total: usize) -> WayMask {
+        WayMask(WayMask::all(total).0 & !self.0)
+    }
+
+    /// Union of two masks.
+    #[inline]
+    pub const fn union(self, other: WayMask) -> WayMask {
+        WayMask(self.0 | other.0)
+    }
+
+    /// Whether no ways are selected.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ways{:#b}", self.0)
+    }
+}
+
+/// A resident cache line's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineEntry {
+    /// The resident line address.
+    pub line: LineAddr,
+    /// Whether the line holds data newer than the next level / DRAM.
+    pub dirty: bool,
+}
+
+/// A line evicted to make room for an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether the evicted line was dirty.
+    pub dirty: bool,
+    /// The way it was evicted from.
+    pub way: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: Option<LineEntry>,
+}
+
+/// A set-associative cache array with per-set LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::LineAddr;
+/// use idio_cache::set::{SetAssocCache, WayMask};
+///
+/// // A 4-set, 2-way cache (512 bytes).
+/// let mut c = SetAssocCache::new("toy", 4, 2);
+/// let mask = WayMask::all(2);
+/// assert!(c.insert(LineAddr::new(0), false, mask).0.is_none());
+/// assert!(c.contains(LineAddr::new(0)));
+/// // Filling the same set twice more evicts the LRU line.
+/// c.insert(LineAddr::new(4), false, mask);
+/// let (victim, _) = c.insert(LineAddr::new(8), false, mask);
+/// assert_eq!(victim.unwrap().line, LineAddr::new(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    name: &'static str,
+    sets: Vec<Vec<Slot>>,
+    ways: usize,
+    policy: ReplacementPolicy,
+    resident: usize,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero, or `ways > 64`.
+    pub fn new(name: &'static str, num_sets: usize, ways: usize) -> Self {
+        Self::with_policy(name, num_sets, ways, ReplacementKind::Lru)
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero, `ways > 64`, or the policy
+    /// has associativity constraints the geometry violates (tree-PLRU
+    /// needs a power-of-two way count).
+    pub fn with_policy(
+        name: &'static str,
+        num_sets: usize,
+        ways: usize,
+        kind: ReplacementKind,
+    ) -> Self {
+        assert!(num_sets > 0, "cache needs at least one set");
+        assert!(ways > 0 && ways <= 64, "ways must be in 1..=64");
+        SetAssocCache {
+            name,
+            sets: vec![vec![Slot { entry: None }; ways]; num_sets],
+            ways,
+            policy: ReplacementPolicy::new(kind, num_sets, ways),
+            resident: 0,
+        }
+    }
+
+    /// Creates a cache from a capacity in bytes (64-byte lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of `ways * 64`.
+    pub fn with_capacity(name: &'static str, bytes: u64, ways: usize) -> Self {
+        let lines = bytes / crate::addr::LINE_SIZE;
+        assert!(
+            bytes.is_multiple_of(crate::addr::LINE_SIZE * ways as u64),
+            "capacity {bytes} not divisible into {ways}-way sets"
+        );
+        Self::new(name, (lines / ways as u64) as usize, ways)
+    }
+
+    /// Creates a cache from a capacity in bytes with an explicit
+    /// replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// As [`SetAssocCache::with_policy`] and
+    /// [`SetAssocCache::with_capacity`].
+    pub fn with_capacity_policy(
+        name: &'static str,
+        bytes: u64,
+        ways: usize,
+        kind: ReplacementKind,
+    ) -> Self {
+        let lines = bytes / crate::addr::LINE_SIZE;
+        assert!(
+            bytes.is_multiple_of(crate::addr::LINE_SIZE * ways as u64),
+            "capacity {bytes} not divisible into {ways}-way sets"
+        );
+        Self::with_policy(name, (lines / ways as u64) as usize, ways, kind)
+    }
+
+    /// The replacement policy in use.
+    pub fn replacement_kind(&self) -> ReplacementKind {
+        self.policy.kind()
+    }
+
+    /// The cache's name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.resident
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.get() % self.sets.len() as u64) as usize
+    }
+
+    /// Whether `line` is resident. Does not touch LRU state.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.probe(line).is_some()
+    }
+
+    /// Looks up `line` without updating LRU state.
+    pub fn probe(&self, line: LineAddr) -> Option<&LineEntry> {
+        let set = &self.sets[self.set_index(line)];
+        set.iter()
+            .filter_map(|s| s.entry.as_ref())
+            .find(|e| e.line == line)
+    }
+
+    /// Looks up `line`, updating replacement state on hit. Returns the
+    /// entry.
+    pub fn touch(&mut self, line: LineAddr) -> Option<LineEntry> {
+        let idx = self.set_index(line);
+        for (w, slot) in self.sets[idx].iter_mut().enumerate() {
+            if let Some(e) = slot.entry {
+                if e.line == line {
+                    self.policy.on_touch(idx, w);
+                    return Some(e);
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks `line` dirty if resident; returns whether it was resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        for slot in &mut self.sets[idx] {
+            if let Some(e) = &mut slot.entry {
+                if e.line == line {
+                    e.dirty = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes `line` if resident, returning its entry. No writeback is
+    /// implied — the caller decides what to do with a dirty victim.
+    pub fn remove(&mut self, line: LineAddr) -> Option<LineEntry> {
+        let idx = self.set_index(line);
+        for slot in &mut self.sets[idx] {
+            if let Some(e) = slot.entry {
+                if e.line == line {
+                    slot.entry = None;
+                    self.resident -= 1;
+                    return Some(e);
+                }
+            }
+        }
+        None
+    }
+
+    /// Allocates `line` into a way permitted by `mask`, evicting the LRU
+    /// permitted line if the permitted ways are full.
+    ///
+    /// Returns `(victim, way)`: the evicted line (if any) and the way the
+    /// new line was placed in. If `line` is already resident (in any way),
+    /// the existing entry is refreshed instead: its LRU stamp is updated,
+    /// `dirty` is OR-ed in, and no eviction occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` selects no way below `self.ways()`.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool, mask: WayMask) -> (Option<Victim>, usize) {
+        let idx = self.set_index(line);
+
+        // Refresh if already resident (any way, even outside the mask:
+        // an in-place update does not migrate ways).
+        for (w, slot) in self.sets[idx].iter_mut().enumerate() {
+            if let Some(e) = &mut slot.entry {
+                if e.line == line {
+                    e.dirty |= dirty;
+                    self.policy.on_touch(idx, w);
+                    return (None, w);
+                }
+            }
+        }
+
+        // Prefer an invalid permitted way.
+        let ways = self.ways;
+        if let Some(w) = (0..ways)
+            .filter(|&w| mask.contains(w))
+            .find(|&w| self.sets[idx][w].entry.is_none())
+        {
+            self.sets[idx][w] = Slot {
+                entry: Some(LineEntry { line, dirty }),
+            };
+            self.policy.on_insert(idx, w);
+            self.resident += 1;
+            return (None, w);
+        }
+
+        // Evict the policy's victim among the permitted ways.
+        assert!(
+            !mask.is_empty() && (0..ways).any(|w| mask.contains(w)),
+            "{}: way mask {mask} selects no way",
+            self.name
+        );
+        let victim_way = self.policy.victim(idx, mask, ways);
+        let old = self.sets[idx][victim_way]
+            .entry
+            .expect("all permitted ways were full");
+        self.sets[idx][victim_way] = Slot {
+            entry: Some(LineEntry { line, dirty }),
+        };
+        self.policy.on_insert(idx, victim_way);
+        (
+            Some(Victim {
+                line: old.line,
+                dirty: old.dirty,
+                way: victim_way,
+            }),
+            victim_way,
+        )
+    }
+
+    /// The way `line` currently occupies, if resident.
+    pub fn way_of(&self, line: LineAddr) -> Option<usize> {
+        let set = &self.sets[self.set_index(line)];
+        set.iter()
+            .enumerate()
+            .find(|(_, s)| s.entry.is_some_and(|e| e.line == line))
+            .map(|(w, _)| w)
+    }
+
+    /// Iterates over all resident lines (set-major order).
+    pub fn iter(&self) -> impl Iterator<Item = &LineEntry> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().filter_map(|s| s.entry.as_ref()))
+    }
+
+    /// Removes every resident line, returning the dirty ones.
+    pub fn drain_dirty(&mut self) -> Vec<LineAddr> {
+        let mut dirty = Vec::new();
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if let Some(e) = slot.entry.take() {
+                    self.resident -= 1;
+                    if e.dirty {
+                        dirty.push(e.line);
+                    }
+                }
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn with_capacity_geometry() {
+        // 1 MiB 8-way: 2048 sets.
+        let c = SetAssocCache::with_capacity("mlc", 1 << 20, 8);
+        assert_eq!(c.num_sets(), 2048);
+        assert_eq!(c.capacity_lines(), 16384);
+        // 3 MiB 12-way LLC: 4096 sets.
+        let l = SetAssocCache::with_capacity("llc", 3 << 20, 12);
+        assert_eq!(l.num_sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn with_capacity_rejects_ragged() {
+        let _ = SetAssocCache::with_capacity("bad", 1000, 3);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new("t", 1, 3);
+        let m = WayMask::all(3);
+        c.insert(line(1), false, m);
+        c.insert(line(2), false, m);
+        c.insert(line(3), false, m);
+        // Touch line 1 so line 2 becomes LRU.
+        c.touch(line(1));
+        let (v, _) = c.insert(line(4), false, m);
+        assert_eq!(v.unwrap().line, line(2));
+    }
+
+    #[test]
+    fn insert_refreshes_existing_without_eviction() {
+        let mut c = SetAssocCache::new("t", 1, 2);
+        let m = WayMask::all(2);
+        c.insert(line(1), false, m);
+        c.insert(line(2), false, m);
+        let (v, _) = c.insert(line(1), true, m);
+        assert!(v.is_none());
+        assert!(c.probe(line(1)).unwrap().dirty);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn way_mask_restricts_allocation() {
+        let mut c = SetAssocCache::new("llc", 1, 4);
+        let ddio = WayMask::first(2);
+        // Four inserts through a 2-way mask keep only 2 lines.
+        for i in 0..4 {
+            c.insert(line(i), true, ddio);
+        }
+        assert_eq!(c.resident_lines(), 2);
+        assert!(c.way_of(line(2)).unwrap() < 2);
+        assert!(c.way_of(line(3)).unwrap() < 2);
+        // The other ways are still free for unmasked inserts.
+        let (v, w) = c.insert(line(10), false, WayMask::all(4));
+        assert!(v.is_none());
+        assert!(w >= 2);
+    }
+
+    #[test]
+    fn masked_insert_refresh_does_not_migrate_way() {
+        let mut c = SetAssocCache::new("llc", 1, 4);
+        c.insert(line(1), false, WayMask::range(2, 4));
+        let w0 = c.way_of(line(1)).unwrap();
+        // Re-inserting through the DDIO mask must refresh in place.
+        let (v, w) = c.insert(line(1), true, WayMask::first(2));
+        assert!(v.is_none());
+        assert_eq!(w, w0);
+        assert!(c.probe(line(1)).unwrap().dirty);
+    }
+
+    #[test]
+    fn remove_returns_dirty_state() {
+        let mut c = SetAssocCache::new("t", 2, 2);
+        c.insert(line(5), true, WayMask::all(2));
+        let e = c.remove(line(5)).unwrap();
+        assert!(e.dirty);
+        assert!(!c.contains(line(5)));
+        assert!(c.remove(line(5)).is_none());
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn mark_dirty_only_if_resident() {
+        let mut c = SetAssocCache::new("t", 2, 2);
+        assert!(!c.mark_dirty(line(9)));
+        c.insert(line(9), false, WayMask::all(2));
+        assert!(c.mark_dirty(line(9)));
+        assert!(c.probe(line(9)).unwrap().dirty);
+    }
+
+    #[test]
+    fn victims_report_their_way() {
+        let mut c = SetAssocCache::new("t", 1, 2);
+        let m = WayMask::all(2);
+        c.insert(line(1), false, m);
+        c.insert(line(2), false, m);
+        let (v, w) = c.insert(line(3), false, m);
+        let v = v.unwrap();
+        assert_eq!(v.way, w);
+        assert_eq!(v.line, line(1));
+    }
+
+    #[test]
+    fn drain_dirty_reports_only_dirty_lines() {
+        let mut c = SetAssocCache::new("t", 4, 2);
+        c.insert(line(0), true, WayMask::all(2));
+        c.insert(line(1), false, WayMask::all(2));
+        c.insert(line(2), true, WayMask::all(2));
+        let mut d = c.drain_dirty();
+        d.sort();
+        assert_eq!(d, vec![line(0), line(2)]);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn way_mask_algebra() {
+        let m = WayMask::range(2, 5);
+        assert_eq!(m.count(), 3);
+        assert!(!m.contains(1) && m.contains(2) && m.contains(4) && !m.contains(5));
+        let c = m.complement(6);
+        assert_eq!(c.count(), 3);
+        assert!(c.contains(0) && c.contains(1) && c.contains(5));
+        assert_eq!(m.union(c), WayMask::all(6));
+        assert!(WayMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no way")]
+    fn empty_mask_insert_panics_when_full() {
+        let mut c = SetAssocCache::new("t", 1, 1);
+        c.insert(line(0), false, WayMask::all(1));
+        c.insert(line(1), false, WayMask::EMPTY);
+    }
+}

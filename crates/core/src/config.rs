@@ -1,0 +1,294 @@
+//! Full-system configuration (Table I defaults plus workload wiring).
+
+use idio_cache::addr::CoreId;
+use idio_cache::config::{CacheGeometry, HierarchyConfig};
+use idio_cache::hierarchy::InvalidateScope;
+use idio_engine::time::{Duration, SimTime};
+use idio_mem::DramConfig;
+use idio_net::gen::{Arrival, TrafficPattern};
+use idio_net::packet::Dscp;
+use idio_nic::classifier::ClassifierConfig;
+use idio_nic::dma::DmaConfig;
+use idio_stack::nf::NfKind;
+use idio_stack::pmd::PmdConfig;
+use idio_stack::timing::TimingConfig;
+
+use crate::controller::IdioConfig;
+use crate::policy::SteeringPolicy;
+use crate::prefetcher::PrefetcherConfig;
+
+/// How flows are steered to queues (Sec. II-C's two Flow Director
+/// flavours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowSteering {
+    /// Externally programmed perfect-match filters: every workload's flow
+    /// is pinned to its queue up front (applications pinned to cores).
+    #[default]
+    Perfect,
+    /// Application Targeting Routing: no filters up front; initial packets
+    /// spread by RSS, and the NIC learns each flow's queue from the TX
+    /// traffic it observes.
+    Atr,
+}
+
+/// One network-function instance pinned to one core with its own NIC
+/// queue and traffic stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// The core running the NF (also its queue's ADQ pin target).
+    pub core: CoreId,
+    /// Which Table II workload.
+    pub kind: NfKind,
+    /// Arrival pattern of this instance's flow.
+    pub traffic: TrafficPattern,
+    /// Frame size in bytes.
+    pub packet_len: u16,
+    /// DSCP marking applied by the (simulated) sender.
+    pub dscp: Dscp,
+}
+
+/// The LLCAntagonist co-runner (Sec. VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AntagonistSpec {
+    /// The core running the antagonist.
+    pub core: CoreId,
+    /// Its buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Compute cycles between dependent accesses.
+    pub think_cycles: u64,
+}
+
+impl AntagonistSpec {
+    /// The paper's setting: pinned core with an LLC-thrashing buffer.
+    pub fn paper_default(core: CoreId) -> Self {
+        AntagonistSpec {
+            core,
+            buffer_bytes: 3 << 20,
+            think_cycles: 2,
+        }
+    }
+}
+
+/// Everything needed to build and run a [`crate::system::System`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Cache hierarchy (Table I; antagonist MLC override applied by the
+    /// builder).
+    pub hierarchy: HierarchyConfig,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Core timing model.
+    pub timing: TimingConfig,
+    /// Polling-mode driver parameters.
+    pub pmd: PmdConfig,
+    /// NIC ring depth per queue.
+    pub ring_size: u32,
+    /// NIC-side classifier settings.
+    pub classifier: ClassifierConfig,
+    /// PCIe/DMA settings.
+    pub dma: DmaConfig,
+    /// The placement policy under test.
+    pub policy: SteeringPolicy,
+    /// IDIO controller settings.
+    pub idio: IdioConfig,
+    /// MLC prefetcher settings.
+    pub prefetcher: PrefetcherConfig,
+    /// Scope of the self-invalidate instruction.
+    pub invalidate_scope: InvalidateScope,
+    /// NF instances (at most one per core).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Optional antagonist co-runner.
+    pub antagonist: Option<AntagonistSpec>,
+    /// Trace replays: workload index → recorded arrivals that replace the
+    /// workload's analytic traffic pattern (see `idio_net::trace`).
+    pub trace_replays: std::collections::BTreeMap<usize, Vec<Arrival>>,
+    /// Flow Director operating mode.
+    pub steering: FlowSteering,
+    /// Traffic generation horizon.
+    pub duration: SimTime,
+    /// Extra time allowed for queued packets to drain after traffic stops.
+    pub drain_grace: Duration,
+    /// Statistics sampling interval (10 µs in the paper's figures).
+    pub sample_interval: Duration,
+    /// PRNG seed (antagonist access pattern).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The Fig. 9 baseline scenario: `n` TouchDrop instances on `n` cores
+    /// (plus room for an antagonist if added later), Table I hierarchy with
+    /// the 3 MiB LLC, 1024-deep rings, 1514-byte packets.
+    pub fn touchdrop_scenario(n: usize, traffic: TrafficPattern) -> Self {
+        let workloads = (0..n as u16)
+            .map(|i| WorkloadSpec {
+                core: CoreId::new(i),
+                kind: NfKind::TouchDrop,
+                traffic,
+                packet_len: 1514,
+                dscp: Dscp::BEST_EFFORT,
+            })
+            .collect();
+        SystemConfig {
+            hierarchy: HierarchyConfig::paper_default(n.max(1)),
+            dram: DramConfig::default(),
+            timing: TimingConfig::default(),
+            pmd: PmdConfig::default(),
+            ring_size: 1024,
+            classifier: ClassifierConfig::paper_default(),
+            dma: DmaConfig::default(),
+            policy: SteeringPolicy::Ddio,
+            idio: IdioConfig::paper_default(),
+            prefetcher: PrefetcherConfig::default(),
+            invalidate_scope: InvalidateScope::IncludeLlc,
+            workloads,
+            antagonist: None,
+            trace_replays: std::collections::BTreeMap::new(),
+            steering: FlowSteering::default(),
+            duration: SimTime::from_ms(10),
+            drain_grace: Duration::from_ms(5),
+            sample_interval: Duration::from_us(10),
+            seed: 0xD10,
+        }
+    }
+
+    /// Returns the config with a different policy.
+    pub fn with_policy(mut self, policy: SteeringPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Adds the antagonist on the next free core, shrinking that core's MLC
+    /// to 256 KiB per Sec. VI.
+    pub fn with_antagonist(mut self) -> Self {
+        let core = CoreId::new(self.num_cores() as u16);
+        self.antagonist = Some(AntagonistSpec::paper_default(core));
+        self
+    }
+
+    /// Number of cores the configuration requires.
+    pub fn num_cores(&self) -> usize {
+        let wl_max = self
+            .workloads
+            .iter()
+            .map(|w| w.core.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let ant = self.antagonist.map(|a| a.core.index() + 1).unwrap_or(0);
+        wl_max.max(ant).max(1)
+    }
+
+    /// Finalises the hierarchy config: core count and antagonist MLC
+    /// override.
+    pub(crate) fn effective_hierarchy(&self) -> HierarchyConfig {
+        let mut h = self.hierarchy.clone();
+        let n = self.num_cores();
+        if h.num_cores < n {
+            h.num_cores = n;
+        }
+        h.mlc_overrides.resize(h.num_cores, None);
+        if let Some(a) = self.antagonist {
+            // Sec. VI: the antagonist core's MLC is set to 256 KiB so it
+            // stays sensitive to LLC contention.
+            h.mlc_overrides[a.core.index()] =
+                Some(CacheGeometry::new(256 << 10, h.mlc.ways, h.mlc.latency_cycles));
+        }
+        h
+    }
+
+    /// Validates cross-cutting constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when cores are double-booked, a workload core
+    /// collides with the antagonist, or a nested config is invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workloads.is_empty() && self.antagonist.is_none() {
+            return Err("no workload configured".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for w in &self.workloads {
+            if !seen.insert(w.core) {
+                return Err(format!("core {} has two workloads", w.core));
+            }
+        }
+        if let Some(a) = self.antagonist {
+            if seen.contains(&a.core) {
+                return Err(format!("antagonist collides with an NF on {}", a.core));
+            }
+        }
+        if self.ring_size == 0 {
+            return Err("ring size must be positive".into());
+        }
+        for (&idx, arrivals) in &self.trace_replays {
+            if idx >= self.workloads.len() {
+                return Err(format!("trace replay for nonexistent workload {idx}"));
+            }
+            if arrivals.windows(2).any(|w| w[0].at > w[1].at) {
+                return Err(format!("trace replay {idx} is not time-ordered"));
+            }
+        }
+        self.effective_hierarchy().validate()?;
+        self.dram.validate()?;
+        self.dma.validate()?;
+        self.pmd.validate()?;
+        if self.sample_interval == Duration::ZERO {
+            return Err("sample interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idio_net::gen::{BurstSpec, TrafficPattern};
+
+    fn bursty() -> TrafficPattern {
+        TrafficPattern::Bursty(BurstSpec::for_ring(
+            1024,
+            1514,
+            100.0,
+            Duration::from_ms(10),
+        ))
+    }
+
+    #[test]
+    fn touchdrop_scenario_matches_paper() {
+        let cfg = SystemConfig::touchdrop_scenario(2, bursty());
+        assert_eq!(cfg.workloads.len(), 2);
+        assert_eq!(cfg.ring_size, 1024);
+        assert_eq!(cfg.hierarchy.llc.size_bytes, 3 << 20);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn antagonist_gets_shrunk_mlc() {
+        let cfg = SystemConfig::touchdrop_scenario(2, bursty()).with_antagonist();
+        assert_eq!(cfg.num_cores(), 3);
+        let h = cfg.effective_hierarchy();
+        assert_eq!(h.num_cores, 3);
+        assert_eq!(h.mlc_for_core(2).size_bytes, 256 << 10);
+        assert_eq!(h.mlc_for_core(0).size_bytes, 1 << 20);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn double_booked_core_rejected() {
+        let mut cfg = SystemConfig::touchdrop_scenario(2, bursty());
+        cfg.workloads[1].core = CoreId::new(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn antagonist_collision_rejected() {
+        let mut cfg = SystemConfig::touchdrop_scenario(2, bursty()).with_antagonist();
+        cfg.antagonist = Some(AntagonistSpec::paper_default(CoreId::new(1)));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn policy_builder() {
+        let cfg = SystemConfig::touchdrop_scenario(1, bursty()).with_policy(SteeringPolicy::Idio);
+        assert_eq!(cfg.policy, SteeringPolicy::Idio);
+    }
+}

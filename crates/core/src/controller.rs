@@ -1,0 +1,337 @@
+//! The on-chip IDIO controller (Alg. 1).
+//!
+//! The controller sits next to the PCIe root complex. Its **data plane**
+//! steers every inbound DMA write using the classifier metadata carried in
+//! the TLP reserved bits: headers are hinted toward the destination core's
+//! MLC; class-1 payloads go straight to DRAM; class-0 payloads follow the
+//! per-core *status* register. Its **control plane** measures per-core MLC
+//! writeback pressure every 1 µs against a long-run average (8192 samples)
+//! and drives the Fig. 8 FSM.
+
+use idio_cache::addr::CoreId;
+use idio_engine::time::Duration;
+use idio_nic::tlp::{AppClass, TlpMeta};
+
+use crate::fsm::{MlcStatus, PrefetchFsm};
+use crate::policy::{PrefetchMode, SteeringPolicy};
+
+/// Controller configuration (Sec. V-B and VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdioConfig {
+    /// Control-plane sampling interval (1 µs).
+    pub control_interval: Duration,
+    /// Number of control intervals averaged into `mlcWBAvg` (8192).
+    pub avg_window: u32,
+    /// MLC-pressure threshold `mlcTHR`, in writebacks per control interval.
+    /// The paper's 50 MTPS over 1 µs is 50 writebacks/interval.
+    pub mlc_thr: u32,
+}
+
+impl IdioConfig {
+    /// The paper's experimentally chosen values.
+    pub fn paper_default() -> Self {
+        IdioConfig {
+            control_interval: Duration::from_us(1),
+            avg_window: 8192,
+            mlc_thr: 50,
+        }
+    }
+
+    /// Sets `mlcTHR` from a rate in MTPS (million transactions/second).
+    pub fn with_mlc_thr_mtps(mut self, mtps: f64) -> Self {
+        let per_interval = mtps * 1e6 * self.control_interval.as_secs_f64();
+        self.mlc_thr = per_interval.round() as u32;
+        self
+    }
+}
+
+impl Default for IdioConfig {
+    fn default() -> Self {
+        IdioConfig::paper_default()
+    }
+}
+
+/// Placement decision for one inbound DMA line write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Write-allocate/update in the LLC DDIO ways (classic DDIO).
+    Llc,
+    /// Land in the LLC and hint the destination core's MLC prefetcher.
+    Mlc(CoreId),
+    /// Bypass the hierarchy: direct DRAM write.
+    Dram,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreTelemetry {
+    /// `mlcWB` counter snapshot at the last control tick.
+    last_wb: u64,
+    /// Writebacks observed in the most recent interval.
+    wb_1us: u32,
+    /// Accumulator across the averaging window (`mlcWBAcc`).
+    wb_acc: u64,
+    /// Long-run average per interval (`mlcWBAvg`).
+    wb_avg: u32,
+    /// Intervals accumulated so far in the current window.
+    intervals: u32,
+}
+
+/// The IDIO controller state.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::CoreId;
+/// use idio_core::controller::{IdioConfig, IdioController, Placement};
+/// use idio_core::policy::SteeringPolicy;
+/// use idio_nic::tlp::{AppClass, TlpMeta};
+///
+/// let mut ctrl = IdioController::new(IdioConfig::paper_default(), 2);
+/// let header = TlpMeta {
+///     dest_core: CoreId::new(1),
+///     app_class: AppClass::Class0,
+///     is_header: true,
+///     is_burst: true,
+/// };
+/// // Headers always steer toward the destination MLC under IDIO.
+/// assert_eq!(
+///     ctrl.steer(SteeringPolicy::Idio, header),
+///     Placement::Mlc(CoreId::new(1))
+/// );
+/// // ...and the burst flag armed payload steering too.
+/// let payload = TlpMeta { is_header: false, is_burst: false, ..header };
+/// assert_eq!(
+///     ctrl.steer(SteeringPolicy::Idio, payload),
+///     Placement::Mlc(CoreId::new(1))
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdioController {
+    cfg: IdioConfig,
+    fsm: Vec<PrefetchFsm>,
+    telemetry: Vec<CoreTelemetry>,
+}
+
+impl IdioController {
+    /// Creates a controller for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or the averaging window is zero.
+    pub fn new(cfg: IdioConfig, num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        assert!(cfg.avg_window > 0, "averaging window must be positive");
+        IdioController {
+            cfg,
+            fsm: vec![PrefetchFsm::new(); num_cores],
+            telemetry: vec![CoreTelemetry::default(); num_cores],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IdioConfig {
+        &self.cfg
+    }
+
+    /// Current FSM status for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn status(&self, core: CoreId) -> MlcStatus {
+        self.fsm[core.index()].status()
+    }
+
+    /// Current long-run MLC writeback average for `core` (per interval).
+    pub fn mlc_wb_avg(&self, core: CoreId) -> u32 {
+        self.telemetry[core.index()].wb_avg
+    }
+
+    /// **Data plane** (Alg. 1 lines 1–11): steering decision for one DMA
+    /// write, given the active policy.
+    pub fn steer(&mut self, policy: SteeringPolicy, meta: TlpMeta) -> Placement {
+        let mode = policy.prefetch_mode();
+        if mode == PrefetchMode::Off {
+            // DDIO / Invalidate configs: everything to the LLC. (Class-1
+            // direct DRAM requires the IDIO data path too.)
+            return Placement::Llc;
+        }
+
+        let core = meta.dest_core;
+        if meta.is_burst {
+            self.fsm[core.index()].reset_on_burst();
+        }
+        if meta.is_header {
+            return Placement::Mlc(core);
+        }
+        if meta.app_class == AppClass::Class1 && policy.direct_dram() {
+            return Placement::Dram;
+        }
+        let steer_mlc = match mode {
+            PrefetchMode::Always => true,
+            PrefetchMode::Dynamic => self.fsm[core.index()].status() == MlcStatus::Mlc,
+            PrefetchMode::Off => unreachable!("handled above"),
+        };
+        if steer_mlc {
+            Placement::Mlc(core)
+        } else {
+            Placement::Llc
+        }
+    }
+
+    /// **Control plane**, 1 µs tick (Alg. 1 lines 14–19): feed the current
+    /// per-core cumulative MLC-writeback counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlc_wb_counters` has the wrong length.
+    pub fn control_tick(&mut self, mlc_wb_counters: &[u64]) {
+        assert_eq!(mlc_wb_counters.len(), self.telemetry.len());
+        for (i, &wb) in mlc_wb_counters.iter().enumerate() {
+            let t = &mut self.telemetry[i];
+            let delta = wb.saturating_sub(t.last_wb);
+            t.last_wb = wb;
+            t.wb_1us = delta.min(u64::from(u32::MAX)) as u32;
+            let high = t.wb_1us > t.wb_avg.saturating_add(self.cfg.mlc_thr);
+            self.fsm[i].update(high);
+            t.wb_acc += u64::from(t.wb_1us);
+            t.intervals += 1;
+            if t.intervals >= self.cfg.avg_window {
+                // Alg. 1 lines 20–24: refresh the long-run average.
+                t.wb_avg = (t.wb_acc / u64::from(self.cfg.avg_window))
+                    .min(u64::from(u32::MAX)) as u32;
+                t.wb_acc = 0;
+                t.intervals = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId::new(0);
+
+    fn meta(header: bool, burst: bool, class: AppClass) -> TlpMeta {
+        TlpMeta {
+            dest_core: C0,
+            app_class: class,
+            is_header: header,
+            is_burst: burst,
+        }
+    }
+
+    #[test]
+    fn thr_conversion_matches_paper() {
+        let cfg = IdioConfig::paper_default().with_mlc_thr_mtps(50.0);
+        assert_eq!(cfg.mlc_thr, 50);
+        let cfg = IdioConfig::paper_default().with_mlc_thr_mtps(10.0);
+        assert_eq!(cfg.mlc_thr, 10);
+    }
+
+    #[test]
+    fn ddio_policy_never_leaves_llc() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 1);
+        for m in [
+            meta(true, true, AppClass::Class0),
+            meta(false, false, AppClass::Class1),
+        ] {
+            assert_eq!(c.steer(SteeringPolicy::Ddio, m), Placement::Llc);
+            assert_eq!(c.steer(SteeringPolicy::InvalidateOnly, m), Placement::Llc);
+        }
+    }
+
+    #[test]
+    fn class1_payload_goes_to_dram_headers_stay_onchip() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 1);
+        let payload = meta(false, false, AppClass::Class1);
+        let header = meta(true, false, AppClass::Class1);
+        assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Dram);
+        assert_eq!(c.steer(SteeringPolicy::Idio, header), Placement::Mlc(C0));
+        // PrefetchOnly lacks mechanism 3: class-1 payload stays in LLC.
+        assert_eq!(c.steer(SteeringPolicy::PrefetchOnly, payload), Placement::Llc);
+    }
+
+    #[test]
+    fn dynamic_payload_follows_fsm() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 1);
+        let payload = meta(false, false, AppClass::Class0);
+        // Default FSM state: disabled → LLC.
+        assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Llc);
+        // Burst arms it.
+        let burst_payload = meta(false, true, AppClass::Class0);
+        assert_eq!(c.steer(SteeringPolicy::Idio, burst_payload), Placement::Mlc(C0));
+        assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Mlc(C0));
+    }
+
+    #[test]
+    fn static_policy_ignores_fsm() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 1);
+        let payload = meta(false, false, AppClass::Class0);
+        assert_eq!(c.steer(SteeringPolicy::StaticIdio, payload), Placement::Mlc(C0));
+    }
+
+    #[test]
+    fn sustained_pressure_disables_dynamic_steering() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 1);
+        c.steer(SteeringPolicy::Idio, meta(false, true, AppClass::Class0));
+        assert_eq!(c.status(C0), MlcStatus::Mlc);
+        // Three intervals with wb rate far above avg+thr (avg starts 0).
+        let mut wb = 0u64;
+        for _ in 0..3 {
+            wb += 200; // 200 WB/us >> 0 + 50
+            c.control_tick(&[wb]);
+        }
+        assert_eq!(c.status(C0), MlcStatus::Llc);
+        let payload = meta(false, false, AppClass::Class0);
+        assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Llc);
+    }
+
+    #[test]
+    fn quiet_intervals_keep_steering_enabled() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 1);
+        c.steer(SteeringPolicy::Idio, meta(false, true, AppClass::Class0));
+        let mut wb = 0u64;
+        for _ in 0..100 {
+            wb += 30; // below thr
+            c.control_tick(&[wb]);
+        }
+        assert_eq!(c.status(C0), MlcStatus::Mlc);
+    }
+
+    #[test]
+    fn average_window_updates() {
+        let cfg = IdioConfig {
+            control_interval: Duration::from_us(1),
+            avg_window: 4,
+            mlc_thr: 50,
+        };
+        let mut c = IdioController::new(cfg, 1);
+        let mut wb = 0u64;
+        for _ in 0..4 {
+            wb += 100;
+            c.control_tick(&[wb]);
+        }
+        assert_eq!(c.mlc_wb_avg(C0), 100);
+        // With avg raised to 100, 140 WB/us is no longer "high".
+        c.steer(SteeringPolicy::Idio, meta(false, true, AppClass::Class0));
+        wb += 140;
+        c.control_tick(&[wb]);
+        assert_eq!(c.status(C0), MlcStatus::Mlc);
+    }
+
+    #[test]
+    fn per_core_isolation() {
+        let mut c = IdioController::new(IdioConfig::paper_default(), 2);
+        let m1 = TlpMeta {
+            dest_core: CoreId::new(1),
+            app_class: AppClass::Class0,
+            is_header: false,
+            is_burst: true,
+        };
+        c.steer(SteeringPolicy::Idio, m1);
+        assert_eq!(c.status(CoreId::new(1)), MlcStatus::Mlc);
+        assert_eq!(c.status(C0), MlcStatus::Llc);
+    }
+}

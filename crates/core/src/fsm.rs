@@ -1,0 +1,147 @@
+//! The per-core prefetch-gating FSM (Fig. 8).
+//!
+//! A 2-bit saturating counter decides whether inbound payload DMA for a
+//! core is steered to its MLC. By default the counter sits at `0b11`
+//! (prefetching disabled, *status = LLC*). A burst-arrival notification
+//! resets it to `0b00` (prefetching enabled, *status = MLC*). Every control
+//! interval the counter is incremented under high MLC-writeback pressure
+//! and decremented otherwise, saturating at both ends; once it reaches
+//! `0b11` it stays there until the next burst (the disabled state is the
+//! default, so only a new burst re-enables prefetching).
+
+/// Destination the FSM selects for payload DMA (the 1-bit *status*
+/// register of Alg. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MlcStatus {
+    /// status = 0: leave payload in the LLC.
+    Llc,
+    /// status = 1: steer payload toward the core's MLC.
+    Mlc,
+}
+
+/// The 2-bit saturating FSM.
+///
+/// # Examples
+///
+/// ```
+/// use idio_core::fsm::{MlcStatus, PrefetchFsm};
+///
+/// let mut fsm = PrefetchFsm::new();
+/// assert_eq!(fsm.status(), MlcStatus::Llc); // default: disabled
+/// fsm.reset_on_burst();
+/// assert_eq!(fsm.status(), MlcStatus::Mlc);
+/// // Three consecutive high-pressure intervals disable it again.
+/// fsm.update(true);
+/// fsm.update(true);
+/// fsm.update(true);
+/// assert_eq!(fsm.status(), MlcStatus::Llc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchFsm {
+    state: u8,
+}
+
+impl PrefetchFsm {
+    /// The disabled (default) state, `0b11`.
+    pub const DISABLED: u8 = 0b11;
+
+    /// Creates the FSM in the disabled state.
+    pub fn new() -> Self {
+        PrefetchFsm {
+            state: Self::DISABLED,
+        }
+    }
+
+    /// Raw counter value (`0b00..=0b11`).
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// The *status* bit derived from the counter.
+    pub fn status(&self) -> MlcStatus {
+        if self.state == Self::DISABLED {
+            MlcStatus::Llc
+        } else {
+            MlcStatus::Mlc
+        }
+    }
+
+    /// Burst arrival: reset to `0b00` (Alg. 1 line 3).
+    pub fn reset_on_burst(&mut self) {
+        self.state = 0;
+    }
+
+    /// One control-interval update with the measured MLC pressure.
+    ///
+    /// High pressure increments toward `0b11`; low pressure decrements
+    /// toward `0b00`. The `0b11` state is absorbing — only
+    /// [`PrefetchFsm::reset_on_burst`] leaves it.
+    pub fn update(&mut self, high_pressure: bool) {
+        if self.state == Self::DISABLED {
+            return;
+        }
+        if high_pressure {
+            self.state += 1;
+        } else {
+            self.state = self.state.saturating_sub(1);
+        }
+    }
+}
+
+impl Default for PrefetchFsm {
+    fn default() -> Self {
+        PrefetchFsm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert_eq!(PrefetchFsm::new().status(), MlcStatus::Llc);
+        assert_eq!(PrefetchFsm::new().state(), 0b11);
+    }
+
+    #[test]
+    fn burst_enables() {
+        let mut f = PrefetchFsm::new();
+        f.reset_on_burst();
+        assert_eq!(f.state(), 0);
+        assert_eq!(f.status(), MlcStatus::Mlc);
+    }
+
+    #[test]
+    fn pressure_hysteresis() {
+        let mut f = PrefetchFsm::new();
+        f.reset_on_burst();
+        f.update(true);
+        assert_eq!(f.status(), MlcStatus::Mlc, "one high interval tolerated");
+        f.update(false);
+        assert_eq!(f.state(), 0, "pressure relief decrements");
+        f.update(true);
+        f.update(true);
+        f.update(true);
+        assert_eq!(f.status(), MlcStatus::Llc);
+    }
+
+    #[test]
+    fn disabled_is_absorbing_without_burst() {
+        let mut f = PrefetchFsm::new();
+        f.update(false);
+        f.update(false);
+        assert_eq!(f.status(), MlcStatus::Llc, "low pressure alone never re-enables");
+        f.reset_on_burst();
+        assert_eq!(f.status(), MlcStatus::Mlc);
+    }
+
+    #[test]
+    fn saturates_at_zero() {
+        let mut f = PrefetchFsm::new();
+        f.reset_on_burst();
+        f.update(false);
+        f.update(false);
+        assert_eq!(f.state(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Physical address-map layout for the simulated system.
+//!
+//! A simple bump allocator hands out page-aligned, non-overlapping regions
+//! for each queue's descriptor array, DMA buffer pool, and mbuf metadata
+//! array, plus the antagonist buffer. Regions are deliberately spread out
+//! so distinct structures never share a cache line.
+
+use idio_cache::addr::{Addr, PAGE_SIZE};
+
+/// One workload's memory regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueRegions {
+    /// Descriptor array base (128 B per slot).
+    pub desc_base: Addr,
+    /// DMA buffer pool base (2 KiB per slot).
+    pub buf_base: Addr,
+    /// mbuf metadata array base (128 B per slot).
+    pub meta_base: Addr,
+    /// Application-space copy arena (2 KiB per slot; copy-mode stacks).
+    pub app_base: Addr,
+    /// TX descriptor array base (128 B per slot).
+    pub tx_desc_base: Addr,
+    /// Ring size the regions were sized for.
+    pub ring_size: u32,
+}
+
+impl QueueRegions {
+    /// mbuf metadata address of `slot`.
+    pub fn meta_addr(&self, slot: u32) -> Addr {
+        debug_assert!(slot < self.ring_size);
+        self.meta_base + u64::from(slot) * idio_stack::nf::MBUF_META_BYTES
+    }
+
+    /// Application copy-buffer address of `slot`.
+    pub fn app_addr(&self, slot: u32) -> Addr {
+        debug_assert!(slot < self.ring_size);
+        self.app_base + u64::from(slot) * idio_nic::ring::DEFAULT_BUF_BYTES
+    }
+
+    /// Byte range of the DMA buffer pool, for occupancy classification.
+    pub fn buf_range(&self) -> (Addr, Addr) {
+        (
+            self.buf_base,
+            self.buf_base + u64::from(self.ring_size) * idio_nic::ring::DEFAULT_BUF_BYTES,
+        )
+    }
+}
+
+/// The bump allocator.
+///
+/// # Examples
+///
+/// ```
+/// use idio_core::layout::AddressMap;
+///
+/// let mut map = AddressMap::new();
+/// let q0 = map.alloc_queue(1024);
+/// let q1 = map.alloc_queue(1024);
+/// assert!(q1.desc_base > q0.buf_base, "regions never overlap");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    cursor: u64,
+}
+
+/// Base of the allocatable region (above the simulated kernel image).
+const BASE: u64 = 0x1000_0000;
+
+impl AddressMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AddressMap { cursor: BASE }
+    }
+
+    /// Allocates a page-aligned region of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn alloc(&mut self, bytes: u64) -> Addr {
+        assert!(bytes > 0, "empty allocation");
+        let base = self.cursor;
+        let span = bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.cursor += span;
+        Addr::new(base)
+    }
+
+    /// Allocates the three regions of one `ring_size`-slot queue.
+    pub fn alloc_queue(&mut self, ring_size: u32) -> QueueRegions {
+        let n = u64::from(ring_size);
+        QueueRegions {
+            desc_base: self.alloc(n * idio_nic::ring::DESC_BYTES),
+            buf_base: self.alloc(n * idio_nic::ring::DEFAULT_BUF_BYTES),
+            meta_base: self.alloc(n * idio_stack::nf::MBUF_META_BYTES),
+            app_base: self.alloc(n * idio_nic::ring::DEFAULT_BUF_BYTES),
+            tx_desc_base: self.alloc(n * idio_nic::tx::TX_DESC_BYTES),
+            ring_size,
+        }
+    }
+
+    /// Bytes allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.cursor - BASE
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut m = AddressMap::new();
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert_eq!(a.get() % PAGE_SIZE, 0);
+        assert_eq!(b.get() % PAGE_SIZE, 0);
+        assert!(b.get() >= a.get() + PAGE_SIZE);
+    }
+
+    #[test]
+    fn queue_regions_sized_correctly() {
+        let mut m = AddressMap::new();
+        let q = m.alloc_queue(1024);
+        // 1024 slots: 128 KiB RX descs + 2 MiB buffers + 128 KiB meta +
+        // a 2 MiB application copy arena + 128 KiB TX descs.
+        assert_eq!(q.buf_base.get() - q.desc_base.get(), 128 << 10);
+        assert_eq!(q.meta_base.get() - q.buf_base.get(), 2 << 20);
+        assert_eq!(q.app_base.get() - q.meta_base.get(), 128 << 10);
+        assert_eq!(q.tx_desc_base.get() - q.app_base.get(), 2 << 20);
+        assert_eq!(
+            m.allocated(),
+            (128 << 10) + (2 << 20) + (128 << 10) + (2 << 20) + (128 << 10)
+        );
+        let (lo, hi) = q.buf_range();
+        assert_eq!(hi.get() - lo.get(), 2 << 20);
+        assert_eq!(q.app_addr(1).get() - q.app_addr(0).get(), 2048);
+    }
+
+    #[test]
+    fn meta_addr_strides_two_lines() {
+        let mut m = AddressMap::new();
+        let q = m.alloc_queue(8);
+        assert_eq!(q.meta_addr(1).get() - q.meta_addr(0).get(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty allocation")]
+    fn zero_alloc_rejected() {
+        AddressMap::new().alloc(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The steering-policy matrix used in the evaluation (Fig. 9).
+//!
+//! The paper compares five inbound-data-placement configurations:
+//! baseline **DDIO**, **Invalidate** (self-invalidating buffers only),
+//! **Prefetch** (network-driven MLC prefetching only), **Static** (both,
+//! with MLC steering hard-wired on), and full dynamic **IDIO** (both, with
+//! the Fig. 8 FSM gating MLC steering).
+
+use std::fmt;
+
+/// How MLC steering of payload lines is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchMode {
+    /// Never steer payload to the MLC.
+    Off,
+    /// Always steer class-0 payload to the MLC (the *Static* config: the
+    /// status register is hard-wired to MLC).
+    Always,
+    /// Gate steering with the per-core FSM (full IDIO).
+    Dynamic,
+}
+
+/// A named placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteeringPolicy {
+    /// Baseline DDIO: everything write-allocates in the LLC DDIO ways.
+    Ddio,
+    /// DDIO plus self-invalidating I/O buffers (mechanism 1 only).
+    InvalidateOnly,
+    /// DDIO plus network-driven MLC prefetching (mechanism 2 only,
+    /// dynamically gated).
+    PrefetchOnly,
+    /// Mechanisms 1+2+3 with MLC steering always on for class 0.
+    StaticIdio,
+    /// Full IDIO: mechanisms 1+2+3 with the dynamic FSM.
+    Idio,
+    /// The IAT-style prior-work baseline (Yuan et al., ISCA'21): classic
+    /// DDIO placement, but the number of DDIO ways is re-tuned at runtime
+    /// from LLC-writeback telemetry. No invalidation, no MLC steering.
+    IatDynamic,
+}
+
+impl SteeringPolicy {
+    /// The paper's Fig. 9 policies, in presentation order.
+    pub const ALL: [SteeringPolicy; 5] = [
+        SteeringPolicy::Ddio,
+        SteeringPolicy::InvalidateOnly,
+        SteeringPolicy::PrefetchOnly,
+        SteeringPolicy::StaticIdio,
+        SteeringPolicy::Idio,
+    ];
+
+    /// Every implemented policy, including the prior-work IAT baseline.
+    pub const EXTENDED: [SteeringPolicy; 6] = [
+        SteeringPolicy::Ddio,
+        SteeringPolicy::IatDynamic,
+        SteeringPolicy::InvalidateOnly,
+        SteeringPolicy::PrefetchOnly,
+        SteeringPolicy::StaticIdio,
+        SteeringPolicy::Idio,
+    ];
+
+    /// Whether the software stack self-invalidates consumed buffers.
+    pub fn invalidates(self) -> bool {
+        matches!(
+            self,
+            SteeringPolicy::InvalidateOnly | SteeringPolicy::StaticIdio | SteeringPolicy::Idio
+        )
+    }
+
+    /// Whether the LLC's DDIO way count is re-tuned at runtime.
+    pub fn tunes_ddio_ways(self) -> bool {
+        matches!(self, SteeringPolicy::IatDynamic)
+    }
+
+    /// How payload MLC steering is decided.
+    pub fn prefetch_mode(self) -> PrefetchMode {
+        match self {
+            SteeringPolicy::Ddio
+            | SteeringPolicy::InvalidateOnly
+            | SteeringPolicy::IatDynamic => PrefetchMode::Off,
+            SteeringPolicy::PrefetchOnly | SteeringPolicy::Idio => PrefetchMode::Dynamic,
+            SteeringPolicy::StaticIdio => PrefetchMode::Always,
+        }
+    }
+
+    /// Whether headers are steered to the destination MLC (any
+    /// prefetch-capable policy).
+    pub fn prefetches_headers(self) -> bool {
+        self.prefetch_mode() != PrefetchMode::Off
+    }
+
+    /// Whether class-1 payloads bypass the cache hierarchy (selective
+    /// direct DRAM access, mechanism 3).
+    pub fn direct_dram(self) -> bool {
+        matches!(self, SteeringPolicy::StaticIdio | SteeringPolicy::Idio)
+    }
+
+    /// Short display label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SteeringPolicy::Ddio => "DDIO",
+            SteeringPolicy::InvalidateOnly => "Invalidate",
+            SteeringPolicy::PrefetchOnly => "Prefetch",
+            SteeringPolicy::StaticIdio => "Static",
+            SteeringPolicy::Idio => "IDIO",
+            SteeringPolicy::IatDynamic => "IAT",
+        }
+    }
+}
+
+impl fmt::Display for SteeringPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_fig9() {
+        use SteeringPolicy::*;
+        assert!(!Ddio.invalidates() && Ddio.prefetch_mode() == PrefetchMode::Off);
+        assert!(InvalidateOnly.invalidates());
+        assert_eq!(InvalidateOnly.prefetch_mode(), PrefetchMode::Off);
+        assert!(!PrefetchOnly.invalidates());
+        assert_eq!(PrefetchOnly.prefetch_mode(), PrefetchMode::Dynamic);
+        assert!(StaticIdio.invalidates());
+        assert_eq!(StaticIdio.prefetch_mode(), PrefetchMode::Always);
+        assert!(Idio.invalidates());
+        assert_eq!(Idio.prefetch_mode(), PrefetchMode::Dynamic);
+    }
+
+    #[test]
+    fn direct_dram_only_with_full_mechanisms() {
+        assert!(!SteeringPolicy::Ddio.direct_dram());
+        assert!(!SteeringPolicy::PrefetchOnly.direct_dram());
+        assert!(SteeringPolicy::StaticIdio.direct_dram());
+        assert!(SteeringPolicy::Idio.direct_dram());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<_> = SteeringPolicy::ALL.iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(format!("{}", SteeringPolicy::Idio), "IDIO");
+    }
+}

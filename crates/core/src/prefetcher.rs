@@ -1,0 +1,203 @@
+//! The queued MLC prefetcher (Sec. V-C).
+//!
+//! Each MLC controller implements a simple queued prefetcher: hints from
+//! the IDIO controller are enqueued (default depth 32) and drained at a
+//! bounded issue rate toward the LLC. A hint that arrives when the queue is
+//! full is dropped — which is exactly what throttles MLC steering at
+//! 100 Gbps burst rates, where the wire outruns the prefetcher.
+
+use std::collections::VecDeque;
+
+use idio_cache::addr::LineAddr;
+use idio_engine::stats::Counter;
+use idio_engine::time::Duration;
+
+/// How prefetch hints are admitted to the queue.
+///
+/// The paper's design is the simple drop-on-full queue
+/// ([`PrefetchPacing::Queued`]); Sec. VII suggests as future work "a more
+/// sophisticated prefetcher that follows the CPU pointer in the ring
+/// buffer to regulate the MLC prefetching rate" — implemented here as
+/// [`PrefetchPacing::CpuPaced`]: hints for packets more than
+/// `window_packets` ahead of the consumption pointer are parked and
+/// released as the CPU catches up, so nothing is dropped and the MLC is
+/// never flooded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchPacing {
+    /// Fixed-depth queue; overflowing hints are dropped (the paper's
+    /// design).
+    #[default]
+    Queued,
+    /// Ring-pointer-following regulation (the paper's future-work
+    /// suggestion).
+    CpuPaced {
+        /// Maximum packets the prefetcher may run ahead of the CPU
+        /// pointer.
+        window_packets: u32,
+    },
+}
+
+/// Prefetcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetcherConfig {
+    /// Queue depth (default 32, Sec. V-C).
+    pub queue_depth: usize,
+    /// Minimum gap between issued prefetches (LLC→MLC move pipeline rate).
+    pub issue_gap: Duration,
+    /// Hint admission policy.
+    pub pacing: PrefetchPacing,
+}
+
+impl Default for PrefetcherConfig {
+    fn default() -> Self {
+        PrefetcherConfig {
+            queue_depth: 32,
+            issue_gap: Duration::from_ns(5),
+            pacing: PrefetchPacing::Queued,
+        }
+    }
+}
+
+/// Per-core prefetch-queue counters.
+#[derive(Debug, Clone, Default)]
+pub struct PrefetcherStats {
+    /// Hints accepted into the queue.
+    pub accepted: Counter,
+    /// Hints dropped because the queue was full.
+    pub dropped: Counter,
+    /// Prefetches issued to the hierarchy.
+    pub issued: Counter,
+}
+
+/// One core's MLC prefetch queue.
+///
+/// The event-driven pacing (one issue per [`PrefetcherConfig::issue_gap`])
+/// is driven by the system simulator; this structure owns the queue state.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::LineAddr;
+/// use idio_core::prefetcher::{MlcPrefetcher, PrefetcherConfig};
+///
+/// let mut p = MlcPrefetcher::new(PrefetcherConfig::default());
+/// assert!(p.push(LineAddr::new(1)));
+/// assert_eq!(p.pop(), Some(LineAddr::new(1)));
+/// assert_eq!(p.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlcPrefetcher {
+    cfg: PrefetcherConfig,
+    queue: VecDeque<LineAddr>,
+    stats: PrefetcherStats,
+    /// Whether an issue event is currently scheduled (managed by the
+    /// system's event loop to avoid double-scheduling).
+    pub issue_pending: bool,
+}
+
+impl MlcPrefetcher {
+    /// Creates a prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue depth is zero.
+    pub fn new(cfg: PrefetcherConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "prefetch queue must have capacity");
+        MlcPrefetcher {
+            cfg,
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            stats: PrefetcherStats::default(),
+            issue_pending: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PrefetcherConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &PrefetcherStats {
+        &self.stats
+    }
+
+    /// Pending hints.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a hint; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, line: LineAddr) -> bool {
+        if self.queue.len() >= self.cfg.queue_depth {
+            self.stats.dropped.inc();
+            return false;
+        }
+        self.queue.push_back(line);
+        self.stats.accepted.inc();
+        true
+    }
+
+    /// Dequeues the next hint to issue.
+    pub fn pop(&mut self) -> Option<LineAddr> {
+        let line = self.queue.pop_front();
+        if line.is_some() {
+            self.stats.issued.inc();
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn queue_overflow_drops_hints() {
+        let mut p = MlcPrefetcher::new(PrefetcherConfig {
+            queue_depth: 2,
+            issue_gap: Duration::from_ns(10),
+            pacing: PrefetchPacing::Queued,
+        });
+        assert!(p.push(line(1)));
+        assert!(p.push(line(2)));
+        assert!(!p.push(line(3)));
+        assert_eq!(p.stats().dropped.get(), 1);
+        assert_eq!(p.stats().accepted.get(), 2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn fifo_ordering() {
+        let mut p = MlcPrefetcher::new(PrefetcherConfig::default());
+        p.push(line(5));
+        p.push(line(6));
+        assert_eq!(p.pop(), Some(line(5)));
+        assert_eq!(p.pop(), Some(line(6)));
+        assert_eq!(p.stats().issued.get(), 2);
+    }
+
+    #[test]
+    fn default_depth_is_32() {
+        let p = MlcPrefetcher::new(PrefetcherConfig::default());
+        assert_eq!(p.config().queue_depth, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_depth_rejected() {
+        let _ = MlcPrefetcher::new(PrefetcherConfig {
+            queue_depth: 0,
+            issue_gap: Duration::from_ns(10),
+            pacing: PrefetchPacing::Queued,
+        });
+    }
+}

@@ -1,0 +1,378 @@
+//! Run reports: sampled timelines, latency summaries, burst windows.
+//!
+//! Everything the paper's figures plot is assembled here from the raw
+//! counters: 10 µs-sampled MTPS rate timelines (Figs. 5, 9, 11, 13),
+//! aggregate transaction counts (Fig. 10), p50/p99 latency (Fig. 12), and
+//! per-burst processing times ("Exe Time").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use idio_cache::addr::CoreId;
+use idio_cache::stats::HierarchyStats;
+use idio_engine::stats::{LatencyRecorder, TimeSeries};
+use idio_engine::time::{Duration, SimTime};
+use idio_mem::DramStats;
+
+use crate::policy::SteeringPolicy;
+
+/// Percentile summary of one workload's packet latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Mean.
+    pub mean: Duration,
+    /// Number of completed packets.
+    pub count: usize,
+}
+
+impl LatencySummary {
+    /// Builds a summary from a recorder; `None` when nothing completed.
+    pub fn from_recorder(r: &mut LatencyRecorder) -> Option<Self> {
+        if r.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            p50: r.percentile(50.0)?,
+            p99: r.percentile(99.0)?,
+            mean: r.mean()?,
+            count: r.count(),
+        })
+    }
+}
+
+/// One burst's processing window: from the first DMA transaction to the
+/// completion of the last packet of the burst (the paper's "Exe Time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstWindow {
+    /// Burst index (arrival time divided by the burst period).
+    pub index: u64,
+    /// First DMA transaction of the burst.
+    pub first_dma: SimTime,
+    /// Last DMA transaction of the burst (end of the DMA phase).
+    pub dma_end: SimTime,
+    /// Completion of the last packet (end of the execution phase).
+    pub exec_end: SimTime,
+    /// Packets processed in the burst.
+    pub packets: u64,
+}
+
+impl BurstWindow {
+    /// The burst processing time.
+    pub fn exe_time(&self) -> Duration {
+        self.exec_end.saturating_since(self.first_dma)
+    }
+}
+
+/// Tracks per-burst windows during a run.
+#[derive(Debug, Clone)]
+pub struct BurstTracker {
+    period: Duration,
+    windows: BTreeMap<u64, BurstWindow>,
+}
+
+impl BurstTracker {
+    /// Creates a tracker for traffic with the given burst period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(period: Duration) -> Self {
+        assert!(period > Duration::ZERO, "burst period must be positive");
+        BurstTracker {
+            period,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    fn index(&self, arrival: SimTime) -> u64 {
+        arrival.as_ps() / self.period.as_ps()
+    }
+
+    /// Records a DMA transaction for a packet that arrived at `arrival`.
+    pub fn record_dma(&mut self, arrival: SimTime, dma_at: SimTime) {
+        let idx = self.index(arrival);
+        let w = self.windows.entry(idx).or_insert(BurstWindow {
+            index: idx,
+            first_dma: dma_at,
+            dma_end: dma_at,
+            exec_end: dma_at,
+            packets: 0,
+        });
+        w.first_dma = w.first_dma.min(dma_at);
+        w.dma_end = w.dma_end.max(dma_at);
+    }
+
+    /// Records the completion of a packet that arrived at `arrival`.
+    pub fn record_completion(&mut self, arrival: SimTime, done_at: SimTime) {
+        let idx = self.index(arrival);
+        if let Some(w) = self.windows.get_mut(&idx) {
+            w.exec_end = w.exec_end.max(done_at);
+            w.packets += 1;
+        }
+    }
+
+    /// The recorded windows, in burst order.
+    pub fn windows(&self) -> Vec<BurstWindow> {
+        self.windows.values().copied().collect()
+    }
+
+    /// Mean exe time over complete bursts, skipping the first `skip`
+    /// (warm-up) bursts.
+    pub fn mean_exe_time(&self, skip: usize) -> Option<Duration> {
+        let w: Vec<_> = self.windows.values().skip(skip).collect();
+        if w.is_empty() {
+            return None;
+        }
+        let total: u64 = w.iter().map(|b| b.exe_time().as_ps()).sum();
+        Some(Duration::from_ps(total / w.len() as u64))
+    }
+}
+
+/// The sampled rate timelines of one run (all in MTPS except DMA rate).
+#[derive(Debug, Clone, Default)]
+pub struct Timelines {
+    /// MLC writeback rate (all cores).
+    pub mlc_wb: TimeSeries,
+    /// LLC writeback (to DRAM) rate.
+    pub llc_wb: TimeSeries,
+    /// DRAM read transaction rate.
+    pub dram_rd: TimeSeries,
+    /// DRAM write transaction rate.
+    pub dram_wr: TimeSeries,
+    /// Inbound DMA (PCIe write) transaction rate.
+    pub dma_wr: TimeSeries,
+    /// MLC prefetch fill rate.
+    pub prefetch: TimeSeries,
+    /// Self-invalidation rate.
+    pub self_inval: TimeSeries,
+    /// Gauge: fraction of LLC *capacity* occupied by DMA buffer lines —
+    /// the direct measurement of *DMA bloating* (Sec. III, observation 3).
+    pub dma_llc_share: TimeSeries,
+}
+
+/// Final counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTotals {
+    /// MLC writebacks (all cores).
+    pub mlc_wb: u64,
+    /// MLC invalidations by DMA.
+    pub mlc_inval_by_dma: u64,
+    /// LLC writebacks to DRAM.
+    pub llc_wb: u64,
+    /// DRAM line reads.
+    pub dram_rd: u64,
+    /// DRAM line writes.
+    pub dram_wr: u64,
+    /// Inbound PCIe writes.
+    pub pcie_wr: u64,
+    /// Prefetch fills into MLCs.
+    pub prefetch_fills: u64,
+    /// Self-invalidated lines.
+    pub self_inval: u64,
+    /// Packets delivered by the NIC.
+    pub rx_packets: u64,
+    /// Packets dropped at full rings.
+    pub rx_drops: u64,
+    /// Packets fully processed by NFs.
+    pub completed_packets: u64,
+}
+
+/// Per-core demand hit-level breakdown (fractions over all demand line
+/// accesses the core issued).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitBreakdown {
+    /// L1D hit fraction.
+    pub l1: f64,
+    /// MLC hit fraction.
+    pub mlc: f64,
+    /// LLC hit fraction.
+    pub llc: f64,
+    /// DRAM fraction.
+    pub dram: f64,
+    /// Total demand line accesses.
+    pub accesses: u64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy that produced the run.
+    pub policy: SteeringPolicy,
+    /// Simulated time at the end of the run.
+    pub finished_at: SimTime,
+    /// Aggregate counters.
+    pub totals: RunTotals,
+    /// Full hierarchy statistics snapshot.
+    pub hierarchy: HierarchyStats,
+    /// DRAM statistics snapshot.
+    pub dram: DramStats,
+    /// Sampled timelines.
+    pub timelines: Timelines,
+    /// Per-NF-core latency summaries.
+    pub latency: Vec<(CoreId, LatencySummary)>,
+    /// Per-burst windows (empty for steady traffic).
+    pub bursts: Vec<BurstWindow>,
+    /// Antagonist cycles-per-access (CPI proxy), if an antagonist ran.
+    pub antagonist_cpa: Option<f64>,
+}
+
+impl RunReport {
+    /// MLC writebacks of the NF cores only (cores `0..n`), excluding a
+    /// co-running antagonist's private-cache churn. This is the quantity
+    /// the paper's Fig. 10 compares in co-run scenarios.
+    pub fn nf_mlc_wb(&self, nf_cores: usize) -> u64 {
+        self.hierarchy
+            .core
+            .iter()
+            .take(nf_cores)
+            .map(|c| c.mlc_wb.get())
+            .sum()
+    }
+
+    /// Demand hit-level breakdown for `core`, derived from the hierarchy
+    /// counters. `None` when the core issued no demand accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn hit_breakdown(&self, core: CoreId) -> Option<HitBreakdown> {
+        let c = self.hierarchy.core(core);
+        let l1 = c.l1_hits.get();
+        let mlc = c.mlc_hits.get();
+        // Of the MLC misses, the remote-transfer share is tiny in these
+        // workloads; attribute LLC hits vs DRAM by the shared counters'
+        // proportions scaled to this core's misses.
+        let misses = c.mlc_misses.get();
+        let total = l1 + mlc + misses;
+        if total == 0 {
+            return None;
+        }
+        let shared_hits = self.hierarchy.shared.llc_hits.get();
+        let shared_misses = self.hierarchy.shared.llc_misses.get();
+        let shared_total = (shared_hits + shared_misses).max(1);
+        let llc = misses as f64 * shared_hits as f64 / shared_total as f64;
+        let dram = misses as f64 * shared_misses as f64 / shared_total as f64;
+        Some(HitBreakdown {
+            l1: l1 as f64 / total as f64,
+            mlc: mlc as f64 / total as f64,
+            llc: llc / total as f64,
+            dram: dram / total as f64,
+            accesses: total,
+        })
+    }
+
+    /// Mean burst processing time, skipping `skip` warm-up bursts.
+    pub fn mean_exe_time(&self, skip: usize) -> Option<Duration> {
+        let w: Vec<_> = self.bursts.iter().skip(skip).collect();
+        if w.is_empty() {
+            return None;
+        }
+        let total: u64 = w.iter().map(|b| b.exe_time().as_ps()).sum();
+        Some(Duration::from_ps(total / w.len() as u64))
+    }
+
+    /// Worst p99 latency across NF cores.
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency.iter().map(|(_, s)| s.p99).max()
+    }
+
+    /// Worst p50 latency across NF cores.
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency.iter().map(|(_, s)| s.p50).max()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy: {}", self.policy)?;
+        writeln!(
+            f,
+            "packets: rx={} drops={} completed={}",
+            self.totals.rx_packets, self.totals.rx_drops, self.totals.completed_packets
+        )?;
+        writeln!(
+            f,
+            "transactions: mlc_wb={} llc_wb={} dram_rd={} dram_wr={} prefetch={} self_inval={}",
+            self.totals.mlc_wb,
+            self.totals.llc_wb,
+            self.totals.dram_rd,
+            self.totals.dram_wr,
+            self.totals.prefetch_fills,
+            self.totals.self_inval
+        )?;
+        if let Some(exe) = self.mean_exe_time(1) {
+            writeln!(f, "mean exe time: {exe}")?;
+        }
+        for (core, lat) in &self.latency {
+            writeln!(
+                f,
+                "{core}: p50={} p99={} mean={} n={}",
+                lat.p50, lat.p99, lat.mean, lat.count
+            )?;
+        }
+        if let Some(cpa) = self.antagonist_cpa {
+            writeln!(f, "antagonist cycles/access: {cpa:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_tracker_windows() {
+        let mut t = BurstTracker::new(Duration::from_ms(10));
+        // Burst 0: two packets.
+        t.record_dma(SimTime::from_us(1), SimTime::from_us(2));
+        t.record_dma(SimTime::from_us(3), SimTime::from_us(4));
+        t.record_completion(SimTime::from_us(1), SimTime::from_us(50));
+        t.record_completion(SimTime::from_us(3), SimTime::from_us(90));
+        // Burst 1.
+        t.record_dma(SimTime::from_ms(10), SimTime::from_ms(10));
+        t.record_completion(SimTime::from_ms(10), SimTime::from_ms(11));
+        let w = t.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].packets, 2);
+        assert_eq!(w[0].exe_time(), Duration::from_us(88));
+        assert_eq!(w[1].index, 1);
+    }
+
+    #[test]
+    fn mean_exe_skips_warmup() {
+        let mut t = BurstTracker::new(Duration::from_ms(10));
+        t.record_dma(SimTime::ZERO, SimTime::ZERO);
+        t.record_completion(SimTime::ZERO, SimTime::from_us(100));
+        t.record_dma(SimTime::from_ms(10), SimTime::from_ms(10));
+        t.record_completion(SimTime::from_ms(10), SimTime::from_ms(10) + Duration::from_us(50));
+        assert_eq!(t.mean_exe_time(0), Some(Duration::from_us(75)));
+        assert_eq!(t.mean_exe_time(1), Some(Duration::from_us(50)));
+        assert_eq!(t.mean_exe_time(2), None);
+    }
+
+    #[test]
+    fn latency_summary_from_recorder() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record(Duration::from_us(i));
+        }
+        let s = LatencySummary::from_recorder(&mut r).unwrap();
+        assert_eq!(s.p50, Duration::from_us(50));
+        assert_eq!(s.p99, Duration::from_us(99));
+        assert_eq!(s.count, 100);
+        let mut empty = LatencyRecorder::new();
+        assert!(LatencySummary::from_recorder(&mut empty).is_none());
+    }
+
+    #[test]
+    fn completions_without_dma_are_ignored() {
+        let mut t = BurstTracker::new(Duration::from_ms(1));
+        t.record_completion(SimTime::ZERO, SimTime::from_us(5));
+        assert!(t.windows().is_empty());
+    }
+}

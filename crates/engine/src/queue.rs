@@ -1,0 +1,224 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events of any payload type `E` are scheduled at absolute [`SimTime`]s and
+//! popped in time order. Ties are broken by insertion order (FIFO), which
+//! makes simulations deterministic regardless of payload contents.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue driving a discrete-event simulation.
+///
+/// The queue tracks the current simulated time: [`EventQueue::pop`] advances
+/// `now()` to the timestamp of the event it returns. Scheduling an event in
+/// the past is a logic error and panics in debug builds (it is clamped to
+/// `now()` in release builds).
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::queue::EventQueue;
+/// use idio_engine::time::{Duration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(Duration::from_ns(10), "b");
+/// q.schedule_after(Duration::from_ns(5), "a");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time — the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `at` is earlier than `now()`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current time (runs after already-queued
+    /// events with the same timestamp).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event, advancing `now()` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event heap returned out-of-order event");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Drops all pending events without changing the current time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(30), 3);
+        q.schedule_at(SimTime::from_ns(10), 1);
+        q.schedule_at(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_broken_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), "first");
+        q.pop();
+        q.schedule_after(Duration::from_ns(5), "second");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(10)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clear_keeps_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), 1);
+        q.pop();
+        q.schedule_after(Duration::from_ns(1), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(10));
+    }
+}

@@ -1,0 +1,386 @@
+//! Statistics primitives: counters, rate-sampled time series, and
+//! percentile histograms.
+//!
+//! The evaluation figures of the paper are all built from three kinds of
+//! measurement:
+//!
+//! * monotonically increasing **event counters** (MLC writebacks, LLC
+//!   writebacks, DRAM reads/writes, ...) — [`Counter`];
+//! * counter **rates sampled on a fixed interval** (the 10 µs sampling used
+//!   for Figs. 5, 9, 11, 13) — [`RateSampler`] producing a [`TimeSeries`];
+//! * **latency distributions** (Fig. 12's p50/p99) — [`LatencyRecorder`].
+
+use crate::time::{Duration, SimTime};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::stats::Counter;
+///
+/// let mut c = Counter::default();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Difference since an earlier snapshot of the same counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is larger than the current value
+    /// (counters never decrease).
+    #[inline]
+    pub fn delta_since(self, earlier: Counter) -> u64 {
+        debug_assert!(self.0 >= earlier.0, "counter went backwards");
+        self.0 - earlier.0
+    }
+}
+
+/// One sample of a time series: the interval end time and a value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// End of the sampling interval.
+    pub at: SimTime,
+    /// Sampled value (meaning depends on the series, e.g. events/s).
+    pub value: f64,
+}
+
+/// A sequence of timestamped samples, e.g. a writeback-rate timeline.
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::stats::TimeSeries;
+/// use idio_engine::time::SimTime;
+///
+/// let mut ts = TimeSeries::new("mlc_wb");
+/// ts.push(SimTime::from_us(10), 2.0);
+/// ts.push(SimTime::from_us(20), 4.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.max_value(), 4.0);
+/// assert_eq!(ts.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series name (used as a column header in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than the last sample.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.at <= at),
+            "time series sample out of order"
+        );
+        self.samples.push(Sample { at, value });
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest sample value, or 0.0 when empty.
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).fold(0.0, f64::max)
+    }
+
+    /// Mean of the sample values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sum of sample values.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).sum()
+    }
+
+    /// Restricts the series to samples with `start <= at < end`.
+    pub fn window(&self, start: SimTime, end: SimTime) -> TimeSeries {
+        TimeSeries {
+            name: self.name.clone(),
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.at >= start && s.at < end)
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// Turns counter deltas into a rate [`TimeSeries`].
+///
+/// Call [`RateSampler::sample`] on every sampling tick with the current
+/// counter value; the sampler records `(delta / interval)` in events per
+/// second (or, via [`RateSampler::sample_scaled`], any scaled unit such as
+/// MTPS).
+#[derive(Debug, Clone)]
+pub struct RateSampler {
+    series: TimeSeries,
+    last_value: u64,
+    interval: Duration,
+}
+
+impl RateSampler {
+    /// Creates a sampler with a fixed interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(name: impl Into<String>, interval: Duration) -> Self {
+        assert!(interval > Duration::ZERO, "sampling interval must be positive");
+        RateSampler {
+            series: TimeSeries::new(name),
+            last_value: 0,
+            interval,
+        }
+    }
+
+    /// Records the rate over the last interval, in events per second.
+    pub fn sample(&mut self, at: SimTime, counter_value: u64) {
+        self.sample_scaled(at, counter_value, 1.0);
+    }
+
+    /// Records `rate_per_sec * scale` — e.g. `scale = 1e-6` for MTPS
+    /// (million transactions per second).
+    pub fn sample_scaled(&mut self, at: SimTime, counter_value: u64, scale: f64) {
+        debug_assert!(counter_value >= self.last_value, "counter went backwards");
+        let delta = counter_value.saturating_sub(self.last_value);
+        self.last_value = counter_value;
+        let rate = delta as f64 / self.interval.as_secs_f64();
+        self.series.push(at, rate * scale);
+    }
+
+    /// The accumulated series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Consumes the sampler, returning the series.
+    pub fn into_series(self) -> TimeSeries {
+        self.series
+    }
+}
+
+/// Records individual latency observations and reports percentiles.
+///
+/// Observations are stored exactly (the simulations here record at most a
+/// few hundred thousand packets), so percentiles are exact.
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::stats::LatencyRecorder;
+/// use idio_engine::time::Duration;
+///
+/// let mut r = LatencyRecorder::new();
+/// for us in 1..=100 {
+///     r.record(Duration::from_us(us));
+/// }
+/// assert_eq!(r.percentile(50.0), Some(Duration::from_us(50)));
+/// assert_eq!(r.percentile(99.0), Some(Duration::from_us(99)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency, or `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_ps() as u128).sum();
+        Some(Duration::from_ps((total / self.samples.len() as u128) as u64))
+    }
+
+    /// Maximum latency, or `None` when empty.
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Exact percentile (nearest-rank method), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<Duration> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_delta() {
+        let mut c = Counter::new();
+        c.add(10);
+        let snap = c;
+        c.add(7);
+        assert_eq!(c.delta_since(snap), 7);
+    }
+
+    #[test]
+    fn rate_sampler_computes_events_per_second() {
+        let mut s = RateSampler::new("x", Duration::from_us(10));
+        let mut c = Counter::new();
+        c.add(100);
+        s.sample(SimTime::from_us(10), c.get());
+        // 100 events / 10 us = 1e7 events/s.
+        assert!((s.series().samples()[0].value - 1e7).abs() < 1e-3);
+        c.add(50);
+        s.sample_scaled(SimTime::from_us(20), c.get(), 1e-6);
+        // 50 events / 10 us = 5e6/s = 5 MTPS.
+        assert!((s.series().samples()[1].value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_window() {
+        let mut ts = TimeSeries::new("w");
+        for i in 0..10 {
+            ts.push(SimTime::from_us(i * 10), i as f64);
+        }
+        let w = ts.window(SimTime::from_us(20), SimTime::from_us(50));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.samples()[0].value, 2.0);
+        assert_eq!(w.samples()[2].value, 4.0);
+    }
+
+    #[test]
+    fn latency_percentiles_exact() {
+        let mut r = LatencyRecorder::new();
+        // Insert in reverse to exercise sorting.
+        for us in (1..=1000).rev() {
+            r.record(Duration::from_us(us));
+        }
+        assert_eq!(r.percentile(50.0), Some(Duration::from_us(500)));
+        assert_eq!(r.percentile(99.0), Some(Duration::from_us(990)));
+        assert_eq!(r.percentile(100.0), Some(Duration::from_us(1000)));
+        assert_eq!(r.max(), Some(Duration::from_us(1000)));
+        assert_eq!(r.mean(), Some(Duration::from_ps(500_500_000)));
+    }
+
+    #[test]
+    fn latency_single_sample() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_ns(42));
+        assert_eq!(r.percentile(50.0), Some(Duration::from_ns(42)));
+        assert_eq!(r.percentile(99.0), Some(Duration::from_ns(42)));
+    }
+
+    #[test]
+    fn empty_recorder_returns_none() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.percentile(99.0), None);
+        assert_eq!(r.mean(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::ZERO);
+        let _ = r.percentile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_rejected() {
+        let _ = RateSampler::new("x", Duration::ZERO);
+    }
+}

@@ -1,0 +1,365 @@
+//! Traffic generators: steady-rate and bursty streams (Sec. VI).
+//!
+//! The paper defines a burst by three parameters: the **burst period** (time
+//! between the starts of two consecutive bursts, fixed at 10 ms), the
+//! **burst rate** (bits per second during a burst), and the **burst length**
+//! (time from the first to the last packet of a burst). The burst length is
+//! chosen so each burst delivers exactly `ring_size` packets — preventing
+//! drops within a single burst — which [`BurstSpec::for_ring`] computes.
+
+use idio_engine::rng::SimRng;
+use idio_engine::time::{wire_time, Duration, SimTime};
+
+use crate::packet::{Dscp, FiveTuple, Packet};
+
+/// One packet arrival produced by a generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Time the last bit of the frame arrives at the NIC.
+    pub at: SimTime,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// Static description of the packets a generator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// The flow's five-tuple.
+    pub tuple: FiveTuple,
+    /// DSCP marking (application class signalling).
+    pub dscp: Dscp,
+    /// Frame length in bytes.
+    pub packet_len: u16,
+}
+
+impl FlowSpec {
+    /// A UDP flow of `packet_len`-byte best-effort frames to `dst_port`.
+    pub fn udp_to_port(dst_port: u16, packet_len: u16) -> Self {
+        FlowSpec {
+            tuple: FiveTuple::udp(0x0a00_0001, 0x0a00_0002, 40_000 + dst_port, dst_port),
+            dscp: Dscp::BEST_EFFORT,
+            packet_len,
+        }
+    }
+
+    /// Returns the spec with a different DSCP marking.
+    pub fn with_dscp(mut self, dscp: Dscp) -> Self {
+        self.dscp = dscp;
+        self
+    }
+}
+
+/// Parameters of a periodic burst pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Time between the starts of two consecutive bursts.
+    pub period: Duration,
+    /// Number of packets in each burst.
+    pub packets_per_burst: u32,
+    /// Interarrival time of packets within a burst (the burst rate).
+    pub intra_gap: Duration,
+}
+
+impl BurstSpec {
+    /// The paper's burst construction: `ring_size` packets per burst at
+    /// `rate_gbps`, every `period` (10 ms in the evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst does not fit in the period or any parameter is
+    /// zero.
+    pub fn for_ring(ring_size: u32, packet_len: u16, rate_gbps: f64, period: Duration) -> Self {
+        assert!(ring_size > 0, "empty burst");
+        let intra_gap = wire_time(u64::from(packet_len), rate_gbps);
+        let burst_len = intra_gap * u64::from(ring_size);
+        assert!(
+            burst_len < period,
+            "burst of {burst_len} does not fit in period {period}"
+        );
+        BurstSpec {
+            period,
+            packets_per_burst: ring_size,
+            intra_gap,
+        }
+    }
+
+    /// Duration from the first to the last packet of one burst.
+    pub fn burst_length(&self) -> Duration {
+        self.intra_gap * u64::from(self.packets_per_burst.saturating_sub(1))
+    }
+}
+
+/// The arrival pattern of a traffic source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// A constant packet rate from time zero.
+    Steady {
+        /// Line rate in gigabits per second.
+        rate_gbps: f64,
+    },
+    /// Periodic bursts (Sec. VI).
+    Bursty(BurstSpec),
+    /// Memoryless (Poisson) arrivals at a mean rate — the classic open-loop
+    /// datacenter load model; exposes policies to irregular instantaneous
+    /// rates without the regular structure of [`TrafficPattern::Bursty`].
+    Poisson {
+        /// Mean offered load in gigabits per second.
+        rate_gbps: f64,
+        /// Seed for the exponential interarrival draws (keeps runs
+        /// deterministic).
+        seed: u64,
+    },
+}
+
+/// A deterministic packet-arrival generator for one flow.
+///
+/// Implements [`Iterator`], yielding [`Arrival`]s in time order until the
+/// configured horizon.
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::time::{Duration, SimTime};
+/// use idio_net::gen::{FlowSpec, TrafficGen, TrafficPattern};
+///
+/// // 10 Gbps of MTU frames for 1 ms: one frame every ~1.2 us.
+/// let gen = TrafficGen::new(
+///     FlowSpec::udp_to_port(5000, 1514),
+///     TrafficPattern::Steady { rate_gbps: 10.0 },
+///     SimTime::from_ms(1),
+/// );
+/// let arrivals: Vec<_> = gen.collect();
+/// assert_eq!(arrivals.len(), 826);
+/// assert!(arrivals.windows(2).all(|w| w[0].at < w[1].at));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGen {
+    flow: FlowSpec,
+    pattern: TrafficPattern,
+    until: SimTime,
+    next_id: u64,
+    /// Index of the next packet within the current burst (bursty only).
+    burst_pos: u32,
+    /// Start time of the current burst / next steady arrival.
+    cursor: SimTime,
+    /// RNG for stochastic patterns.
+    rng: SimRng,
+}
+
+impl TrafficGen {
+    /// Creates a generator emitting until `until` (exclusive).
+    pub fn new(flow: FlowSpec, pattern: TrafficPattern, until: SimTime) -> Self {
+        let seed = match pattern {
+            TrafficPattern::Steady { rate_gbps } | TrafficPattern::Poisson { rate_gbps, .. } => {
+                assert!(rate_gbps > 0.0, "rate must be positive");
+                if let TrafficPattern::Poisson { seed, .. } = pattern {
+                    seed
+                } else {
+                    0
+                }
+            }
+            TrafficPattern::Bursty(_) => 0,
+        };
+        TrafficGen {
+            flow,
+            pattern,
+            until,
+            next_id: 0,
+            burst_pos: 0,
+            cursor: SimTime::ZERO,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// The flow specification this generator emits.
+    pub fn flow(&self) -> &FlowSpec {
+        &self.flow
+    }
+
+    fn make(&mut self, at: SimTime) -> Arrival {
+        let id = self.next_id;
+        self.next_id += 1;
+        Arrival {
+            at,
+            packet: Packet::new(id, self.flow.packet_len, self.flow.tuple, self.flow.dscp),
+        }
+    }
+}
+
+impl Iterator for TrafficGen {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        match self.pattern {
+            TrafficPattern::Steady { rate_gbps } => {
+                let at = self.cursor;
+                if at >= self.until {
+                    return None;
+                }
+                self.cursor = at + wire_time(u64::from(self.flow.packet_len), rate_gbps);
+                Some(self.make(at))
+            }
+            TrafficPattern::Poisson { rate_gbps, .. } => {
+                let at = self.cursor;
+                if at >= self.until {
+                    return None;
+                }
+                // Exponential interarrival with the packet's mean service
+                // slot as the mean.
+                let mean = wire_time(u64::from(self.flow.packet_len), rate_gbps);
+                let u = self.rng.unit_f64().max(f64::MIN_POSITIVE);
+                let gap_ps = (-u.ln() * mean.as_ps() as f64).round().max(1.0) as u64;
+                self.cursor = at + Duration::from_ps(gap_ps);
+                Some(self.make(at))
+            }
+            TrafficPattern::Bursty(spec) => {
+                let at = self.cursor + spec.intra_gap * u64::from(self.burst_pos);
+                if at >= self.until {
+                    return None;
+                }
+                let arrival = self.make(at);
+                self.burst_pos += 1;
+                if self.burst_pos == spec.packets_per_burst {
+                    self.burst_pos = 0;
+                    self.cursor += spec.period;
+                }
+                Some(arrival)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowSpec {
+        FlowSpec::udp_to_port(5000, 1514)
+    }
+
+    #[test]
+    fn steady_rate_interarrival() {
+        let g = TrafficGen::new(
+            flow(),
+            TrafficPattern::Steady { rate_gbps: 100.0 },
+            SimTime::from_us(10),
+        );
+        let a: Vec<_> = g.collect();
+        // 1514 B at 100 Gbps = 121.12 ns per frame; 10 us / 121.12 ns = 82+.
+        assert_eq!(a.len(), 83);
+        let gap = a[1].at - a[0].at;
+        assert_eq!(gap, wire_time(1514, 100.0));
+    }
+
+    #[test]
+    fn burst_spec_matches_paper_lengths() {
+        // Sec. VI: ring 1024, 1514 B packets — burst lengths 1.155 / 0.231 /
+        // 0.115 ms (packets_per_burst ends 1 gap earlier; compare the full
+        // span including the last frame's slot).
+        for (rate, expect_ms) in [(10.0, 1.24), (25.0, 0.496), (100.0, 0.124)] {
+            let s = BurstSpec::for_ring(1024, 1514, rate, Duration::from_ms(10));
+            let span = (s.intra_gap * 1024).as_secs_f64() * 1e3;
+            assert!(
+                (span - expect_ms).abs() / expect_ms < 0.08,
+                "rate {rate}: span {span} vs {expect_ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_generator_emits_exact_burst_sizes() {
+        let spec = BurstSpec::for_ring(8, 1514, 100.0, Duration::from_us(100));
+        let g = TrafficGen::new(flow(), TrafficPattern::Bursty(spec), SimTime::from_us(250));
+        let a: Vec<_> = g.collect();
+        // Bursts start at 0, 100 us, 200 us: 3 bursts x 8 packets.
+        assert_eq!(a.len(), 24);
+        // First burst confined to its burst length.
+        assert!(a[7].at - a[0].at == spec.burst_length());
+        // Gap between bursts is the period minus the intra-burst span.
+        assert_eq!(a[8].at, SimTime::from_us(100));
+        assert_eq!(a[16].at, SimTime::from_us(200));
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let spec = BurstSpec::for_ring(4, 1514, 25.0, Duration::from_us(50));
+        let g = TrafficGen::new(flow(), TrafficPattern::Bursty(spec), SimTime::from_us(120));
+        let ids: Vec<_> = g.map(|a| a.packet.id).collect();
+        assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let g = TrafficGen::new(
+            flow(),
+            TrafficPattern::Steady { rate_gbps: 10.0 },
+            SimTime::ZERO,
+        );
+        assert_eq!(g.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_burst_rejected() {
+        let _ = BurstSpec::for_ring(1024, 1514, 10.0, Duration::from_us(100));
+    }
+
+    #[test]
+    fn poisson_mean_rate_approximates_target() {
+        let g = TrafficGen::new(
+            flow(),
+            TrafficPattern::Poisson {
+                rate_gbps: 10.0,
+                seed: 42,
+            },
+            SimTime::from_ms(10),
+        );
+        let n = g.count() as f64;
+        // 10 Gbps of 1514 B frames over 10 ms = ~8256 packets expected.
+        let expect = 10e9 / (1514.0 * 8.0) * 10e-3;
+        assert!((n - expect).abs() / expect < 0.05, "{n} vs {expect}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let collect = |seed| {
+            TrafficGen::new(
+                flow(),
+                TrafficPattern::Poisson {
+                    rate_gbps: 25.0,
+                    seed,
+                },
+                SimTime::from_us(200),
+            )
+            .map(|a| a.at)
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn poisson_arrivals_strictly_ordered() {
+        let g = TrafficGen::new(
+            flow(),
+            TrafficPattern::Poisson {
+                rate_gbps: 100.0,
+                seed: 3,
+            },
+            SimTime::from_us(100),
+        );
+        let times: Vec<_> = g.map(|a| a.at).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dscp_marking_propagates() {
+        let f = flow().with_dscp(Dscp::CLASS1_DEFAULT);
+        let mut g = TrafficGen::new(
+            f,
+            TrafficPattern::Steady { rate_gbps: 10.0 },
+            SimTime::from_us(10),
+        );
+        assert_eq!(g.next().unwrap().packet.dscp, Dscp::CLASS1_DEFAULT);
+    }
+}

@@ -1,0 +1,427 @@
+//! Wire-format protocol headers: Ethernet II, IPv4, UDP.
+//!
+//! The IDIO classifier inspects real header bytes on the NIC — the DSCP
+//! bits of the IPv4 differentiated-services byte and the five-tuple. This
+//! module provides byte-exact serialisation and parsing for the header
+//! stack the evaluation traffic uses, so the classifier path can be
+//! exercised against actual wire bytes (and so traces written by the
+//! tooling are real packets). All headers together fit in the first cache
+//! line (14 + 20 + 8 = 42 bytes), which is the structural assumption
+//! behind "the first DMA transaction carries the header" (Sec. V-A).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::packet::{Dscp, FiveTuple, Packet};
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// Bytes of an Ethernet II header.
+pub const ETH_HEADER_BYTES: usize = 14;
+/// Bytes of a minimal IPv4 header (no options).
+pub const IPV4_HEADER_BYTES: usize = 20;
+/// Bytes of a UDP header.
+pub const UDP_HEADER_BYTES: usize = 8;
+/// Total bytes of the Ethernet+IPv4+UDP stack.
+pub const STACK_HEADER_BYTES: usize = ETH_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES;
+
+/// Error parsing a header from wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the header.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A version/type field did not match expectations.
+    Unsupported(&'static str),
+    /// The IPv4 header checksum did not verify.
+    BadChecksum,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { need, have } => {
+                write!(f, "truncated header: need {need} bytes, have {have}")
+            }
+            ParseError::Unsupported(what) => write!(f, "unsupported {what}"),
+            ParseError::BadChecksum => f.write_str("IPv4 header checksum mismatch"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType (0x0800 for IPv4).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Serialises into `out[..14]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than 14 bytes.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] on a short buffer.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < ETH_HEADER_BYTES {
+            return Err(ParseError::Truncated {
+                need: ETH_HEADER_BYTES,
+                have: buf.len(),
+            });
+        }
+        let mut dst = [0; 6];
+        let mut src = [0; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+}
+
+/// A minimal (option-less) IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated-services code point (the classifier's class input).
+    pub dscp: Dscp,
+    /// ECN bits.
+    pub ecn: u8,
+    /// Total length (header + payload) in bytes.
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol (17 = UDP).
+    pub protocol: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Serialises into `out[..20]`, computing the header checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than 20 bytes.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = (self.dscp.get() << 2) | (self.ecn & 0x3);
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..8].copy_from_slice(&[0, 0, 0, 0]); // id, flags, frag
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        out[10..12].copy_from_slice(&[0, 0]); // checksum placeholder
+        out[12..16].copy_from_slice(&self.src.to_be_bytes());
+        out[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = ipv4_checksum(&out[..IPV4_HEADER_BYTES]);
+        out[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and checksum-verifies from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`] on a short buffer,
+    /// [`ParseError::Unsupported`] for non-IPv4/optioned headers, and
+    /// [`ParseError::BadChecksum`] when verification fails.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < IPV4_HEADER_BYTES {
+            return Err(ParseError::Truncated {
+                need: IPV4_HEADER_BYTES,
+                have: buf.len(),
+            });
+        }
+        if buf[0] != 0x45 {
+            return Err(ParseError::Unsupported("IP version/IHL"));
+        }
+        if ipv4_checksum(&buf[..IPV4_HEADER_BYTES]) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        Ok(Ipv4Header {
+            dscp: Dscp::new(buf[1] >> 2).expect("6 bits"),
+            ecn: buf[1] & 0x3,
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        })
+    }
+}
+
+/// The internet checksum over a header slice. Over a well-formed header
+/// (checksum field populated) the result is zero.
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in header.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += u32::from(word);
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of UDP header + payload.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Serialises into `out[..8]` (checksum 0 = unused, as permitted for
+    /// IPv4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than 8 bytes.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.len.to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]);
+    }
+
+    /// Parses from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] on a short buffer.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < UDP_HEADER_BYTES {
+            return Err(ParseError::Truncated {
+                need: UDP_HEADER_BYTES,
+                have: buf.len(),
+            });
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len: u16::from_be_bytes([buf[4], buf[5]]),
+        })
+    }
+}
+
+/// Builds the 42-byte Ethernet+IPv4+UDP header stack for a [`Packet`].
+///
+/// # Examples
+///
+/// ```
+/// use idio_net::headers::{parse_wire_header, wire_header};
+/// use idio_net::packet::{Dscp, FiveTuple, Packet};
+///
+/// let pkt = Packet::new(0, 1514, FiveTuple::udp(1, 2, 30, 40), Dscp::CLASS1_DEFAULT);
+/// let bytes = wire_header(&pkt);
+/// let (flow, dscp) = parse_wire_header(&bytes).unwrap();
+/// assert_eq!(flow, pkt.flow);
+/// assert_eq!(dscp, pkt.dscp);
+/// ```
+pub fn wire_header(packet: &Packet) -> [u8; STACK_HEADER_BYTES] {
+    let mut out = [0u8; STACK_HEADER_BYTES];
+    let eth = EthernetHeader {
+        dst: MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+        src: MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+        ethertype: ETHERTYPE_IPV4,
+    };
+    eth.write(&mut out[..ETH_HEADER_BYTES]);
+    let ip_total = packet.len as usize - ETH_HEADER_BYTES;
+    let ip = Ipv4Header {
+        dscp: packet.dscp,
+        ecn: 0,
+        total_len: ip_total as u16,
+        ttl: 64,
+        protocol: packet.flow.proto,
+        src: packet.flow.src_ip,
+        dst: packet.flow.dst_ip,
+    };
+    ip.write(&mut out[ETH_HEADER_BYTES..ETH_HEADER_BYTES + IPV4_HEADER_BYTES]);
+    let udp = UdpHeader {
+        src_port: packet.flow.src_port,
+        dst_port: packet.flow.dst_port,
+        len: (ip_total - IPV4_HEADER_BYTES) as u16,
+    };
+    udp.write(&mut out[ETH_HEADER_BYTES + IPV4_HEADER_BYTES..]);
+    out
+}
+
+/// Parses a header stack back into the five-tuple and DSCP the classifier
+/// needs (exactly what NIC parsing hardware extracts).
+///
+/// # Errors
+///
+/// Propagates any header [`ParseError`]; non-IPv4 or non-UDP frames are
+/// [`ParseError::Unsupported`].
+pub fn parse_wire_header(buf: &[u8]) -> Result<(FiveTuple, Dscp), ParseError> {
+    let eth = EthernetHeader::parse(buf)?;
+    if eth.ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::Unsupported("ethertype"));
+    }
+    let ip = Ipv4Header::parse(&buf[ETH_HEADER_BYTES..])?;
+    if ip.protocol != PROTO_UDP {
+        return Err(ParseError::Unsupported("IP protocol"));
+    }
+    let udp = UdpHeader::parse(&buf[ETH_HEADER_BYTES + IPV4_HEADER_BYTES..])?;
+    Ok((
+        FiveTuple {
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            src_port: udp.src_port,
+            dst_port: udp.dst_port,
+            proto: ip.protocol,
+        },
+        ip.dscp,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(dscp: u8) -> Packet {
+        Packet::new(
+            7,
+            1514,
+            FiveTuple::udp(0x0a000001, 0x0a000002, 1234, 5678),
+            Dscp::new(dscp).unwrap(),
+        )
+    }
+
+    #[test]
+    fn stack_fits_one_cache_line() {
+        // Sec. V-A assumption: all headers fit the first cache line.
+        const { assert!(STACK_HEADER_BYTES <= 64) };
+        assert_eq!(STACK_HEADER_BYTES, 42);
+    }
+
+    #[test]
+    fn roundtrip_preserves_flow_and_dscp() {
+        for dscp in [0u8, 8, 46, 63] {
+            let p = pkt(dscp);
+            let bytes = wire_header(&p);
+            let (flow, d) = parse_wire_header(&bytes).unwrap();
+            assert_eq!(flow, p.flow);
+            assert_eq!(d.get(), dscp);
+        }
+    }
+
+    #[test]
+    fn ipv4_checksum_verifies_and_detects_corruption() {
+        let p = pkt(8);
+        let mut bytes = wire_header(&p);
+        assert!(Ipv4Header::parse(&bytes[ETH_HEADER_BYTES..]).is_ok());
+        // Flip one bit in the TTL: checksum must catch it.
+        bytes[ETH_HEADER_BYTES + 8] ^= 0x01;
+        assert_eq!(
+            Ipv4Header::parse(&bytes[ETH_HEADER_BYTES..]),
+            Err(ParseError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn lengths_are_consistent() {
+        let p = pkt(0);
+        let bytes = wire_header(&p);
+        let ip = Ipv4Header::parse(&bytes[ETH_HEADER_BYTES..]).unwrap();
+        assert_eq!(ip.total_len as usize, 1514 - ETH_HEADER_BYTES);
+        let udp = UdpHeader::parse(&bytes[ETH_HEADER_BYTES + IPV4_HEADER_BYTES..]).unwrap();
+        assert_eq!(udp.len as usize, 1514 - ETH_HEADER_BYTES - IPV4_HEADER_BYTES);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        assert!(matches!(
+            EthernetHeader::parse(&[0u8; 5]),
+            Err(ParseError::Truncated { need: 14, have: 5 })
+        ));
+        assert!(matches!(
+            Ipv4Header::parse(&[0x45; 10]),
+            Err(ParseError::Truncated { .. })
+        ));
+        assert!(matches!(
+            UdpHeader::parse(&[0; 3]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let p = pkt(0);
+        let mut bytes = wire_header(&p);
+        bytes[12] = 0x86; // ethertype -> not IPv4
+        assert_eq!(
+            parse_wire_header(&bytes),
+            Err(ParseError::Unsupported("ethertype"))
+        );
+        let mut bytes = wire_header(&p);
+        bytes[ETH_HEADER_BYTES] = 0x46; // IHL 6: options unsupported
+        assert_eq!(
+            Ipv4Header::parse(&bytes[ETH_HEADER_BYTES..]).unwrap_err(),
+            ParseError::Unsupported("IP version/IHL")
+        );
+    }
+
+    #[test]
+    fn mac_display() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(format!("{m}"), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ParseError::BadChecksum.to_string().contains("checksum"));
+        assert!(ParseError::Truncated { need: 14, have: 2 }
+            .to_string()
+            .contains("14"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Packets, five-tuples, and the DSCP-based application-class marking.
+//!
+//! Packets are modelled structurally: a wire length plus the header fields
+//! the NIC-side IDIO classifier inspects (the IPv4 five-tuple and the DSCP
+//! field of the differentiated-services byte). Payload bytes themselves are
+//! never materialised — the cache model works on addresses, not contents.
+
+use std::fmt;
+
+/// Ethernet maximum transmission unit frame size used throughout the paper.
+pub const MTU_FRAME_BYTES: u16 = 1514;
+/// Minimum Ethernet frame size.
+pub const MIN_FRAME_BYTES: u16 = 64;
+/// Bytes of protocol headers at the start of every frame. All well-known
+/// protocol stacks fit their headers in the first cache line (Sec. V-A).
+pub const HEADER_BYTES: u16 = 64;
+
+/// A differentiated-services code point (6 bits, RFC 2474).
+///
+/// The sending application marks its class here; IDIO's classifier maps a
+/// configurable set of DSCP values to *application class 1* (long use
+/// distance — payload steered directly to DRAM).
+///
+/// # Examples
+///
+/// ```
+/// use idio_net::packet::Dscp;
+///
+/// let d = Dscp::new(46).unwrap(); // EF
+/// assert_eq!(d.get(), 46);
+/// assert!(Dscp::new(64).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dscp(u8);
+
+impl Dscp {
+    /// Best-effort (default) code point.
+    pub const BEST_EFFORT: Dscp = Dscp(0);
+    /// The code point this reproduction uses to mark application class 1
+    /// (long use distance), by convention CS1.
+    pub const CLASS1_DEFAULT: Dscp = Dscp(8);
+
+    /// Creates a DSCP; `None` if the value does not fit in 6 bits.
+    pub fn new(v: u8) -> Option<Self> {
+        (v < 64).then_some(Dscp(v))
+    }
+
+    /// The raw 6-bit value.
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Dscp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dscp{}", self.0)
+    }
+}
+
+/// An IPv4/transport five-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number (6 TCP, 17 UDP).
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// A UDP flow between two synthetic endpoints, convenient for tests and
+    /// workload construction.
+    pub fn udp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: 17,
+        }
+    }
+
+    /// A deterministic 32-bit hash of the tuple, as computed by NIC
+    /// receive-side-scaling / Flow Director hardware. (FNV-1a; the exact
+    /// function is irrelevant as long as it is stable and well-spread.)
+    pub fn hash32(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        let mut mix = |b: u8| {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        };
+        for b in self.src_ip.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst_ip.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            mix(b);
+        }
+        mix(self.proto);
+        h
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{}/{}",
+            self.src_ip >> 24 & 0xff,
+            self.src_ip >> 16 & 0xff,
+            self.src_ip >> 8 & 0xff,
+            self.src_ip & 0xff,
+            self.src_port,
+            self.dst_ip >> 24 & 0xff,
+            self.dst_ip >> 16 & 0xff,
+            self.dst_ip >> 8 & 0xff,
+            self.dst_ip & 0xff,
+            self.dst_port,
+            self.proto,
+        )
+    }
+}
+
+/// A network packet as seen by the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Monotonic id within one traffic source (diagnostics / latency
+    /// matching).
+    pub id: u64,
+    /// Total frame length on the wire, in bytes.
+    pub len: u16,
+    /// The flow this packet belongs to.
+    pub flow: FiveTuple,
+    /// The differentiated-services code point carried in the IP header.
+    pub dscp: Dscp,
+}
+
+impl Packet {
+    /// Creates a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is below the minimum frame size.
+    pub fn new(id: u64, len: u16, flow: FiveTuple, dscp: Dscp) -> Self {
+        assert!(
+            len >= MIN_FRAME_BYTES,
+            "frame of {len} bytes below Ethernet minimum"
+        );
+        Packet {
+            id,
+            len,
+            flow,
+            dscp,
+        }
+    }
+
+    /// Payload bytes (frame length minus the one-line header).
+    pub fn payload_len(&self) -> u16 {
+        self.len.saturating_sub(HEADER_BYTES)
+    }
+
+    /// Number of 64-byte lines the frame occupies in a DMA buffer.
+    pub fn lines(&self) -> u32 {
+        u32::from(self.len).div_ceil(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dscp_bounds() {
+        assert_eq!(Dscp::new(0), Some(Dscp::BEST_EFFORT));
+        assert_eq!(Dscp::new(63).unwrap().get(), 63);
+        assert!(Dscp::new(64).is_none());
+    }
+
+    #[test]
+    fn tuple_hash_is_stable_and_spread() {
+        let a = FiveTuple::udp(0x0a000001, 0x0a000002, 1000, 5000);
+        let b = FiveTuple::udp(0x0a000001, 0x0a000002, 1001, 5000);
+        assert_eq!(a.hash32(), a.hash32());
+        assert_ne!(a.hash32(), b.hash32());
+    }
+
+    #[test]
+    fn packet_line_counts() {
+        let f = FiveTuple::default();
+        assert_eq!(Packet::new(0, 64, f, Dscp::BEST_EFFORT).lines(), 1);
+        assert_eq!(Packet::new(0, 65, f, Dscp::BEST_EFFORT).lines(), 2);
+        assert_eq!(Packet::new(0, 1514, f, Dscp::BEST_EFFORT).lines(), 24);
+        assert_eq!(Packet::new(0, 1024, f, Dscp::BEST_EFFORT).lines(), 16);
+    }
+
+    #[test]
+    fn payload_excludes_header_line() {
+        let p = Packet::new(1, 1514, FiveTuple::default(), Dscp::BEST_EFFORT);
+        assert_eq!(p.payload_len(), 1450);
+        let tiny = Packet::new(2, 64, FiveTuple::default(), Dscp::BEST_EFFORT);
+        assert_eq!(tiny.payload_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below Ethernet minimum")]
+    fn undersized_frame_rejected() {
+        let _ = Packet::new(0, 32, FiveTuple::default(), Dscp::BEST_EFFORT);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = FiveTuple::udp(0x0a000001, 0x0b000002, 7, 9);
+        let s = format!("{t}");
+        assert!(s.contains("10.0.0.1:7"));
+        assert!(s.contains("11.0.0.2:9"));
+        assert_eq!(format!("{}", Dscp::CLASS1_DEFAULT), "dscp8");
+    }
+}

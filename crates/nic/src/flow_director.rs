@@ -1,0 +1,251 @@
+//! Ethernet Flow Director: steering packets to the consuming core's queue.
+//!
+//! Models the two flavours described in Sec. II-C:
+//!
+//! * **Externally Programmed (EP)** — software installs perfect-match
+//!   filters (five-tuple → queue), used when applications are pinned;
+//! * **Application Targeting Routing (ATR)** — the NIC learns the target
+//!   queue by populating a hash-indexed *Filter Table* (up to 8 K entries in
+//!   modern adapters); lookups hash the packet's five-tuple into the table.
+//!
+//! Unmatched packets fall back to RSS (hash modulo queue count).
+
+use std::collections::HashMap;
+
+use idio_net::packet::FiveTuple;
+
+/// Default Filter Table capacity (Sec. II-C: "up to 8k entries").
+pub const DEFAULT_FILTER_TABLE_ENTRIES: usize = 8192;
+
+/// Default RSS indirection-table size (Intel NICs: 128–512 entries).
+pub const DEFAULT_RSS_TABLE_ENTRIES: usize = 128;
+
+/// A receive-queue index on the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueueId(pub u16);
+
+impl QueueId {
+    /// Index as `usize` for container indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a lookup was resolved (exposed for diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteeringSource {
+    /// A perfect-match (EP) filter matched.
+    PerfectMatch,
+    /// The ATR filter table matched.
+    FilterTable,
+    /// Fallback RSS hash.
+    Rss,
+}
+
+/// The Flow Director steering engine.
+///
+/// # Examples
+///
+/// ```
+/// use idio_net::packet::FiveTuple;
+/// use idio_nic::flow_director::{FlowDirector, QueueId, SteeringSource};
+///
+/// let mut fd = FlowDirector::new(4, 8192);
+/// let flow = FiveTuple::udp(1, 2, 100, 200);
+/// // Before any filter: RSS fallback.
+/// let (q0, src) = fd.lookup(&flow);
+/// assert_eq!(src, SteeringSource::Rss);
+/// // Pin the flow (EP mode):
+/// fd.install_perfect(flow, QueueId(3));
+/// assert_eq!(fd.lookup(&flow), (QueueId(3), SteeringSource::PerfectMatch));
+/// # let _ = q0;
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowDirector {
+    num_queues: u16,
+    perfect: HashMap<FiveTuple, QueueId>,
+    filter_table: Vec<Option<QueueId>>,
+    /// RSS indirection table: hash → queue, software-programmable.
+    rss_table: Vec<QueueId>,
+}
+
+impl FlowDirector {
+    /// Creates a director for `num_queues` queues with an ATR filter table
+    /// of `table_entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_queues` or `table_entries` is zero.
+    pub fn new(num_queues: u16, table_entries: usize) -> Self {
+        assert!(num_queues > 0, "need at least one queue");
+        assert!(table_entries > 0, "filter table cannot be empty");
+        FlowDirector {
+            num_queues,
+            perfect: HashMap::new(),
+            filter_table: vec![None; table_entries],
+            // Identity spread: entry i -> queue i % n (the power-on
+            // default real NICs program).
+            rss_table: (0..DEFAULT_RSS_TABLE_ENTRIES)
+                .map(|i| QueueId((i % num_queues as usize) as u16))
+                .collect(),
+        }
+    }
+
+    /// Reprograms the RSS indirection table (`ethtool -X` style). The
+    /// table size stays fixed; each entry must name a valid queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or names an out-of-range queue.
+    pub fn set_rss_table(&mut self, entries: &[QueueId]) {
+        assert!(!entries.is_empty(), "RSS table cannot be empty");
+        assert!(
+            entries.iter().all(|q| q.0 < self.num_queues),
+            "RSS entry names an out-of-range queue"
+        );
+        self.rss_table = entries.to_vec();
+    }
+
+    /// The current RSS indirection table.
+    pub fn rss_table(&self) -> &[QueueId] {
+        &self.rss_table
+    }
+
+    /// Number of configured queues.
+    pub fn num_queues(&self) -> u16 {
+        self.num_queues
+    }
+
+    /// Installs a perfect-match (EP) filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is out of range.
+    pub fn install_perfect(&mut self, flow: FiveTuple, queue: QueueId) {
+        assert!(queue.0 < self.num_queues, "queue out of range");
+        self.perfect.insert(flow, queue);
+    }
+
+    /// ATR learning: records that `flow`'s consumer lives on `queue`
+    /// (hardware does this by observing TX traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is out of range.
+    pub fn learn(&mut self, flow: &FiveTuple, queue: QueueId) {
+        assert!(queue.0 < self.num_queues, "queue out of range");
+        let idx = self.table_index(flow);
+        self.filter_table[idx] = Some(queue);
+    }
+
+    /// Looks up the destination queue for a packet.
+    pub fn lookup(&self, flow: &FiveTuple) -> (QueueId, SteeringSource) {
+        if let Some(&q) = self.perfect.get(flow) {
+            return (q, SteeringSource::PerfectMatch);
+        }
+        if let Some(q) = self.filter_table[self.table_index(flow)] {
+            return (q, SteeringSource::FilterTable);
+        }
+        let idx = (flow.hash32() as usize) % self.rss_table.len();
+        (self.rss_table[idx], SteeringSource::Rss)
+    }
+
+    fn table_index(&self, flow: &FiveTuple) -> usize {
+        (flow.hash32() as usize) % self.filter_table.len()
+    }
+
+    /// Number of installed perfect-match filters.
+    pub fn perfect_filter_count(&self) -> usize {
+        self.perfect.len()
+    }
+
+    /// Number of populated ATR filter-table entries.
+    pub fn filter_table_population(&self) -> usize {
+        self.filter_table.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_fallback_is_stable_and_in_range() {
+        let fd = FlowDirector::new(4, 16);
+        let f = FiveTuple::udp(9, 9, 9, 9);
+        let (q1, s1) = fd.lookup(&f);
+        let (q2, _) = fd.lookup(&f);
+        assert_eq!(q1, q2);
+        assert_eq!(s1, SteeringSource::Rss);
+        assert!(q1.0 < 4);
+    }
+
+    #[test]
+    fn atr_learning_overrides_rss() {
+        let mut fd = FlowDirector::new(4, 8192);
+        let f = FiveTuple::udp(1, 2, 3, 4);
+        fd.learn(&f, QueueId(2));
+        assert_eq!(fd.lookup(&f), (QueueId(2), SteeringSource::FilterTable));
+        assert_eq!(fd.filter_table_population(), 1);
+    }
+
+    #[test]
+    fn perfect_match_beats_atr() {
+        let mut fd = FlowDirector::new(4, 8192);
+        let f = FiveTuple::udp(1, 2, 3, 4);
+        fd.learn(&f, QueueId(1));
+        fd.install_perfect(f, QueueId(3));
+        assert_eq!(fd.lookup(&f), (QueueId(3), SteeringSource::PerfectMatch));
+        assert_eq!(fd.perfect_filter_count(), 1);
+    }
+
+    #[test]
+    fn hash_collisions_share_table_entries() {
+        // A 1-entry table makes every flow collide: the last learner wins —
+        // the documented ATR behaviour for colliding flows.
+        let mut fd = FlowDirector::new(4, 1);
+        let f1 = FiveTuple::udp(1, 1, 1, 1);
+        let f2 = FiveTuple::udp(2, 2, 2, 2);
+        fd.learn(&f1, QueueId(0));
+        fd.learn(&f2, QueueId(3));
+        assert_eq!(fd.lookup(&f1).0, QueueId(3));
+    }
+
+    #[test]
+    fn rss_indirection_table_is_programmable() {
+        let mut fd = FlowDirector::new(4, 16);
+        // Point every RSS bucket at queue 3.
+        fd.set_rss_table(&[QueueId(3)]);
+        for port in 0..20 {
+            let f = FiveTuple::udp(1, 2, port, 9);
+            assert_eq!(fd.lookup(&f), (QueueId(3), SteeringSource::Rss));
+        }
+        assert_eq!(fd.rss_table().len(), 1);
+    }
+
+    #[test]
+    fn default_rss_spread_covers_all_queues() {
+        let fd = FlowDirector::new(4, 16);
+        let mut hit = [false; 4];
+        for port in 0..200 {
+            let f = FiveTuple::udp(1, 2, port, 9);
+            let (q, _) = fd.lookup(&f);
+            hit[q.index()] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "RSS spreads across queues: {hit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range queue")]
+    fn rss_oob_queue_rejected() {
+        let mut fd = FlowDirector::new(2, 8);
+        fd.set_rss_table(&[QueueId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue out of range")]
+    fn oob_queue_rejected() {
+        let mut fd = FlowDirector::new(2, 8);
+        fd.install_perfect(FiveTuple::default(), QueueId(2));
+    }
+}

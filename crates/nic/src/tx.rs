@@ -1,0 +1,196 @@
+//! TX descriptor rings (the egress path of zero-copy forwarders).
+//!
+//! A transmit queue mirrors the RX structure: software posts descriptors
+//! pointing at the buffers to send; the NIC reads the descriptors, DMA-
+//! reads the packet data out of the memory hierarchy (the PCIe reads of
+//! Fig. 1's egress path), and writes back a completion descriptor that the
+//! driver polls to learn the buffer is free. The completion writeback is
+//! itself an inbound PCIe write that lands in the DDIO ways.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use idio_cache::addr::Addr;
+use idio_engine::time::SimTime;
+
+/// Error: the TX ring is full; the send must be retried later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxRingFullError;
+
+impl fmt::Display for TxRingFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("tx ring full; send deferred")
+    }
+}
+
+impl Error for TxRingFullError {}
+
+/// One posted transmit descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxSlot {
+    /// Ring slot index.
+    pub slot: u32,
+    /// Descriptor record address (completion is written here).
+    pub desc: Addr,
+    /// Buffer to transmit.
+    pub buf: Addr,
+    /// Cache lines to read out.
+    pub lines: u32,
+    /// Time the send was posted.
+    pub posted_at: SimTime,
+}
+
+/// A transmit descriptor ring.
+///
+/// Invariant: descriptors complete strictly in posting order (the NIC
+/// serialises its read DMA on the link).
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::Addr;
+/// use idio_engine::time::SimTime;
+/// use idio_nic::tx::TxRing;
+///
+/// let mut tx = TxRing::new(4, Addr::new(0x9000));
+/// let slot = tx.post(Addr::new(0x40000), 24, SimTime::ZERO)?;
+/// assert_eq!(tx.in_flight(), 1);
+/// let done = tx.complete();
+/// assert_eq!(done.slot, slot.slot);
+/// assert_eq!(tx.in_flight(), 0);
+/// # Ok::<(), idio_nic::tx::TxRingFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxRing {
+    size: u32,
+    desc_base: Addr,
+    head: u64,
+    pending: VecDeque<TxSlot>,
+}
+
+/// Descriptor record size (same 128-byte descriptors as RX).
+pub const TX_DESC_BYTES: u64 = crate::ring::DESC_BYTES;
+
+impl TxRing {
+    /// Creates a TX ring of `size` slots with descriptors at `desc_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u32, desc_base: Addr) -> Self {
+        assert!(size > 0, "tx ring must have at least one slot");
+        TxRing {
+            size,
+            desc_base,
+            head: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Posted-but-not-completed sends.
+    pub fn in_flight(&self) -> u32 {
+        self.pending.len() as u32
+    }
+
+    /// Descriptor address of `slot`.
+    pub fn desc_addr(&self, slot: u32) -> Addr {
+        debug_assert!(slot < self.size);
+        self.desc_base + TX_DESC_BYTES * u64::from(slot)
+    }
+
+    /// Byte span of the descriptor array (for address-map layout).
+    pub fn desc_region_bytes(&self) -> u64 {
+        TX_DESC_BYTES * u64::from(self.size)
+    }
+
+    /// Software side: posts a send of `lines` lines from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxRingFullError`] when all descriptors are in flight.
+    pub fn post(&mut self, buf: Addr, lines: u32, now: SimTime) -> Result<TxSlot, TxRingFullError> {
+        if self.in_flight() == self.size {
+            return Err(TxRingFullError);
+        }
+        let slot = (self.head % u64::from(self.size)) as u32;
+        self.head += 1;
+        let tx = TxSlot {
+            slot,
+            desc: self.desc_addr(slot),
+            buf,
+            lines,
+            posted_at: now,
+        };
+        self.pending.push_back(tx);
+        Ok(tx)
+    }
+
+    /// NIC side: completes the oldest in-flight send (after its data DMA
+    /// and completion-descriptor writeback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight.
+    pub fn complete(&mut self) -> TxSlot {
+        self.pending
+            .pop_front()
+            .expect("tx completion with nothing in flight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> TxRing {
+        TxRing::new(n, Addr::new(0x30_0000))
+    }
+
+    #[test]
+    fn post_complete_fifo() {
+        let mut tx = ring(4);
+        for i in 0..4u64 {
+            tx.post(Addr::new(0x1000 * (i + 1)), 16, SimTime::from_ns(i))
+                .unwrap();
+        }
+        assert_eq!(tx.post(Addr::new(0x9000), 1, SimTime::ZERO), Err(TxRingFullError));
+        for i in 0..4u64 {
+            let done = tx.complete();
+            assert_eq!(done.buf, Addr::new(0x1000 * (i + 1)));
+            assert_eq!(done.posted_at, SimTime::from_ns(i));
+        }
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn slots_wrap_around() {
+        let mut tx = ring(2);
+        let a = tx.post(Addr::new(0x1000), 1, SimTime::ZERO).unwrap();
+        tx.complete();
+        let b = tx.post(Addr::new(0x2000), 1, SimTime::ZERO).unwrap();
+        let c = tx.post(Addr::new(0x3000), 1, SimTime::ZERO).unwrap();
+        assert_eq!(a.slot, 0);
+        assert_eq!(b.slot, 1);
+        assert_eq!(c.slot, 0);
+    }
+
+    #[test]
+    fn descriptor_addresses_stride() {
+        let tx = ring(8);
+        assert_eq!(tx.desc_addr(0), Addr::new(0x30_0000));
+        assert_eq!(tx.desc_addr(3), Addr::new(0x30_0000 + 3 * 128));
+        assert_eq!(tx.desc_region_bytes(), 8 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing in flight")]
+    fn complete_on_empty_panics() {
+        ring(1).complete();
+    }
+}

@@ -1,0 +1,67 @@
+//! The classifier driven by real wire bytes: the DSCP and five-tuple the
+//! NIC parsing hardware extracts from the serialized Ethernet/IPv4/UDP
+//! headers must agree with the structural packet fields, so classifying
+//! from bytes matches classifying from the model packet.
+
+use idio_cache::addr::CoreId;
+use idio_engine::time::SimTime;
+use idio_net::headers::{parse_wire_header, wire_header};
+use idio_net::packet::{Dscp, FiveTuple, Packet};
+use idio_nic::classifier::{ClassifierConfig, IdioClassifier};
+use idio_nic::tlp::AppClass;
+
+fn classify_from_wire(
+    cl: &mut IdioClassifier,
+    at: SimTime,
+    packet: &Packet,
+    core: CoreId,
+) -> idio_nic::classifier::PacketClass {
+    // Serialise the header stack, then parse it back the way the NIC's
+    // header-parsing block does, and classify the reconstructed packet.
+    let bytes = wire_header(packet);
+    let (flow, dscp) = parse_wire_header(&bytes).expect("valid stack");
+    let reparsed = Packet::new(packet.id, packet.len, flow, dscp);
+    cl.classify(at, &reparsed, core)
+}
+
+#[test]
+fn wire_and_struct_classification_agree() {
+    let mut a = IdioClassifier::new(ClassifierConfig::paper_default(), 2);
+    let mut b = IdioClassifier::new(ClassifierConfig::paper_default(), 2);
+    for (i, dscp) in [0u8, 8, 0, 46, 8].iter().enumerate() {
+        let pkt = Packet::new(
+            i as u64,
+            1514,
+            FiveTuple::udp(10, 20, 1000 + i as u16, 5000),
+            Dscp::new(*dscp).unwrap(),
+        );
+        let t = SimTime::from_ns(i as u64 * 500);
+        let from_struct = a.classify(t, &pkt, CoreId::new(0));
+        let from_wire = classify_from_wire(&mut b, t, &pkt, CoreId::new(0));
+        assert_eq!(from_struct, from_wire, "packet {i}");
+    }
+}
+
+#[test]
+fn class1_marking_survives_the_wire() {
+    let mut cl = IdioClassifier::new(ClassifierConfig::paper_default(), 1);
+    let pkt = Packet::new(
+        0,
+        1514,
+        FiveTuple::udp(1, 2, 3, 4),
+        Dscp::CLASS1_DEFAULT,
+    );
+    let c = classify_from_wire(&mut cl, SimTime::ZERO, &pkt, CoreId::new(0));
+    assert_eq!(c.app_class, AppClass::Class1);
+}
+
+#[test]
+fn flow_director_hash_is_stable_across_the_wire() {
+    // The queue a packet steers to must not depend on whether the flow
+    // was read from the struct or re-parsed from bytes.
+    let flow = FiveTuple::udp(0x0a00_0001, 0x0a00_0002, 41_000, 5000);
+    let pkt = Packet::new(0, 1024, flow, Dscp::BEST_EFFORT);
+    let bytes = wire_header(&pkt);
+    let (reparsed, _) = parse_wire_header(&bytes).unwrap();
+    assert_eq!(flow.hash32(), reparsed.hash32());
+}

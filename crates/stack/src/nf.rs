@@ -1,0 +1,315 @@
+//! Network functions (Table II) and their memory access patterns.
+//!
+//! An NF is described by the per-packet *program* it runs against the DMA
+//! buffer: which lines it reads and writes (descriptor, mbuf metadata,
+//! header, payload) and whether the packet is dropped or transmitted. The
+//! full-system simulator executes the program against the cache hierarchy
+//! and charges core time per access.
+
+use idio_cache::addr::Addr;
+#[cfg(test)]
+use idio_net::packet::HEADER_BYTES;
+
+/// Bytes of mbuf metadata the driver maintains per packet (`rte_mbuf`
+/// header: two cache lines).
+pub const MBUF_META_BYTES: u64 = 128;
+
+/// One memory operation of an NF's per-packet program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read `lines` cache lines starting at `addr`.
+    Read {
+        /// Start address (line-aligned by construction).
+        addr: Addr,
+        /// Number of 64-byte lines.
+        lines: u32,
+    },
+    /// Write `lines` cache lines starting at `addr`.
+    Write {
+        /// Start address (line-aligned by construction).
+        addr: Addr,
+        /// Number of 64-byte lines.
+        lines: u32,
+    },
+}
+
+impl MemOp {
+    /// Number of lines this operation touches.
+    pub fn lines(&self) -> u32 {
+        match *self {
+            MemOp::Read { lines, .. } | MemOp::Write { lines, .. } => lines,
+        }
+    }
+}
+
+/// What happens to the packet after the program runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketAction {
+    /// The packet is dropped; its buffer is free immediately.
+    Drop,
+    /// The packet is forwarded: the NIC will PCIe-read `lines` lines from
+    /// the buffer, and the buffer is free only after the TX completes
+    /// (zero-copy run-to-completion).
+    Tx {
+        /// Lines the NIC reads back out.
+        lines: u32,
+    },
+}
+
+/// The per-packet program of an NF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketWork {
+    /// Memory operations, in program order.
+    pub ops: Vec<MemOp>,
+    /// Post-processing action.
+    pub action: PacketAction,
+}
+
+/// Addresses of the structures belonging to one received packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketCtx {
+    /// DMA buffer base.
+    pub buf: Addr,
+    /// Descriptor record base.
+    pub desc: Addr,
+    /// mbuf metadata base.
+    pub meta: Addr,
+    /// Application-space copy buffer base (used by copy-mode stacks).
+    pub app: Addr,
+    /// Frame length in bytes.
+    pub len: u16,
+}
+
+impl PacketCtx {
+    /// Lines occupied by the frame.
+    pub fn frame_lines(&self) -> u32 {
+        u32::from(self.len).div_ceil(64)
+    }
+
+    /// Lines occupied by the payload (frame minus the header line).
+    pub fn payload_lines(&self) -> u32 {
+        self.frame_lines().saturating_sub(1)
+    }
+}
+
+/// The Table II workload selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NfKind {
+    /// Receive packets, touch all their data, drop them.
+    TouchDrop,
+    /// Receive packets, rewrite the Ethernet header, forward them
+    /// (zero-copy).
+    L2Fwd,
+    /// The Sec. VII direct-DRAM variant of L2Fwd: process the header, drop
+    /// the payload untouched. Senders mark these flows application class 1.
+    L2FwdPayloadDrop,
+    /// The Sec. II-B *copy* recycling mode (how the Linux stack works):
+    /// the packet is copied out of the DMA buffer into application space
+    /// and processed there; the DMA buffer is dead right after the copy.
+    TouchDropCopy,
+    /// A deep-packet-inspection forwarder (IDS-style, the "deep" NF class
+    /// of Sec. II-B): inspects every payload byte, then forwards the same
+    /// buffer zero-copy.
+    DeepFwd,
+}
+
+impl NfKind {
+    /// The workload's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NfKind::TouchDrop => "TouchDrop",
+            NfKind::L2Fwd => "L2Fwd",
+            NfKind::L2FwdPayloadDrop => "L2FwdPayloadDrop",
+            NfKind::TouchDropCopy => "TouchDropCopy",
+            NfKind::DeepFwd => "DeepFwd",
+        }
+    }
+
+    /// Whether the DMA buffer is recycled only after TX completion.
+    pub fn frees_on_tx(self) -> bool {
+        matches!(self, NfKind::L2Fwd | NfKind::DeepFwd)
+    }
+
+    /// Builds the per-packet program for a packet at `ctx`.
+    ///
+    /// Every NF starts by reading the descriptor (2 lines) and writing the
+    /// mbuf metadata (2 lines) — the PMD's receive-side bookkeeping.
+    pub fn packet_work(self, ctx: &PacketCtx) -> PacketWork {
+        let desc_lines = (crate::DESC_BYTES_FOR_WORK / 64) as u32;
+        let meta_lines = (MBUF_META_BYTES / 64) as u32;
+        let mut ops = vec![
+            MemOp::Read {
+                addr: ctx.desc,
+                lines: desc_lines,
+            },
+            MemOp::Write {
+                addr: ctx.meta,
+                lines: meta_lines,
+            },
+        ];
+        let action = match self {
+            NfKind::TouchDrop => {
+                // Touch the entire frame, header included.
+                ops.push(MemOp::Read {
+                    addr: ctx.buf,
+                    lines: ctx.frame_lines(),
+                });
+                PacketAction::Drop
+            }
+            NfKind::L2Fwd => {
+                // Inspect and rewrite the Ethernet header in place; the
+                // payload is never touched by the core.
+                ops.push(MemOp::Read {
+                    addr: ctx.buf,
+                    lines: 1,
+                });
+                ops.push(MemOp::Write {
+                    addr: ctx.buf,
+                    lines: 1,
+                });
+                PacketAction::Tx {
+                    lines: ctx.frame_lines(),
+                }
+            }
+            NfKind::L2FwdPayloadDrop => {
+                ops.push(MemOp::Read {
+                    addr: ctx.buf,
+                    lines: 1,
+                });
+                ops.push(MemOp::Write {
+                    addr: ctx.buf,
+                    lines: 1,
+                });
+                PacketAction::Drop
+            }
+            NfKind::DeepFwd => {
+                // Inspect the entire frame, rewrite the header, forward.
+                ops.push(MemOp::Read {
+                    addr: ctx.buf,
+                    lines: ctx.frame_lines(),
+                });
+                ops.push(MemOp::Write {
+                    addr: ctx.buf,
+                    lines: 1,
+                });
+                PacketAction::Tx {
+                    lines: ctx.frame_lines(),
+                }
+            }
+            NfKind::TouchDropCopy => {
+                // Copy the frame into application space, then process the
+                // copy (the processing touches lines already made private
+                // by the copy's writes).
+                ops.push(MemOp::Read {
+                    addr: ctx.buf,
+                    lines: ctx.frame_lines(),
+                });
+                ops.push(MemOp::Write {
+                    addr: ctx.app,
+                    lines: ctx.frame_lines(),
+                });
+                ops.push(MemOp::Read {
+                    addr: ctx.app,
+                    lines: ctx.frame_lines(),
+                });
+                PacketAction::Drop
+            }
+        };
+        PacketWork { ops, action }
+    }
+}
+
+impl std::fmt::Display for NfKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(len: u16) -> PacketCtx {
+        PacketCtx {
+            buf: Addr::new(0x10000),
+            desc: Addr::new(0x20000),
+            meta: Addr::new(0x30000),
+            app: Addr::new(0x40000),
+            len,
+        }
+    }
+
+    #[test]
+    fn touchdrop_reads_whole_frame() {
+        let w = NfKind::TouchDrop.packet_work(&ctx(1514));
+        assert_eq!(w.action, PacketAction::Drop);
+        let total: u32 = w.ops.iter().map(MemOp::lines).sum();
+        // 2 desc + 2 meta + 24 frame lines.
+        assert_eq!(total, 28);
+        assert!(matches!(
+            w.ops.last(),
+            Some(MemOp::Read { lines: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn l2fwd_touches_only_the_header() {
+        let w = NfKind::L2Fwd.packet_work(&ctx(1024));
+        assert_eq!(w.action, PacketAction::Tx { lines: 16 });
+        // Buffer accesses: 1 read + 1 write of the header line only.
+        let buf_lines: u32 = w
+            .ops
+            .iter()
+            .filter(|op| match op {
+                MemOp::Read { addr, .. } | MemOp::Write { addr, .. } => addr.get() == 0x10000,
+            })
+            .map(MemOp::lines)
+            .sum();
+        assert_eq!(buf_lines, 2);
+        assert!(NfKind::L2Fwd.frees_on_tx());
+    }
+
+    #[test]
+    fn deepfwd_inspects_everything_and_forwards() {
+        let w = NfKind::DeepFwd.packet_work(&ctx(1514));
+        assert_eq!(w.action, PacketAction::Tx { lines: 24 });
+        // Reads the whole frame (deep inspection) plus desc/meta.
+        let read_lines: u32 = w
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                MemOp::Read { lines, .. } => Some(*lines),
+                MemOp::Write { .. } => None,
+            })
+            .sum();
+        assert_eq!(read_lines, 2 + 24);
+        assert!(NfKind::DeepFwd.frees_on_tx());
+        assert_eq!(NfKind::DeepFwd.name(), "DeepFwd");
+    }
+
+    #[test]
+    fn payload_drop_never_transmits() {
+        let w = NfKind::L2FwdPayloadDrop.packet_work(&ctx(1514));
+        assert_eq!(w.action, PacketAction::Drop);
+        assert!(!NfKind::L2FwdPayloadDrop.frees_on_tx());
+    }
+
+    #[test]
+    fn header_fits_one_line() {
+        // A structural assumption of the classifier (Sec. V-A).
+        assert!(u64::from(HEADER_BYTES) <= 64);
+    }
+
+    #[test]
+    fn small_frame_line_math() {
+        let c = ctx(64);
+        assert_eq!(c.frame_lines(), 1);
+        assert_eq!(c.payload_lines(), 0);
+    }
+
+    #[test]
+    fn names_match_table2() {
+        assert_eq!(NfKind::TouchDrop.name(), "TouchDrop");
+        assert_eq!(format!("{}", NfKind::L2Fwd), "L2Fwd");
+    }
+}
