@@ -1,11 +1,11 @@
-//! Criterion benches: one representative simulation per paper figure.
+//! Micro-benches: one representative simulation per paper figure.
 //!
 //! Each bench runs the scaled-down configuration behind the corresponding
 //! figure once per iteration and asserts its headline property, so both
 //! simulator *performance* and simulator *behaviour* regressions are
 //! caught by `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idio_bench::micro::Micro;
 use idio_core::config::SystemConfig;
 use idio_core::net::gen::{BurstSpec, TrafficPattern};
 use idio_core::net::packet::Dscp;
@@ -13,7 +13,6 @@ use idio_core::policy::SteeringPolicy;
 use idio_core::stack::nf::NfKind;
 use idio_core::system::System;
 use idio_engine::time::{Duration, SimTime};
-use std::hint::black_box;
 
 /// One 1024-packet burst at `rate` Gbps under `policy`, 2 TouchDrop cores.
 fn burst_once(rate: f64, policy: SteeringPolicy, kind: NfKind, dscp: Dscp) -> u64 {
@@ -30,122 +29,88 @@ fn burst_once(rate: f64, policy: SteeringPolicy, kind: NfKind, dscp: Dscp) -> u6
     r.totals.mlc_wb + r.totals.llc_wb
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::from_args();
+
     // Fig. 4's unit of work: steady DDIO traffic recycling a 1024 ring.
-    c.bench_function("fig4_steady_ddio_ring1024", |b| {
-        b.iter(|| {
-            let mut cfg = SystemConfig::touchdrop_scenario(
-                2,
-                TrafficPattern::Steady { rate_gbps: 10.0 },
-            );
-            cfg.duration = SimTime::from_ms(1);
-            cfg.drain_grace = Duration::from_us(500);
-            let r = System::new(cfg).run();
-            black_box(r.totals.mlc_wb)
-        })
+    m.bench("fig4_steady_ddio_ring1024", || {
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps: 10.0 });
+        cfg.duration = SimTime::from_ms(1);
+        cfg.drain_grace = Duration::from_us(500);
+        let r = System::new(cfg).run();
+        r.totals.mlc_wb
     });
-}
 
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_burst_timeline_ddio", |b| {
-        b.iter(|| black_box(burst_once(100.0, SteeringPolicy::Ddio, NfKind::TouchDrop, Dscp::BEST_EFFORT)))
+    m.bench("fig5_burst_timeline_ddio", || {
+        burst_once(
+            100.0,
+            SteeringPolicy::Ddio,
+            NfKind::TouchDrop,
+            Dscp::BEST_EFFORT,
+        )
     });
-}
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_policies_100g");
-    g.sample_size(10);
     for policy in SteeringPolicy::ALL {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| black_box(burst_once(100.0, policy, NfKind::TouchDrop, Dscp::BEST_EFFORT)))
+        m.bench(&format!("fig9_policies_100g/{}", policy.label()), || {
+            burst_once(100.0, policy, NfKind::TouchDrop, Dscp::BEST_EFFORT)
         });
     }
-    g.finish();
-}
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_rates_idio");
-    g.sample_size(10);
     for rate in [100.0, 25.0, 10.0] {
-        g.bench_function(format!("{rate:.0}g"), |b| {
-            b.iter(|| black_box(burst_once(rate, SteeringPolicy::Idio, NfKind::TouchDrop, Dscp::BEST_EFFORT)))
+        m.bench(&format!("fig10_rates_idio/{rate:.0}g"), || {
+            burst_once(
+                rate,
+                SteeringPolicy::Idio,
+                NfKind::TouchDrop,
+                Dscp::BEST_EFFORT,
+            )
         });
     }
-    g.finish();
-}
 
-fn bench_fig11(c: &mut Criterion) {
-    c.bench_function("fig11_l2fwd_idio", |b| {
-        b.iter(|| black_box(burst_once(25.0, SteeringPolicy::Idio, NfKind::L2Fwd, Dscp::BEST_EFFORT)))
+    m.bench("fig11_l2fwd_idio", || {
+        burst_once(25.0, SteeringPolicy::Idio, NfKind::L2Fwd, Dscp::BEST_EFFORT)
     });
-}
 
-fn bench_direct_dram(c: &mut Criterion) {
-    c.bench_function("direct_dram_class1", |b| {
-        b.iter(|| {
-            black_box(burst_once(
-                25.0,
-                SteeringPolicy::Idio,
-                NfKind::L2FwdPayloadDrop,
-                Dscp::CLASS1_DEFAULT,
-            ))
-        })
+    m.bench("direct_dram_class1", || {
+        burst_once(
+            25.0,
+            SteeringPolicy::Idio,
+            NfKind::L2FwdPayloadDrop,
+            Dscp::CLASS1_DEFAULT,
+        )
     });
-}
 
-fn bench_fig12(c: &mut Criterion) {
-    c.bench_function("fig12_latency_corun", |b| {
-        b.iter(|| {
-            let spec = BurstSpec::for_ring(1024, 1514, 25.0, Duration::from_ms(2));
-            let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec))
-                .with_antagonist();
+    m.bench("fig12_latency_corun", || {
+        let spec = BurstSpec::for_ring(1024, 1514, 25.0, Duration::from_ms(2));
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec)).with_antagonist();
+        cfg.duration = SimTime::from_ms(2);
+        cfg.drain_grace = Duration::from_ms(2);
+        let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
+        r.p99()
+    });
+
+    m.bench("fig13_steady_idio", || {
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps: 10.0 });
+        cfg.duration = SimTime::from_ms(1);
+        cfg.drain_grace = Duration::from_us(500);
+        let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
+        r.totals.self_inval
+    });
+
+    for thr in [10.0, 100.0] {
+        m.bench(&format!("fig14_mlcthr/{thr:.0}mtps"), || {
+            let spec = BurstSpec::for_ring(1024, 1514, 100.0, Duration::from_ms(2));
+            let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec));
+            cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
             cfg.duration = SimTime::from_ms(2);
             cfg.drain_grace = Duration::from_ms(2);
             let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
-            black_box(r.p99())
-        })
-    });
-}
-
-fn bench_fig13(c: &mut Criterion) {
-    c.bench_function("fig13_steady_idio", |b| {
-        b.iter(|| {
-            let mut cfg = SystemConfig::touchdrop_scenario(
-                2,
-                TrafficPattern::Steady { rate_gbps: 10.0 },
-            );
-            cfg.duration = SimTime::from_ms(1);
-            cfg.drain_grace = Duration::from_us(500);
-            let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
-            black_box(r.totals.self_inval)
-        })
-    });
-}
-
-fn bench_fig14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_mlcthr");
-    g.sample_size(10);
-    for thr in [10.0, 100.0] {
-        g.bench_function(format!("{thr:.0}mtps"), |b| {
-            b.iter(|| {
-                let spec = BurstSpec::for_ring(1024, 1514, 100.0, Duration::from_ms(2));
-                let mut cfg =
-                    SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec));
-                cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
-                cfg.duration = SimTime::from_ms(2);
-                cfg.drain_grace = Duration::from_ms(2);
-                let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
-                black_box(r.totals.mlc_wb)
-            })
+            r.totals.mlc_wb
         });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig4, bench_fig5, bench_fig9, bench_fig10, bench_fig11,
-        bench_direct_dram, bench_fig12, bench_fig13, bench_fig14
+    m.finish();
 }
-criterion_main!(figures);

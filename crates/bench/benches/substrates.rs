@@ -3,7 +3,7 @@
 //! parameters called out in DESIGN.md (prefetch queue depth, DDIO way
 //! count, ring size).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idio_bench::micro::Micro;
 use idio_core::cache::addr::{CoreId, LineAddr};
 use idio_core::cache::config::HierarchyConfig;
 use idio_core::cache::hierarchy::{DmaPlacement, Hierarchy};
@@ -13,52 +13,6 @@ use idio_core::policy::SteeringPolicy;
 use idio_core::system::System;
 use idio_engine::queue::EventQueue;
 use idio_engine::time::{Duration, SimTime};
-use std::hint::black_box;
-
-fn bench_hierarchy_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
-    g.bench_function("pcie_write_then_cpu_read", |b| {
-        let mut h = Hierarchy::new(HierarchyConfig::paper_default(2));
-        let mut i = 0u64;
-        b.iter(|| {
-            let line = LineAddr::new(i % 32_768);
-            i += 1;
-            h.pcie_write(line, DmaPlacement::Llc);
-            black_box(h.cpu_read(CoreId::new(0), line))
-        })
-    });
-    g.bench_function("self_invalidate", |b| {
-        let mut h = Hierarchy::new(HierarchyConfig::paper_default(2));
-        let mut i = 0u64;
-        b.iter(|| {
-            let line = LineAddr::new(i % 16_384);
-            i += 1;
-            h.cpu_write(CoreId::new(0), line);
-            black_box(h.self_invalidate(
-                CoreId::new(0),
-                line,
-                idio_core::cache::hierarchy::InvalidateScope::PrivateOnly,
-            ))
-        })
-    });
-    g.finish();
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule_at(SimTime::from_ps(i * 37 % 5000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum += e;
-            }
-            black_box(sum)
-        })
-    });
-}
 
 fn run_with<F: FnOnce(&mut SystemConfig)>(f: F) -> u64 {
     let spec = BurstSpec::for_ring(1024, 1514, 100.0, Duration::from_ms(2));
@@ -71,55 +25,72 @@ fn run_with<F: FnOnce(&mut SystemConfig)>(f: F) -> u64 {
     r.totals.mlc_wb + r.totals.llc_wb
 }
 
-/// Ablation: prefetch queue depth (Sec. V-C default is 32).
-fn bench_ablation_prefetch_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_prefetch_depth");
-    g.sample_size(10);
+fn main() {
+    let mut m = Micro::from_args();
+
+    m.bench("hierarchy/pcie_write_then_cpu_read", || {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_default(2));
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            let line = LineAddr::new(i % 32_768);
+            h.pcie_write(line, DmaPlacement::Llc);
+            acc += u64::from(h.cpu_read(CoreId::new(0), line).effects.dram_reads);
+        }
+        acc
+    });
+
+    m.bench("hierarchy/self_invalidate", || {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_default(2));
+        for i in 0..10_000u64 {
+            let line = LineAddr::new(i % 16_384);
+            h.cpu_write(CoreId::new(0), line);
+            h.self_invalidate(
+                CoreId::new(0),
+                line,
+                idio_core::cache::hierarchy::InvalidateScope::PrivateOnly,
+            );
+        }
+        h.stats().shared.llc_wb.get()
+    });
+
+    m.bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule_at(SimTime::from_ps(i * 37 % 5000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum += e;
+        }
+        sum
+    });
+
+    // Ablation: prefetch queue depth (Sec. V-C default is 32).
     for depth in [8usize, 32, 128] {
-        g.bench_function(format!("depth{depth}"), |b| {
-            b.iter(|| black_box(run_with(|cfg| cfg.prefetcher.queue_depth = depth)))
+        m.bench(&format!("ablation_prefetch_depth/depth{depth}"), || {
+            run_with(|cfg| cfg.prefetcher.queue_depth = depth)
         });
     }
-    g.finish();
-}
 
-/// Ablation: number of LLC ways reserved for DDIO.
-fn bench_ablation_ddio_ways(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ddio_ways");
-    g.sample_size(10);
+    // Ablation: number of LLC ways reserved for DDIO.
     for ways in [1usize, 2, 4] {
-        g.bench_function(format!("ways{ways}"), |b| {
-            b.iter(|| black_box(run_with(|cfg| cfg.hierarchy.ddio_ways = ways)))
+        m.bench(&format!("ablation_ddio_ways/ways{ways}"), || {
+            run_with(|cfg| cfg.hierarchy.ddio_ways = ways)
         });
     }
-    g.finish();
-}
 
-/// Ablation: DMA ring depth (Sec. III's central variable).
-fn bench_ablation_ring_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ring_size");
-    g.sample_size(10);
+    // Ablation: DMA ring depth (Sec. III's central variable).
     for ring in [256u32, 1024] {
-        g.bench_function(format!("ring{ring}"), |b| {
-            b.iter(|| {
-                let spec = BurstSpec::for_ring(ring, 1514, 100.0, Duration::from_ms(2));
-                let mut cfg =
-                    SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec));
-                cfg.ring_size = ring;
-                cfg.duration = SimTime::from_ms(2);
-                cfg.drain_grace = Duration::from_ms(2);
-                let r = System::new(cfg).run();
-                black_box(r.totals.mlc_wb)
-            })
+        m.bench(&format!("ablation_ring_size/ring{ring}"), || {
+            let spec = BurstSpec::for_ring(ring, 1514, 100.0, Duration::from_ms(2));
+            let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec));
+            cfg.ring_size = ring;
+            cfg.duration = SimTime::from_ms(2);
+            cfg.drain_grace = Duration::from_ms(2);
+            let r = System::new(cfg).run();
+            r.totals.mlc_wb
         });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = substrates;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hierarchy_ops, bench_event_queue, bench_ablation_prefetch_depth,
-        bench_ablation_ddio_ways, bench_ablation_ring_size
+    m.finish();
 }
-criterion_main!(substrates);

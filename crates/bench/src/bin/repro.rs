@@ -5,27 +5,54 @@
 //! cargo run -p idio-bench --release --bin repro -- --quick # shrunk runs
 //! cargo run -p idio-bench --release --bin repro -- fig9 fig10
 //! cargo run -p idio-bench --release --bin repro -- --series fig5
+//! cargo run -p idio-bench --release --bin repro -- --jobs 8 --progress
 //! ```
+//!
+//! All requested figures are fanned out as one cell pool over `--jobs`
+//! worker threads; per-cell seeds are derived from the cell labels, so the
+//! output is byte-identical for every `--jobs` value.
 
 use std::process::ExitCode;
-use std::time::Instant;
 
-use idio_bench::json::figure_to_json;
-use idio_bench::{run_experiment, EXPERIMENTS};
+use idio_bench::json::{figure_to_json, suite_timing_to_json};
+use idio_bench::{experiment_spec, EXPERIMENTS};
 use idio_core::experiments::Scale;
+use idio_core::sweep::{run_figures, SweepOptions};
 
 fn main() -> ExitCode {
     let mut scale = Scale::full();
     let mut print_series = false;
     let mut as_json = false;
+    let mut timings = false;
+    let mut opts = SweepOptions::default();
     let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::quick(),
             "--series" => print_series = true,
             "--json" => as_json = true,
+            "--timings" => timings = true,
+            "--progress" => opts.progress = true,
+            "--jobs" | "-j" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => opts.jobs = n,
+                _ => {
+                    eprintln!("error: --jobs needs a number (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => opts.root_seed = s,
+                _ => {
+                    eprintln!("error: --seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--series] [--json] [experiment...]");
+                println!(
+                    "usage: repro [--quick] [--series] [--json] [--timings] \
+                     [--progress] [--jobs N] [--seed S] [experiment...]"
+                );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -36,33 +63,57 @@ fn main() -> ExitCode {
         names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
+    let mut specs = Vec::with_capacity(names.len());
     for name in &names {
-        let started = Instant::now();
-        match run_experiment(name, scale) {
-            Ok(result) => {
-                if as_json {
-                    println!("{}", figure_to_json(&result));
-                    continue;
-                }
-                println!("{result}");
-                if print_series {
-                    for (label, series) in &result.series {
-                        println!("-- series {label} ({} samples)", series.len());
-                        for s in series.samples() {
-                            if s.value != 0.0 {
-                                println!("{:.1}us {:.2}", s.at.as_us_f64(), s.value);
-                            }
-                        }
-                    }
-                }
-                println!("[{name} took {:.1?}]\n", started.elapsed());
-            }
+        match experiment_spec(name, scale) {
+            Ok(spec) => specs.push(spec),
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("known experiments: {}", EXPERIMENTS.join(" "));
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    let (figures, timing) = run_figures(specs, &opts);
+
+    for figure in &figures {
+        if as_json {
+            println!("{}", figure_to_json(figure));
+            continue;
+        }
+        println!("{figure}");
+        if print_series {
+            for (label, series) in &figure.series {
+                println!("-- series {label} ({} samples)", series.len());
+                for s in series.samples() {
+                    if s.value != 0.0 {
+                        println!("{:.1}us {:.2}", s.at.as_us_f64(), s.value);
+                    }
+                }
+            }
+        }
+        if !as_json {
+            println!();
+        }
+    }
+
+    // Timing goes to stderr so stdout stays a pure function of the figure
+    // results (byte-identical across --jobs values).
+    if timings {
+        eprintln!("{}", suite_timing_to_json(&timing));
+    } else {
+        let cpu = timing.cpu_total();
+        // cpu/wall is the mean number of in-flight cells, which equals the
+        // speedup only when the host has that many free cores.
+        eprintln!(
+            "[{} cells on {} worker(s): wall {:.1?}, cell time {:.1?}, concurrency {:.2}x]",
+            timing.figures.iter().map(|f| f.cells.len()).sum::<usize>(),
+            timing.jobs,
+            timing.wall,
+            cpu,
+            cpu.as_secs_f64() / timing.wall.as_secs_f64().max(1e-9),
+        );
     }
     ExitCode::SUCCESS
 }

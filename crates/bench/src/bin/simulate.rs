@@ -16,6 +16,7 @@ use idio_core::net::gen::{BurstSpec, TrafficPattern};
 use idio_core::net::packet::Dscp;
 use idio_core::policy::SteeringPolicy;
 use idio_core::stack::nf::NfKind;
+use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
 use idio_core::system::System;
 use idio_engine::time::{Duration, SimTime};
 
@@ -33,6 +34,8 @@ struct Args {
     class1: bool,
     mlc_thr_mtps: Option<f64>,
     seed: u64,
+    all_policies: bool,
+    jobs: usize,
 }
 
 impl Default for Args {
@@ -51,6 +54,8 @@ impl Default for Args {
             class1: false,
             mlc_thr_mtps: None,
             seed: 0xD10,
+            all_policies: false,
+            jobs: 1,
         }
     }
 }
@@ -69,7 +74,9 @@ fn usage() {
          --antagonist                                    co-run LLCAntagonist\n\
          --class1                                        mark flows app class 1\n\
          --mlc-thr <mtps>                                override mlcTHR\n\
-         --seed <n>                                      PRNG seed"
+         --seed <n>                                      PRNG seed\n\
+         --all-policies                                  run every policy and compare\n\
+         --jobs <n>                                      worker threads for --all-policies (0 = all cores)"
     );
 }
 
@@ -77,10 +84,7 @@ fn parse() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match a.as_str() {
             "--policy" => {
                 args.policy = match val("--policy")?.to_lowercase().as_str() {
@@ -121,6 +125,8 @@ fn parse() -> Result<Args, String> {
                 args.mlc_thr_mtps = Some(val("--mlc-thr")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--all-policies" => args.all_policies = true,
+            "--jobs" | "-j" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
                 usage();
                 std::process::exit(0);
@@ -180,6 +186,51 @@ fn main() -> ExitCode {
         cfg = cfg.with_antagonist();
     }
 
+    if args.all_policies {
+        let cells: Vec<SweepCell> = SteeringPolicy::ALL
+            .into_iter()
+            .map(|policy| {
+                SweepCell::new(
+                    format!("simulate/{}", policy.label()),
+                    cfg.clone().with_policy(policy),
+                )
+            })
+            .collect();
+        let opts = SweepOptions {
+            jobs: args.jobs,
+            root_seed: args.seed,
+            progress: false,
+        };
+        println!(
+            "comparing {} policies on {} worker(s), seed {:#x}:",
+            cells.len(),
+            opts.effective_jobs(),
+            args.seed
+        );
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "policy", "mlc_wb", "llc_wb", "dram_wr", "self_inv", "p99_us", "wall"
+        );
+        for (policy, o) in SteeringPolicy::ALL.into_iter().zip(run_cells(cells, &opts)) {
+            let p99 = o
+                .report
+                .p99()
+                .map(|d| format!("{:.1}", d.as_us_f64()))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8.1?}",
+                policy.label(),
+                o.report.totals.mlc_wb,
+                o.report.totals.llc_wb,
+                o.report.totals.dram_wr,
+                o.report.totals.self_inval,
+                p99,
+                o.wall,
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     println!(
         "simulating: {} x {} {} at {} Gbps ({}), ring {}, {} B packets, {} ms{}",
         args.cores,
@@ -196,7 +247,11 @@ fn main() -> ExitCode {
         args.ring,
         args.packet,
         args.duration_ms,
-        if args.antagonist { ", + antagonist" } else { "" },
+        if args.antagonist {
+            ", + antagonist"
+        } else {
+            ""
+        },
     );
     let report = System::new(cfg).run();
     print!("{report}");

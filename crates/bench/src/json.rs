@@ -3,6 +3,7 @@
 //! plotting scripts.
 
 use idio_core::experiments::FigureResult;
+use idio_core::sweep::SuiteTiming;
 
 /// Escapes a string for JSON.
 fn escape(s: &str) -> String {
@@ -106,6 +107,59 @@ pub fn figures_to_json(figs: &[FigureResult]) -> String {
     format!("[\n{}\n]", items.join(",\n"))
 }
 
+/// Renders a sweep timing summary as a JSON object:
+///
+/// ```json
+/// {
+///   "wall_ms": 1234.5,
+///   "jobs": 8,
+///   "root_seed": 3344,
+///   "cpu_ms": 9000.1,
+///   "figures": [
+///     {"id": "fig9", "cpu_ms": 800.0,
+///      "cells": [{"label": "fig9/100G/DDIO", "wall_ms": 66.7}, ...]},
+///     ...
+///   ]
+/// }
+/// ```
+///
+/// Kept separate from the figure JSON: figure output is a deterministic
+/// function of the configuration, timing is host noise.
+pub fn suite_timing_to_json(timing: &SuiteTiming) -> String {
+    let ms = |d: std::time::Duration| json_f64(d.as_secs_f64() * 1e3);
+    let figures: Vec<String> = timing
+        .figures
+        .iter()
+        .map(|f| {
+            let cells: Vec<String> = f
+                .cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "      {{\"label\": {}, \"wall_ms\": {}}}",
+                        json_string(&c.label),
+                        ms(c.wall)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"id\": {}, \"cpu_ms\": {}, \"cells\": [\n{}\n    ]}}",
+                json_string(f.id),
+                ms(f.cpu_total()),
+                cells.join(",\n")
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"wall_ms\": {},\n  \"jobs\": {},\n  \"root_seed\": {},\n  \"cpu_ms\": {},\n  \"figures\": [\n{}\n  ]\n}}",
+        ms(timing.wall),
+        timing.jobs,
+        timing.root_seed,
+        ms(timing.cpu_total()),
+        figures.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,11 +187,9 @@ mod tests {
         assert_eq!(json.matches("\"rows\"").count(), 1);
         assert_eq!(json.matches("\"series\"").count(), 1);
         // Balanced braces and brackets.
-        let braces =
-            json.matches('{').count() as i64 - json.matches('}').count() as i64;
+        let braces = json.matches('{').count() as i64 - json.matches('}').count() as i64;
         assert_eq!(braces, 0);
-        let brackets =
-            json.matches('[').count() as i64 - json.matches(']').count() as i64;
+        let brackets = json.matches('[').count() as i64 - json.matches(']').count() as i64;
         assert_eq!(brackets, 0);
     }
 

@@ -5,7 +5,7 @@
 //! * the **`repro` binary** (`cargo run -p idio-bench --release --bin
 //!   repro -- [fig...]`) regenerates every table and figure of the paper's
 //!   evaluation and prints them;
-//! * the **Criterion benches** (`cargo bench`) run one scaled-down
+//! * the **micro benches** (`cargo bench`, [`micro`]) run one scaled-down
 //!   experiment per figure so regressions in simulator behaviour or speed
 //!   are caught continuously.
 //!
@@ -16,8 +16,10 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod micro;
 
 use idio_core::experiments::{self, FigureResult, Scale};
+use idio_core::sweep::FigureSpec;
 
 /// Known experiment names, in paper order.
 pub const EXPERIMENTS: [&str; 17] = [
@@ -40,32 +42,41 @@ pub const EXPERIMENTS: [&str; 17] = [
     "packet-sweep",
 ];
 
-/// Runs one experiment by name.
+/// Resolves one experiment name to its declarative sweep spec.
+///
+/// # Errors
+///
+/// Returns the unknown name back to the caller.
+pub fn experiment_spec(name: &str, scale: Scale) -> Result<FigureSpec, String> {
+    Ok(match name {
+        "table1" => experiments::table1_spec(),
+        "table2" => experiments::table2_spec(),
+        "fig4" => experiments::fig4_spec(scale),
+        "fig5" => experiments::fig5_spec(scale),
+        "fig9" => experiments::fig9_spec(scale),
+        "fig10" => experiments::fig10_spec(scale),
+        "fig11" => experiments::fig11_spec(scale),
+        "direct-dram" | "direct_dram" => experiments::direct_dram_spec(scale),
+        "fig12" => experiments::fig12_spec(scale),
+        "fig13" => experiments::fig13_spec(scale),
+        "fig14" => experiments::fig14_spec(scale),
+        "future-work" | "future_work" => experiments::future_work_spec(scale),
+        "bloating" => experiments::bloating_spec(scale),
+        "copy-mode" | "copy_mode" => experiments::copy_mode_spec(scale),
+        "baselines" => experiments::baselines_spec(scale),
+        "ring-sweep" | "ring_sweep" => experiments::ring_sweep_spec(scale),
+        "packet-sweep" | "packet_sweep" => experiments::packet_sweep_spec(scale),
+        other => return Err(format!("unknown experiment '{other}'")),
+    })
+}
+
+/// Runs one experiment by name, serially.
 ///
 /// # Errors
 ///
 /// Returns the unknown name back to the caller.
 pub fn run_experiment(name: &str, scale: Scale) -> Result<FigureResult, String> {
-    Ok(match name {
-        "table1" => experiments::table1(),
-        "table2" => experiments::table2(),
-        "fig4" => experiments::fig4(scale),
-        "fig5" => experiments::fig5(scale),
-        "fig9" => experiments::fig9(scale),
-        "fig10" => experiments::fig10(scale),
-        "fig11" => experiments::fig11(scale),
-        "direct-dram" | "direct_dram" => experiments::direct_dram(scale),
-        "fig12" => experiments::fig12(scale),
-        "fig13" => experiments::fig13(scale),
-        "fig14" => experiments::fig14(scale),
-        "future-work" | "future_work" => experiments::future_work(scale),
-        "bloating" => experiments::bloating(scale),
-        "copy-mode" | "copy_mode" => experiments::copy_mode(scale),
-        "baselines" => experiments::baselines(scale),
-        "ring-sweep" | "ring_sweep" => experiments::ring_sweep(scale),
-        "packet-sweep" | "packet_sweep" => experiments::packet_sweep(scale),
-        other => return Err(format!("unknown experiment '{other}'")),
-    })
+    Ok(experiment_spec(name, scale)?.run_serial())
 }
 
 #[cfg(test)]

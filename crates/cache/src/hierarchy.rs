@@ -397,7 +397,10 @@ impl Hierarchy {
     /// resident (L1 is inclusive in the MLC).
     fn fill_l1(&mut self, core: CoreId, line: LineAddr) {
         let ci = core.index();
-        debug_assert!(self.cores[ci].mlc.contains(line), "L1 fill breaks inclusion");
+        debug_assert!(
+            self.cores[ci].mlc.contains(line),
+            "L1 fill breaks inclusion"
+        );
         let (victim, _) = self.cores[ci].l1d.insert(line, false, self.l1_mask);
         if let Some(v) = victim {
             if v.dirty {
@@ -415,7 +418,10 @@ impl Hierarchy {
         let l1 = self.cores[ci].l1d.remove(line);
         let mlc = self.cores[ci].mlc.remove(line);
         if mlc.is_none() {
-            debug_assert!(l1.is_none(), "L1 held a line the MLC did not: inclusion broken");
+            debug_assert!(
+                l1.is_none(),
+                "L1 held a line the MLC did not: inclusion broken"
+            );
             return None;
         }
         self.dir.remove(line, core);
@@ -830,7 +836,10 @@ mod tests {
         let w = h.pcie_write(line(7), DmaPlacement::Llc);
         assert_eq!(w.kind, PcieWriteKind::LlcAlloc);
         assert!(h.llc().probe(line(7)).unwrap().dirty);
-        assert!(h.llc().way_of(line(7)).unwrap() < 2, "must land in a DDIO way");
+        assert!(
+            h.llc().way_of(line(7)).unwrap() < 2,
+            "must land in a DDIO way"
+        );
     }
 
     #[test]
@@ -986,7 +995,10 @@ mod tests {
     fn prefetch_fill_already_private_is_noop() {
         let mut h = Hierarchy::new(tiny_config());
         h.cpu_read(C0, line(3));
-        assert_eq!(h.prefetch_fill(C0, line(3)), PrefetchOutcome::AlreadyPrivate);
+        assert_eq!(
+            h.prefetch_fill(C0, line(3)),
+            PrefetchOutcome::AlreadyPrivate
+        );
     }
 
     #[test]

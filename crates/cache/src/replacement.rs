@@ -316,7 +316,11 @@ mod tests {
             ReplacementKind::Srrip,
             ReplacementKind::Random,
         ] {
-            let ways = if kind == ReplacementKind::TreePlru { 8 } else { 12 };
+            let ways = if kind == ReplacementKind::TreePlru {
+                8
+            } else {
+                12
+            };
             assert_eq!(ReplacementPolicy::new(kind, 4, ways).kind(), kind);
         }
     }

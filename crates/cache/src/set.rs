@@ -321,7 +321,12 @@ impl SetAssocCache {
     /// # Panics
     ///
     /// Panics if `mask` selects no way below `self.ways()`.
-    pub fn insert(&mut self, line: LineAddr, dirty: bool, mask: WayMask) -> (Option<Victim>, usize) {
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        mask: WayMask,
+    ) -> (Option<Victim>, usize) {
         let idx = self.set_index(line);
 
         // Refresh if already resident (any way, even outside the mask:

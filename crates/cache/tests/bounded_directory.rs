@@ -53,7 +53,10 @@ fn stale_queue_entries_are_skipped() {
     let _ = d.add(LineAddr::new(1), C0);
     let _ = d.add(LineAddr::new(2), C0);
     d.remove(LineAddr::new(1), C0); // leaves a stale order entry
-    assert!(d.add(LineAddr::new(3), C0).is_none(), "room freed by remove");
+    assert!(
+        d.add(LineAddr::new(3), C0).is_none(),
+        "room freed by remove"
+    );
     // Next insertion must evict line 2 (1 is stale), not panic.
     let ev = d.add(LineAddr::new(4), C0).unwrap();
     assert_eq!(ev.line, LineAddr::new(2));
@@ -118,7 +121,10 @@ fn hierarchy_accepts_every_replacement_policy() {
         for i in 0..10_000u64 {
             h.cpu_read(C0, LineAddr::new(i % 3000));
             if i % 3 == 0 {
-                h.pcie_write(LineAddr::new(i % 500), idio_cache::hierarchy::DmaPlacement::Llc);
+                h.pcie_write(
+                    LineAddr::new(i % 500),
+                    idio_cache::hierarchy::DmaPlacement::Llc,
+                );
             }
         }
         h.check_invariants();

@@ -1,14 +1,15 @@
-//! Property tests: the hierarchy's structural invariants survive any
-//! sequence of operations, and the set-associative array never exceeds its
-//! capacity.
+//! Randomized property tests: the hierarchy's structural invariants
+//! survive any sequence of operations, and the set-associative array never
+//! exceeds its capacity. Driven by the in-repo deterministic harness
+//! (`idio_engine::check`) — the build environment has no crates.io access.
 
 use idio_cache::addr::{CoreId, LineAddr};
 use idio_cache::config::{CacheGeometry, HierarchyConfig};
 use idio_cache::hierarchy::{DmaPlacement, Hierarchy, InvalidateScope};
 use idio_cache::set::{SetAssocCache, WayMask};
-use proptest::prelude::*;
+use idio_engine::check::{Cases, Gen};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     CpuRead(u16, u64),
     CpuWrite(u16, u64),
@@ -20,19 +21,48 @@ enum Op {
     Flush(u64),
 }
 
-fn op_strategy(cores: u16, lines: u64) -> impl Strategy<Value = Op> {
-    let line = 0..lines;
-    let core = 0..cores;
-    prop_oneof![
-        (core.clone(), line.clone()).prop_map(|(c, l)| Op::CpuRead(c, l)),
-        (core.clone(), line.clone()).prop_map(|(c, l)| Op::CpuWrite(c, l)),
-        line.clone().prop_map(Op::PcieWriteLlc),
-        line.clone().prop_map(Op::PcieWriteDram),
-        line.clone().prop_map(Op::PcieRead),
-        (core.clone(), line.clone()).prop_map(|(c, l)| Op::Invalidate(c, l)),
-        (core, line.clone()).prop_map(|(c, l)| Op::Prefetch(c, l)),
-        line.prop_map(Op::Flush),
-    ]
+fn gen_op(g: &mut Gen, cores: u16, lines: u64) -> Op {
+    let c = g.u16(0..cores);
+    let l = g.u64(0..lines);
+    match g.u64(0..8) {
+        0 => Op::CpuRead(c, l),
+        1 => Op::CpuWrite(c, l),
+        2 => Op::PcieWriteLlc(l),
+        3 => Op::PcieWriteDram(l),
+        4 => Op::PcieRead(l),
+        5 => Op::Invalidate(c, l),
+        6 => Op::Prefetch(c, l),
+        _ => Op::Flush(l),
+    }
+}
+
+fn apply(h: &mut Hierarchy, op: Op, scope: InvalidateScope) {
+    match op {
+        Op::CpuRead(c, l) => {
+            h.cpu_read(CoreId::new(c), LineAddr::new(l));
+        }
+        Op::CpuWrite(c, l) => {
+            h.cpu_write(CoreId::new(c), LineAddr::new(l));
+        }
+        Op::PcieWriteLlc(l) => {
+            h.pcie_write(LineAddr::new(l), DmaPlacement::Llc);
+        }
+        Op::PcieWriteDram(l) => {
+            h.pcie_write(LineAddr::new(l), DmaPlacement::Dram);
+        }
+        Op::PcieRead(l) => {
+            h.pcie_read(LineAddr::new(l));
+        }
+        Op::Invalidate(c, l) => {
+            h.self_invalidate(CoreId::new(c), LineAddr::new(l), scope);
+        }
+        Op::Prefetch(c, l) => {
+            h.prefetch_fill(CoreId::new(c), LineAddr::new(l));
+        }
+        Op::Flush(l) => {
+            h.flush_line(LineAddr::new(l));
+        }
+    }
 }
 
 fn tiny_hierarchy() -> Hierarchy {
@@ -50,69 +80,46 @@ fn tiny_hierarchy() -> Hierarchy {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn invariants_hold_under_arbitrary_op_sequences(
-        ops in proptest::collection::vec(op_strategy(2, 64), 1..200)
-    ) {
+#[test]
+fn invariants_hold_under_arbitrary_op_sequences() {
+    Cases::new(256).run(|g| {
+        let ops = g.vec(1..200, |g| gen_op(g, 2, 64));
         let mut h = tiny_hierarchy();
         for op in ops {
-            match op {
-                Op::CpuRead(c, l) => { h.cpu_read(CoreId::new(c), LineAddr::new(l)); }
-                Op::CpuWrite(c, l) => { h.cpu_write(CoreId::new(c), LineAddr::new(l)); }
-                Op::PcieWriteLlc(l) => { h.pcie_write(LineAddr::new(l), DmaPlacement::Llc); }
-                Op::PcieWriteDram(l) => { h.pcie_write(LineAddr::new(l), DmaPlacement::Dram); }
-                Op::PcieRead(l) => { h.pcie_read(LineAddr::new(l)); }
-                Op::Invalidate(c, l) => {
-                    h.self_invalidate(CoreId::new(c), LineAddr::new(l), InvalidateScope::IncludeLlc);
-                }
-                Op::Prefetch(c, l) => { h.prefetch_fill(CoreId::new(c), LineAddr::new(l)); }
-                Op::Flush(l) => { h.flush_line(LineAddr::new(l)); }
-            }
+            apply(&mut h, op, InvalidateScope::IncludeLlc);
         }
         h.check_invariants();
-    }
+    });
+}
 
-    #[test]
-    fn reads_are_always_eventually_private(
-        warm in proptest::collection::vec(op_strategy(2, 64), 0..100),
-        core in 0..2u16,
-        line in 0..64u64,
-    ) {
+#[test]
+fn reads_are_always_eventually_private() {
+    Cases::new(256).run(|g| {
+        let warm = g.vec(0..100, |g| gen_op(g, 2, 64));
+        let core = g.u16(0..2);
+        let line = g.u64(0..64);
         let mut h = tiny_hierarchy();
         for op in warm {
-            match op {
-                Op::CpuRead(c, l) => { h.cpu_read(CoreId::new(c), LineAddr::new(l)); }
-                Op::CpuWrite(c, l) => { h.cpu_write(CoreId::new(c), LineAddr::new(l)); }
-                Op::PcieWriteLlc(l) => { h.pcie_write(LineAddr::new(l), DmaPlacement::Llc); }
-                Op::PcieWriteDram(l) => { h.pcie_write(LineAddr::new(l), DmaPlacement::Dram); }
-                Op::PcieRead(l) => { h.pcie_read(LineAddr::new(l)); }
-                Op::Invalidate(c, l) => {
-                    h.self_invalidate(CoreId::new(c), LineAddr::new(l), InvalidateScope::PrivateOnly);
-                }
-                Op::Prefetch(c, l) => { h.prefetch_fill(CoreId::new(c), LineAddr::new(l)); }
-                Op::Flush(l) => { h.flush_line(LineAddr::new(l)); }
-            }
+            apply(&mut h, op, InvalidateScope::PrivateOnly);
         }
         // Whatever the state, after a CPU read the line is in that core's
         // L1 and MLC and in no other core's private caches.
         let c = CoreId::new(core);
         h.cpu_read(c, LineAddr::new(line));
-        prop_assert!(h.l1d(c).contains(LineAddr::new(line)));
-        prop_assert!(h.mlc(c).contains(LineAddr::new(line)));
+        assert!(h.l1d(c).contains(LineAddr::new(line)));
+        assert!(h.mlc(c).contains(LineAddr::new(line)));
         let other = CoreId::new(1 - core);
-        prop_assert!(!h.mlc(other).contains(LineAddr::new(line)));
-        prop_assert!(!h.llc().contains(LineAddr::new(line)));
+        assert!(!h.mlc(other).contains(LineAddr::new(line)));
+        assert!(!h.llc().contains(LineAddr::new(line)));
         h.check_invariants();
-    }
+    });
+}
 
-    #[test]
-    fn pcie_write_always_clears_private_copies(
-        warm in proptest::collection::vec(op_strategy(2, 32), 0..60),
-        line in 0..32u64,
-    ) {
+#[test]
+fn pcie_write_always_clears_private_copies() {
+    Cases::new(256).run(|g| {
+        let warm = g.vec(0..60, |g| gen_op(g, 2, 32));
+        let line = g.u64(0..32);
         let mut h = tiny_hierarchy();
         for op in warm {
             if let Op::CpuRead(c, l) = op {
@@ -121,41 +128,43 @@ proptest! {
         }
         h.pcie_write(LineAddr::new(line), DmaPlacement::Llc);
         for c in 0..2 {
-            prop_assert!(!h.mlc(CoreId::new(c)).contains(LineAddr::new(line)));
-            prop_assert!(!h.l1d(CoreId::new(c)).contains(LineAddr::new(line)));
+            assert!(!h.mlc(CoreId::new(c)).contains(LineAddr::new(line)));
+            assert!(!h.l1d(CoreId::new(c)).contains(LineAddr::new(line)));
         }
-        prop_assert!(h.llc().probe(LineAddr::new(line)).unwrap().dirty);
-    }
+        assert!(h.llc().probe(LineAddr::new(line)).unwrap().dirty);
+    });
+}
 
-    #[test]
-    fn set_assoc_never_exceeds_capacity(
-        inserts in proptest::collection::vec((0..256u64, any::<bool>()), 1..500),
-        ways in 1..8usize,
-        sets in 1..8usize,
-    ) {
+#[test]
+fn set_assoc_never_exceeds_capacity() {
+    Cases::new(256).run(|g| {
+        let inserts = g.vec(1..500, |g| (g.u64(0..256), g.bool()));
+        let ways = g.usize(1..8);
+        let sets = g.usize(1..8);
         let mut c = SetAssocCache::new("prop", sets, ways);
         let mask = WayMask::all(ways);
         for (line, dirty) in inserts {
             c.insert(LineAddr::new(line), dirty, mask);
-            prop_assert!(c.resident_lines() <= c.capacity_lines());
+            assert!(c.resident_lines() <= c.capacity_lines());
         }
         // Every resident line is findable and in a permitted way.
         let resident: Vec<_> = c.iter().map(|e| e.line).collect();
         for line in resident {
-            prop_assert!(c.way_of(line).unwrap() < ways);
+            assert!(c.way_of(line).unwrap() < ways);
         }
-    }
+    });
+}
 
-    #[test]
-    fn set_assoc_insert_then_remove_roundtrips(
-        line in 0..1024u64,
-        dirty in any::<bool>(),
-    ) {
+#[test]
+fn set_assoc_insert_then_remove_roundtrips() {
+    Cases::new(256).run(|g| {
+        let line = g.u64(0..1024);
+        let dirty = g.bool();
         let mut c = SetAssocCache::new("prop", 16, 4);
         c.insert(LineAddr::new(line), dirty, WayMask::all(4));
         let e = c.remove(LineAddr::new(line)).unwrap();
-        prop_assert_eq!(e.dirty, dirty);
-        prop_assert!(!c.contains(LineAddr::new(line)));
-        prop_assert_eq!(c.resident_lines(), 0);
-    }
+        assert_eq!(e.dirty, dirty);
+        assert!(!c.contains(LineAddr::new(line)));
+        assert_eq!(c.resident_lines(), 0);
+    });
 }

@@ -189,8 +189,11 @@ impl SystemConfig {
         if let Some(a) = self.antagonist {
             // Sec. VI: the antagonist core's MLC is set to 256 KiB so it
             // stays sensitive to LLC contention.
-            h.mlc_overrides[a.core.index()] =
-                Some(CacheGeometry::new(256 << 10, h.mlc.ways, h.mlc.latency_cycles));
+            h.mlc_overrides[a.core.index()] = Some(CacheGeometry::new(
+                256 << 10,
+                h.mlc.ways,
+                h.mlc.latency_cycles,
+            ));
         }
         h
     }

@@ -198,8 +198,8 @@ impl IdioController {
             t.intervals += 1;
             if t.intervals >= self.cfg.avg_window {
                 // Alg. 1 lines 20–24: refresh the long-run average.
-                t.wb_avg = (t.wb_acc / u64::from(self.cfg.avg_window))
-                    .min(u64::from(u32::MAX)) as u32;
+                t.wb_avg =
+                    (t.wb_acc / u64::from(self.cfg.avg_window)).min(u64::from(u32::MAX)) as u32;
                 t.wb_acc = 0;
                 t.intervals = 0;
             }
@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Dram);
         assert_eq!(c.steer(SteeringPolicy::Idio, header), Placement::Mlc(C0));
         // PrefetchOnly lacks mechanism 3: class-1 payload stays in LLC.
-        assert_eq!(c.steer(SteeringPolicy::PrefetchOnly, payload), Placement::Llc);
+        assert_eq!(
+            c.steer(SteeringPolicy::PrefetchOnly, payload),
+            Placement::Llc
+        );
     }
 
     #[test]
@@ -261,7 +264,10 @@ mod tests {
         assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Llc);
         // Burst arms it.
         let burst_payload = meta(false, true, AppClass::Class0);
-        assert_eq!(c.steer(SteeringPolicy::Idio, burst_payload), Placement::Mlc(C0));
+        assert_eq!(
+            c.steer(SteeringPolicy::Idio, burst_payload),
+            Placement::Mlc(C0)
+        );
         assert_eq!(c.steer(SteeringPolicy::Idio, payload), Placement::Mlc(C0));
     }
 
@@ -269,7 +275,10 @@ mod tests {
     fn static_policy_ignores_fsm() {
         let mut c = IdioController::new(IdioConfig::paper_default(), 1);
         let payload = meta(false, false, AppClass::Class0);
-        assert_eq!(c.steer(SteeringPolicy::StaticIdio, payload), Placement::Mlc(C0));
+        assert_eq!(
+            c.steer(SteeringPolicy::StaticIdio, payload),
+            Placement::Mlc(C0)
+        );
     }
 
     #[test]

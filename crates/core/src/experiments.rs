@@ -1,11 +1,14 @@
 //! Reproduction drivers for every table and figure of the paper's
 //! evaluation (Sec. VII).
 //!
-//! Each `figN` function runs the simulation configurations behind the
-//! corresponding figure and returns a [`FigureResult`]: a printable table
-//! plus the raw sampled time series where the figure is a timeline. The
-//! `repro` binary in `idio-bench` prints them; `EXPERIMENTS.md` records
-//! measured-vs-paper values.
+//! Each figure is expressed *declaratively*: a `figN_spec` function builds
+//! a [`FigureSpec`] — the list of simulation configurations (cells) behind
+//! the figure plus a pure assembly function that turns the finished
+//! [`crate::sweep::CellOutcome`]s into a printable [`FigureResult`]. The sweep
+//! orchestrator in [`crate::sweep`] executes the cells, serially or on a
+//! worker pool, with per-cell seeds derived from the cell labels so the
+//! output is independent of scheduling. The legacy `figN` functions remain
+//! as thin serial wrappers.
 //!
 //! Every function takes a [`Scale`]: [`Scale::full`] approximates the
 //! paper's run lengths, [`Scale::quick`] shrinks them for CI and unit
@@ -24,7 +27,7 @@ use idio_stack::nf::NfKind;
 use crate::config::{SystemConfig, WorkloadSpec};
 use crate::policy::SteeringPolicy;
 use crate::report::RunReport;
-use crate::system::System;
+use crate::sweep::{FigureSpec, SweepCell, SweepOptions};
 
 /// Run-length scaling for the experiment drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +99,8 @@ pub struct FigureResult {
 }
 
 impl FigureResult {
-    fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Self {
+    /// Creates an empty table with the given identity and columns.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Self {
         FigureResult {
             id,
             title: title.into(),
@@ -106,7 +110,8 @@ impl FigureResult {
         }
     }
 
-    fn push_row(&mut self, row: Vec<String>) {
+    /// Appends one pre-formatted row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<String>) {
         debug_assert_eq!(row.len(), self.columns.len());
         self.rows.push(row);
     }
@@ -160,7 +165,8 @@ fn fmt_ratio(r: f64) -> String {
     }
 }
 
-fn run_bursty(
+/// Builds the standard bursty-traffic configuration behind most figures.
+fn bursty_cfg(
     scale: Scale,
     rate_gbps: f64,
     policy: SteeringPolicy,
@@ -168,7 +174,7 @@ fn run_bursty(
     packet_len: u16,
     antagonist: bool,
     dscp: Dscp,
-) -> RunReport {
+) -> SystemConfig {
     let traffic = scale.bursty(rate_gbps, packet_len);
     let mut cfg = SystemConfig::touchdrop_scenario(2, traffic);
     cfg.ring_size = scale.ring;
@@ -183,18 +189,18 @@ fn run_bursty(
     if antagonist {
         cfg = cfg.with_antagonist();
     }
-    System::new(cfg).run()
+    cfg
 }
 
-fn run_steady(
+/// Builds the steady-traffic configuration (Figs. 4/13, bloating, sweeps).
+fn steady_cfg(
     scale: Scale,
     rate_gbps: f64,
     ring: u32,
     policy: SteeringPolicy,
     one_way: bool,
-) -> RunReport {
-    let mut cfg =
-        SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps });
+) -> SystemConfig {
+    let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps });
     cfg.ring_size = ring;
     cfg.duration = SimTime::ZERO + scale.steady_duration;
     cfg.drain_grace = Duration::from_ms(1);
@@ -204,7 +210,7 @@ fn run_steady(
         // `*_1way` configurations).
         cfg.hierarchy.core_alloc_ways = Some(WayMask::range(2, 3));
     }
-    System::new(cfg).run()
+    cfg
 }
 
 /// Lines of RX data (payload only) delivered in a run — the normalisation
@@ -217,32 +223,62 @@ fn rx_data_lines(report: &RunReport, packet_len: u16) -> u64 {
 // Table I / Table II
 // ---------------------------------------------------------------------------
 
+/// Table I as a (cell-less) figure spec.
+pub fn table1_spec() -> FigureSpec {
+    FigureSpec::new("table1", Vec::new(), |_| table1())
+}
+
 /// Table I: the simulated configuration, as actually instantiated.
 pub fn table1() -> FigureResult {
     let cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps: 10.0 });
     let h = cfg.effective_hierarchy();
-    let mut t = FigureResult::new("table1", "Simulation configuration", &["parameter", "value"]);
+    let mut t = FigureResult::new(
+        "table1",
+        "Simulation configuration",
+        &["parameter", "value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         ("core freq", "3 GHz".into()),
         (
             "L1D (size, assoc, lat)",
-            format!("{} KiB, {}, {} CC", h.l1d.size_bytes >> 10, h.l1d.ways, h.l1d.latency_cycles),
+            format!(
+                "{} KiB, {}, {} CC",
+                h.l1d.size_bytes >> 10,
+                h.l1d.ways,
+                h.l1d.latency_cycles
+            ),
         ),
         (
             "MLC (size, assoc, lat)",
-            format!("{} MiB, {}, {} CC", h.mlc.size_bytes >> 20, h.mlc.ways, h.mlc.latency_cycles),
+            format!(
+                "{} MiB, {}, {} CC",
+                h.mlc.size_bytes >> 20,
+                h.mlc.ways,
+                h.mlc.latency_cycles
+            ),
         ),
         (
             "LLC (size, assoc, lat)",
-            format!("{} MiB, {}, {} CC", h.llc.size_bytes >> 20, h.llc.ways, h.llc.latency_cycles),
+            format!(
+                "{} MiB, {}, {} CC",
+                h.llc.size_bytes >> 20,
+                h.llc.ways,
+                h.llc.latency_cycles
+            ),
         ),
         ("DDIO ways", format!("{}", h.ddio_ways)),
         ("DRAM", "DDR4-3200, 2 ch".into()),
         ("network", "100 Gbps-class, 1514 B packets".into()),
         ("ring size", format!("{}", cfg.ring_size)),
         ("batch size", format!("{}", cfg.pmd.batch_size)),
-        ("rxBurstTHR", format!("{} B / 1 us", cfg.classifier.rx_burst_thr_bytes)),
-        ("mlcTHR", format!("{} WB / 1 us (50 MTPS)", cfg.idio.mlc_thr)),
+        (
+            "rxBurstTHR",
+            format!("{} B / 1 us", cfg.classifier.rx_burst_thr_bytes),
+        ),
+        (
+            "mlcTHR",
+            format!("{} WB / 1 us (50 MTPS)", cfg.idio.mlc_thr),
+        ),
         ("prefetch queue", format!("{}", cfg.prefetcher.queue_depth)),
     ];
     for (k, v) in rows {
@@ -251,9 +287,18 @@ pub fn table1() -> FigureResult {
     t
 }
 
+/// Table II as a (cell-less) figure spec.
+pub fn table2_spec() -> FigureSpec {
+    FigureSpec::new("table2", Vec::new(), |_| table2())
+}
+
 /// Table II: the evaluated functions.
 pub fn table2() -> FigureResult {
-    let mut t = FigureResult::new("table2", "Functions used for evaluation", &["function", "description"]);
+    let mut t = FigureResult::new(
+        "table2",
+        "Functions used for evaluation",
+        &["function", "description"],
+    );
     t.push_row(vec![
         "TouchDrop".into(),
         "receive packets, touch data, drop packets".into(),
@@ -273,33 +318,8 @@ pub fn table2() -> FigureResult {
 // Fig. 4 — MLC/DRAM leaks vs ring size and load (DDIO baseline)
 // ---------------------------------------------------------------------------
 
-/// Fig. 4: MLC writeback and MLC invalidation rates (normalised to the RX
-/// data rate) and DRAM write bandwidth, across ring sizes and load levels,
-/// under baseline DDIO — including the CAT `*_1way` configurations.
-///
-/// The paper measures this on the *physical* Xeon Gold 6242 (22 MiB LLC,
-/// 10 TouchDrop instances), whose LLC+MLC capacity comfortably exceeds the
-/// aggregate ring footprint. We reproduce the capacity *ratio* with 4
-/// instances on a proportionally sized (8.25 MiB, 11-way) LLC. Each run
-/// lasts long enough to deliver a fixed per-core packet count, so the
-/// normalised rates are comparable across loads.
-///
-/// Paper shape: ring 64 ⇒ low normalised MLC WB and high invalidations;
-/// ring ≥ 1024 ⇒ MLC WB around/above the RX rate at *every* load; DRAM
-/// write bandwidth near zero except in the `_1way` CAT configurations.
-pub fn fig4(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig4",
-        "MLC and DRAM leaks vs load level and ring size (DDIO, physical-server geometry)",
-        &[
-            "config",
-            "load",
-            "mlc_wb/rx",
-            "mlc_inval/rx",
-            "dram_wr_gbps",
-            "dram_rd_gbps",
-        ],
-    );
+/// Fig. 4 as a declarative sweep (11 cells).
+pub fn fig4_spec(scale: Scale) -> FigureSpec {
     const NFS: usize = 4;
     // Per-NF steady rates; "high" matches the paper's 2 Gbps/NF.
     let loads = [("low", 0.1), ("med", 0.5), ("high", 2.0)];
@@ -317,6 +337,8 @@ pub fn fig4(scale: Scale) -> FigureResult {
         cases.push((format!("ring{ring}_1way"), ring, true, "high", 2.0));
     }
 
+    let mut cells = Vec::new();
+    let mut meta: Vec<(String, &'static str, SimTime)> = Vec::new();
     for (name, ring, one_way, lname, gbps) in cases {
         let pkt_time = idio_engine::time::wire_time(1514, gbps);
         let packets_per_nf = (wraps * u64::from(ring)).max(1500);
@@ -337,101 +359,153 @@ pub fn fig4(scale: Scale) -> FigureResult {
         if one_way {
             cfg.hierarchy.core_alloc_ways = Some(WayMask::range(2, 3));
         }
-        let r = System::new(cfg).run();
-        let rx = rx_data_lines(&r, 1514).max(1);
-        let secs = duration.as_secs_f64();
-        let dram_wr_gbps = r.totals.dram_wr as f64 * 64.0 * 8.0 / secs / 1e9;
-        let dram_rd_gbps = r.totals.dram_rd as f64 * 64.0 * 8.0 / secs / 1e9;
-        t.push_row(vec![
-            name,
-            lname.into(),
-            fmt_ratio(ratio(r.totals.mlc_wb, rx)),
-            fmt_ratio(ratio(r.totals.mlc_inval_by_dma, rx)),
-            format!("{dram_wr_gbps:.2}"),
-            format!("{dram_rd_gbps:.2}"),
-        ]);
+        cells.push(SweepCell::new(format!("fig4/{name}/{lname}"), cfg));
+        meta.push((name, lname, duration));
     }
-    t
+    FigureSpec::new("fig4", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig4",
+            "MLC and DRAM leaks vs load level and ring size (DDIO, physical-server geometry)",
+            &[
+                "config",
+                "load",
+                "mlc_wb/rx",
+                "mlc_inval/rx",
+                "dram_wr_gbps",
+                "dram_rd_gbps",
+            ],
+        );
+        for ((name, lname, duration), o) in meta.into_iter().zip(outcomes) {
+            let r = &o.report;
+            let rx = rx_data_lines(r, 1514).max(1);
+            let secs = duration.as_secs_f64();
+            let dram_wr_gbps = r.totals.dram_wr as f64 * 64.0 * 8.0 / secs / 1e9;
+            let dram_rd_gbps = r.totals.dram_rd as f64 * 64.0 * 8.0 / secs / 1e9;
+            t.push_row(vec![
+                name,
+                lname.into(),
+                fmt_ratio(ratio(r.totals.mlc_wb, rx)),
+                fmt_ratio(ratio(r.totals.mlc_inval_by_dma, rx)),
+                format!("{dram_wr_gbps:.2}"),
+                format!("{dram_rd_gbps:.2}"),
+            ]);
+        }
+        t
+    })
+}
+
+/// Fig. 4: MLC writeback and MLC invalidation rates (normalised to the RX
+/// data rate) and DRAM write bandwidth, across ring sizes and load levels,
+/// under baseline DDIO — including the CAT `*_1way` configurations.
+///
+/// The paper measures this on the *physical* Xeon Gold 6242 (22 MiB LLC,
+/// 10 TouchDrop instances), whose LLC+MLC capacity comfortably exceeds the
+/// aggregate ring footprint. We reproduce the capacity *ratio* with 4
+/// instances on a proportionally sized (8.25 MiB, 11-way) LLC. Each run
+/// lasts long enough to deliver a fixed per-core packet count, so the
+/// normalised rates are comparable across loads.
+///
+/// Paper shape: ring 64 ⇒ low normalised MLC WB and high invalidations;
+/// ring ≥ 1024 ⇒ MLC WB around/above the RX rate at *every* load; DRAM
+/// write bandwidth near zero except in the `_1way` CAT configurations.
+pub fn fig4(scale: Scale) -> FigureResult {
+    fig4_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 5 — writeback timeline under bursty traffic (DDIO baseline)
 // ---------------------------------------------------------------------------
 
+/// Fig. 5 as a declarative sweep (1 cell).
+pub fn fig5_spec(scale: Scale) -> FigureSpec {
+    let cells = vec![SweepCell::new(
+        "fig5/DDIO/100G",
+        bursty_cfg(
+            scale,
+            100.0,
+            SteeringPolicy::Ddio,
+            NfKind::TouchDrop,
+            1514,
+            false,
+            Dscp::BEST_EFFORT,
+        ),
+    )];
+    FigureSpec::new("fig5", cells, |outcomes| {
+        let r = &outcomes[0].report;
+        let mut t = FigureResult::new(
+            "fig5",
+            "MLC and LLC writebacks, bursty traffic, DDIO",
+            &["metric", "peak_mtps", "mean_mtps", "total_txn"],
+        );
+        for (name, series, total) in [
+            ("mlc_wb", &r.timelines.mlc_wb, r.totals.mlc_wb),
+            ("llc_wb", &r.timelines.llc_wb, r.totals.llc_wb),
+            ("dma_wr", &r.timelines.dma_wr, r.totals.pcie_wr),
+        ] {
+            t.push_row(vec![
+                name.into(),
+                format!("{:.1}", series.max_value()),
+                format!("{:.2}", series.mean()),
+                format!("{total}"),
+            ]);
+        }
+        t.series = vec![
+            ("mlc_wb".into(), r.timelines.mlc_wb.clone()),
+            ("llc_wb".into(), r.timelines.llc_wb.clone()),
+            ("dma_wr".into(), r.timelines.dma_wr.clone()),
+        ];
+        t
+    })
+}
+
 /// Fig. 5: the MLC/LLC writeback timeline while processing bursty traffic
 /// under DDIO, exposing the DMA phase (LLC-writeback spike) and execution
 /// phase (MLC-writeback wave).
 pub fn fig5(scale: Scale) -> FigureResult {
-    let r = run_bursty(
-        scale,
-        100.0,
-        SteeringPolicy::Ddio,
-        NfKind::TouchDrop,
-        1514,
-        false,
-        Dscp::BEST_EFFORT,
-    );
-    let mut t = FigureResult::new(
-        "fig5",
-        "MLC and LLC writebacks, bursty traffic, DDIO",
-        &["metric", "peak_mtps", "mean_mtps", "total_txn"],
-    );
-    for (name, series, total) in [
-        ("mlc_wb", &r.timelines.mlc_wb, r.totals.mlc_wb),
-        ("llc_wb", &r.timelines.llc_wb, r.totals.llc_wb),
-        ("dma_wr", &r.timelines.dma_wr, r.totals.pcie_wr),
-    ] {
-        t.push_row(vec![
-            name.into(),
-            format!("{:.1}", series.max_value()),
-            format!("{:.2}", series.mean()),
-            format!("{total}"),
-        ]);
-    }
-    t.series = vec![
-        ("mlc_wb".into(), r.timelines.mlc_wb.clone()),
-        ("llc_wb".into(), r.timelines.llc_wb.clone()),
-        ("dma_wr".into(), r.timelines.dma_wr.clone()),
-    ];
-    t
+    fig5_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 9 — policy comparison timelines at 100 and 25 Gbps
 // ---------------------------------------------------------------------------
 
-/// Fig. 9: MLC/LLC writeback behaviour of DDIO, Invalidate, Prefetch,
-/// Static and IDIO while processing one burst, at 100 and 25 Gbps burst
-/// rates.
-///
-/// Paper shape: self-invalidation removes most writebacks; prefetching
-/// shortens the execution phase; Static ≈ IDIO at 25 Gbps while IDIO
-/// regulates MLC pressure at 100 Gbps.
-pub fn fig9(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig9",
-        "Policy comparison on one burst (TouchDrop)",
-        &[
-            "rate",
-            "policy",
-            "mlc_wb",
-            "llc_wb",
-            "peak_mlc_wb_mtps",
-            "prefetches",
-            "exe_ms",
-        ],
-    );
-    for rate in [100.0, 25.0] {
+/// Fig. 9 as a declarative sweep (2 rates × 6 policies).
+pub fn fig9_spec(scale: Scale) -> FigureSpec {
+    let mut cells = Vec::new();
+    let mut meta = Vec::new();
+    for rate in [100.0f64, 25.0] {
         for policy in SteeringPolicy::ALL {
-            let r = run_bursty(
-                scale,
-                rate,
-                policy,
-                NfKind::TouchDrop,
-                1514,
-                false,
-                Dscp::BEST_EFFORT,
-            );
+            cells.push(SweepCell::new(
+                format!("fig9/{rate:.0}G/{}", policy.label()),
+                bursty_cfg(
+                    scale,
+                    rate,
+                    policy,
+                    NfKind::TouchDrop,
+                    1514,
+                    false,
+                    Dscp::BEST_EFFORT,
+                ),
+            ));
+            meta.push((rate, policy));
+        }
+    }
+    FigureSpec::new("fig9", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig9",
+            "Policy comparison on one burst (TouchDrop)",
+            &[
+                "rate",
+                "policy",
+                "mlc_wb",
+                "llc_wb",
+                "peak_mlc_wb_mtps",
+                "prefetches",
+                "exe_ms",
+            ],
+        );
+        for ((rate, policy), o) in meta.into_iter().zip(outcomes) {
+            let r = &o.report;
             let exe = r
                 .mean_exe_time(1)
                 .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
@@ -454,63 +528,92 @@ pub fn fig9(scale: Scale) -> FigureResult {
                 r.timelines.llc_wb.clone(),
             ));
         }
-    }
-    t
+        t
+    })
+}
+
+/// Fig. 9: MLC/LLC writeback behaviour of DDIO, Invalidate, Prefetch,
+/// Static and IDIO while processing one burst, at 100 and 25 Gbps burst
+/// rates.
+///
+/// Paper shape: self-invalidation removes most writebacks; prefetching
+/// shortens the execution phase; Static ≈ IDIO at 25 Gbps while IDIO
+/// regulates MLC pressure at 100 Gbps.
+pub fn fig9(scale: Scale) -> FigureResult {
+    fig9_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 10 — normalised transactions and exe time
 // ---------------------------------------------------------------------------
 
-/// Fig. 10: MLC WB, LLC WB, DRAM read/write transactions and burst
-/// processing time of Static and IDIO normalised to DDIO, at 100/25/10
-/// Gbps, plus the TouchDrop+LLCAntagonist co-run.
-///
-/// Paper shape: 60–85% MLC WB reduction, near-elimination of DRAM writes,
-/// exe time ~0.78–0.82 at 100/25 Gbps and ~1.0 at 10 Gbps.
-pub fn fig10(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig10",
-        "Normalised transactions and exe time (vs DDIO)",
-        &[
-            "scenario",
-            "rate",
-            "policy",
-            "mlc_wb",
-            "llc_wb",
-            "dram_rd",
-            "dram_wr",
-            "exe_time",
-            "antag_cpa",
-        ],
-    );
+/// Fig. 10 as a declarative sweep (per scenario × rate: one DDIO base cell
+/// plus the compared policies).
+pub fn fig10_spec(scale: Scale) -> FigureSpec {
+    let mut cells = Vec::new();
+    // (scenario, rate, policies) — each entry consumes 1 + policies.len()
+    // outcomes: the DDIO base first, then the compared policies.
+    let mut plan: Vec<(&'static str, f64, Vec<SteeringPolicy>)> = Vec::new();
     for (scenario, antagonist) in [("solo", false), ("corun", true)] {
-        for rate in [100.0, 25.0, 10.0] {
-            let base = run_bursty(
-                scale,
-                rate,
-                SteeringPolicy::Ddio,
-                NfKind::TouchDrop,
-                1514,
-                antagonist,
-                Dscp::BEST_EFFORT,
-            );
-            let base_exe = base.mean_exe_time(1);
-            let policies: &[SteeringPolicy] = if antagonist {
-                &[SteeringPolicy::Idio]
+        for rate in [100.0f64, 25.0, 10.0] {
+            let policies: Vec<SteeringPolicy> = if antagonist {
+                vec![SteeringPolicy::Idio]
             } else {
-                &[SteeringPolicy::StaticIdio, SteeringPolicy::Idio]
+                vec![SteeringPolicy::StaticIdio, SteeringPolicy::Idio]
             };
-            for &policy in policies {
-                let r = run_bursty(
+            cells.push(SweepCell::new(
+                format!("fig10/{scenario}/{rate:.0}G/DDIO"),
+                bursty_cfg(
                     scale,
                     rate,
-                    policy,
+                    SteeringPolicy::Ddio,
                     NfKind::TouchDrop,
                     1514,
                     antagonist,
                     Dscp::BEST_EFFORT,
-                );
+                ),
+            ));
+            for &policy in &policies {
+                cells.push(SweepCell::new(
+                    format!("fig10/{scenario}/{rate:.0}G/{}", policy.label()),
+                    bursty_cfg(
+                        scale,
+                        rate,
+                        policy,
+                        NfKind::TouchDrop,
+                        1514,
+                        antagonist,
+                        Dscp::BEST_EFFORT,
+                    ),
+                ));
+            }
+            plan.push((scenario, rate, policies));
+        }
+    }
+    FigureSpec::new("fig10", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig10",
+            "Normalised transactions and exe time (vs DDIO)",
+            &[
+                "scenario",
+                "rate",
+                "policy",
+                "mlc_wb",
+                "llc_wb",
+                "dram_rd",
+                "dram_wr",
+                "exe_time",
+                "antag_cpa",
+            ],
+        );
+        let mut cursor = 0usize;
+        for (scenario, rate, policies) in plan {
+            let base = &outcomes[cursor].report;
+            cursor += 1;
+            let base_exe = base.mean_exe_time(1);
+            for policy in policies {
+                let r = &outcomes[cursor].report;
+                cursor += 1;
                 let exe = match (r.mean_exe_time(1), base_exe) {
                     (Some(a), Some(b)) if b > Duration::ZERO => {
                         format!("{:.3}", a.as_ps() as f64 / b.as_ps() as f64)
@@ -537,13 +640,83 @@ pub fn fig10(scale: Scale) -> FigureResult {
                 ]);
             }
         }
-    }
-    t
+        t
+    })
+}
+
+/// Fig. 10: MLC WB, LLC WB, DRAM read/write transactions and burst
+/// processing time of Static and IDIO normalised to DDIO, at 100/25/10
+/// Gbps, plus the TouchDrop+LLCAntagonist co-run.
+///
+/// Paper shape: 60–85% MLC WB reduction, near-elimination of DRAM writes,
+/// exe time ~0.78–0.82 at 100/25 Gbps and ~1.0 at 10 Gbps.
+pub fn fig10(scale: Scale) -> FigureResult {
+    fig10_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 11 — L2Fwd (shallow NF) timelines
 // ---------------------------------------------------------------------------
+
+/// Fig. 11 as a declarative sweep (2 cells).
+pub fn fig11_spec(scale: Scale) -> FigureSpec {
+    let policies = [SteeringPolicy::Ddio, SteeringPolicy::Idio];
+    let cells = policies
+        .iter()
+        .map(|&policy| {
+            SweepCell::new(
+                format!("fig11/{}", policy.label()),
+                bursty_cfg(
+                    scale,
+                    25.0,
+                    policy,
+                    NfKind::L2Fwd,
+                    1024,
+                    false,
+                    Dscp::BEST_EFFORT,
+                ),
+            )
+        })
+        .collect();
+    FigureSpec::new("fig11", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig11",
+            "L2Fwd, 1024-byte packets",
+            &[
+                "policy",
+                "mlc_wb",
+                "llc_wb",
+                "prefetches",
+                "tx_pkts",
+                "p99_us",
+            ],
+        );
+        for (policy, o) in policies.into_iter().zip(outcomes) {
+            let r = &o.report;
+            let p99 = r
+                .p99()
+                .map(|d| format!("{:.1}", d.as_us_f64()))
+                .unwrap_or_else(|| "-".into());
+            t.push_row(vec![
+                policy.label().into(),
+                format!("{}", r.totals.mlc_wb),
+                format!("{}", r.totals.llc_wb),
+                format!("{}", r.totals.prefetch_fills),
+                format!("{}", r.totals.completed_packets),
+                p99,
+            ]);
+            t.series.push((
+                format!("{}_mlc_wb", policy.label()),
+                r.timelines.mlc_wb.clone(),
+            ));
+            t.series.push((
+                format!("{}_llc_wb", policy.label()),
+                r.timelines.llc_wb.clone(),
+            ));
+        }
+        t
+    })
+}
 
 /// Fig. 11: L2Fwd with 1024-byte packets under DDIO vs IDIO.
 ///
@@ -551,48 +724,59 @@ pub fn fig10(scale: Scale) -> FigureResult {
 /// writeback rate; IDIO admits buffers to the MLC and invalidates after
 /// forwarding, strongly reducing LLC writebacks.
 pub fn fig11(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig11",
-        "L2Fwd, 1024-byte packets",
-        &["policy", "mlc_wb", "llc_wb", "prefetches", "tx_pkts", "p99_us"],
-    );
-    for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-        let r = run_bursty(
-            scale,
-            25.0,
-            policy,
-            NfKind::L2Fwd,
-            1024,
-            false,
-            Dscp::BEST_EFFORT,
-        );
-        let p99 = r
-            .p99()
-            .map(|d| format!("{:.1}", d.as_us_f64()))
-            .unwrap_or_else(|| "-".into());
-        t.push_row(vec![
-            policy.label().into(),
-            format!("{}", r.totals.mlc_wb),
-            format!("{}", r.totals.llc_wb),
-            format!("{}", r.totals.prefetch_fills),
-            format!("{}", r.totals.completed_packets),
-            p99,
-        ]);
-        t.series.push((
-            format!("{}_mlc_wb", policy.label()),
-            r.timelines.mlc_wb.clone(),
-        ));
-        t.series.push((
-            format!("{}_llc_wb", policy.label()),
-            r.timelines.llc_wb.clone(),
-        ));
-    }
-    t
+    fig11_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Sec. VII — selective direct DRAM access
 // ---------------------------------------------------------------------------
+
+/// The direct-DRAM experiment as a declarative sweep (2 cells).
+pub fn direct_dram_spec(scale: Scale) -> FigureSpec {
+    let policies = [SteeringPolicy::Ddio, SteeringPolicy::Idio];
+    let cells = policies
+        .iter()
+        .map(|&policy| {
+            SweepCell::new(
+                format!("direct_dram/{}", policy.label()),
+                bursty_cfg(
+                    scale,
+                    25.0,
+                    policy,
+                    NfKind::L2FwdPayloadDrop,
+                    1514,
+                    false,
+                    Dscp::CLASS1_DEFAULT,
+                ),
+            )
+        })
+        .collect();
+    FigureSpec::new("direct_dram", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "direct_dram",
+            "Selective direct DRAM access (L2FwdPayloadDrop, class 1)",
+            &[
+                "policy",
+                "dma_direct",
+                "dram_wr/rx_payload",
+                "llc_wb",
+                "ddio_allocs",
+            ],
+        );
+        for (policy, o) in policies.into_iter().zip(outcomes) {
+            let r = &o.report;
+            let payload_lines = r.totals.rx_packets * 23; // 1514 B = 1 header + 23 payload lines
+            t.push_row(vec![
+                policy.label().into(),
+                format!("{}", r.hierarchy.shared.dma_direct_dram.get()),
+                fmt_ratio(ratio(r.totals.dram_wr, payload_lines.max(1))),
+                format!("{}", r.totals.llc_wb),
+                format!("{}", r.hierarchy.shared.ddio_allocs.get()),
+            ]);
+        }
+        t
+    })
+}
 
 /// The direct-DRAM experiment of Sec. VII: an L2Fwd variant that drops the
 /// payload after header processing, with senders marking the flow
@@ -600,83 +784,55 @@ pub fn fig11(scale: Scale) -> FigureResult {
 /// DRAM write bandwidth tracks the RX payload bandwidth and the DDIO ways
 /// stop thrashing.
 pub fn direct_dram(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "direct_dram",
-        "Selective direct DRAM access (L2FwdPayloadDrop, class 1)",
-        &[
-            "policy",
-            "dma_direct",
-            "dram_wr/rx_payload",
-            "llc_wb",
-            "ddio_allocs",
-        ],
-    );
-    for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-        let r = run_bursty(
-            scale,
-            25.0,
-            policy,
-            NfKind::L2FwdPayloadDrop,
-            1514,
-            false,
-            Dscp::CLASS1_DEFAULT,
-        );
-        let payload_lines = r.totals.rx_packets * 23; // 1514 B = 1 header + 23 payload lines
-        t.push_row(vec![
-            policy.label().into(),
-            format!("{}", r.hierarchy.shared.dma_direct_dram.get()),
-            fmt_ratio(ratio(r.totals.dram_wr, payload_lines.max(1))),
-            format!("{}", r.totals.llc_wb),
-            format!("{}", r.hierarchy.shared.ddio_allocs.get()),
-        ]);
-    }
-    t
+    direct_dram_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 12 — tail latency
 // ---------------------------------------------------------------------------
 
-/// Fig. 12: 50th and 99th percentile TouchDrop latency, solo and co-run
-/// with LLCAntagonist, normalised to DDIO solo at each rate.
-///
-/// Paper shape: IDIO's p99 reduction is largest at 25 Gbps (~30%), smaller
-/// at 100 and 10 Gbps; co-running inflates DDIO's tail more than IDIO's.
-pub fn fig12(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig12",
-        "p50/p99 latency normalised to DDIO solo",
-        &["rate", "scenario", "policy", "p50", "p99", "p99_us"],
-    );
-    for rate in [100.0, 25.0, 10.0] {
-        let base = run_bursty(
-            scale,
-            rate,
-            SteeringPolicy::Ddio,
-            NfKind::TouchDrop,
-            1514,
-            false,
-            Dscp::BEST_EFFORT,
+/// Fig. 12 as a declarative sweep (per rate: DDIO-solo base, IDIO-solo,
+/// DDIO-corun, IDIO-corun).
+pub fn fig12_spec(scale: Scale) -> FigureSpec {
+    let rates = [100.0f64, 25.0, 10.0];
+    let variants: [(&'static str, bool, SteeringPolicy); 4] = [
+        ("solo", false, SteeringPolicy::Ddio),
+        ("solo", false, SteeringPolicy::Idio),
+        ("corun", true, SteeringPolicy::Ddio),
+        ("corun", true, SteeringPolicy::Idio),
+    ];
+    let mut cells = Vec::new();
+    for rate in rates {
+        for (scenario, antagonist, policy) in variants {
+            cells.push(SweepCell::new(
+                format!("fig12/{rate:.0}G/{scenario}/{}", policy.label()),
+                bursty_cfg(
+                    scale,
+                    rate,
+                    policy,
+                    NfKind::TouchDrop,
+                    1514,
+                    antagonist,
+                    Dscp::BEST_EFFORT,
+                ),
+            ));
+        }
+    }
+    FigureSpec::new("fig12", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig12",
+            "p50/p99 latency normalised to DDIO solo",
+            &["rate", "scenario", "policy", "p50", "p99", "p99_us"],
         );
-        let (bp50, bp99) = (
-            base.p50().unwrap_or(Duration::from_ns(1)),
-            base.p99().unwrap_or(Duration::from_ns(1)),
-        );
-        for (scenario, antagonist) in [("solo", false), ("corun", true)] {
-            for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-                let r = if scenario == "solo" && policy == SteeringPolicy::Ddio {
-                    base.clone()
-                } else {
-                    run_bursty(
-                        scale,
-                        rate,
-                        policy,
-                        NfKind::TouchDrop,
-                        1514,
-                        antagonist,
-                        Dscp::BEST_EFFORT,
-                    )
-                };
+        for (i, rate) in rates.into_iter().enumerate() {
+            let chunk = &outcomes[i * variants.len()..(i + 1) * variants.len()];
+            let base = &chunk[0].report; // DDIO solo
+            let (bp50, bp99) = (
+                base.p50().unwrap_or(Duration::from_ns(1)),
+                base.p99().unwrap_or(Duration::from_ns(1)),
+            );
+            for ((scenario, _, policy), o) in variants.into_iter().zip(chunk) {
+                let r = &o.report;
                 let p50 = r.p50().unwrap_or(Duration::ZERO);
                 let p99 = r.p99().unwrap_or(Duration::ZERO);
                 t.push_row(vec![
@@ -689,13 +845,68 @@ pub fn fig12(scale: Scale) -> FigureResult {
                 ]);
             }
         }
-    }
-    t
+        t
+    })
+}
+
+/// Fig. 12: 50th and 99th percentile TouchDrop latency, solo and co-run
+/// with LLCAntagonist, normalised to DDIO solo at each rate.
+///
+/// Paper shape: IDIO's p99 reduction is largest at 25 Gbps (~30%), smaller
+/// at 100 and 10 Gbps; co-running inflates DDIO's tail more than IDIO's.
+pub fn fig12(scale: Scale) -> FigureResult {
+    fig12_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 13 — steady traffic
 // ---------------------------------------------------------------------------
+
+/// Fig. 13 as a declarative sweep (2 cells).
+pub fn fig13_spec(scale: Scale) -> FigureSpec {
+    let policies = [SteeringPolicy::Ddio, SteeringPolicy::Idio];
+    let cells = policies
+        .iter()
+        .map(|&policy| {
+            SweepCell::new(
+                format!("fig13/{}", policy.label()),
+                steady_cfg(scale, 10.0, scale.ring, policy, false),
+            )
+        })
+        .collect();
+    FigureSpec::new("fig13", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig13",
+            "Steady 10 Gbps/core TouchDrop",
+            &[
+                "policy",
+                "mlc_wb_mtps",
+                "llc_wb_mtps",
+                "self_inval",
+                "completed",
+            ],
+        );
+        for (policy, o) in policies.into_iter().zip(outcomes) {
+            let r = &o.report;
+            t.push_row(vec![
+                policy.label().into(),
+                format!("{:.2}", r.timelines.mlc_wb.mean()),
+                format!("{:.2}", r.timelines.llc_wb.mean()),
+                format!("{}", r.totals.self_inval),
+                format!("{}", r.totals.completed_packets),
+            ]);
+            t.series.push((
+                format!("{}_mlc_wb", policy.label()),
+                r.timelines.mlc_wb.clone(),
+            ));
+            t.series.push((
+                format!("{}_llc_wb", policy.label()),
+                r.timelines.llc_wb.clone(),
+            ));
+        }
+        t
+    })
+}
 
 /// Fig. 13: two TouchDrop instances at a steady 10 Gbps each, DDIO vs
 /// IDIO.
@@ -703,35 +914,68 @@ pub fn fig12(scale: Scale) -> FigureResult {
 /// Paper shape: DDIO shows a constant MLC writeback rate matching the
 /// packet consumption rate; IDIO's self-invalidation removes most of it.
 pub fn fig13(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig13",
-        "Steady 10 Gbps/core TouchDrop",
-        &["policy", "mlc_wb_mtps", "llc_wb_mtps", "self_inval", "completed"],
-    );
-    for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-        let r = run_steady(scale, 10.0, scale.ring, policy, false);
-        t.push_row(vec![
-            policy.label().into(),
-            format!("{:.2}", r.timelines.mlc_wb.mean()),
-            format!("{:.2}", r.timelines.llc_wb.mean()),
-            format!("{}", r.totals.self_inval),
-            format!("{}", r.totals.completed_packets),
-        ]);
-        t.series.push((
-            format!("{}_mlc_wb", policy.label()),
-            r.timelines.mlc_wb.clone(),
-        ));
-        t.series.push((
-            format!("{}_llc_wb", policy.label()),
-            r.timelines.llc_wb.clone(),
-        ));
-    }
-    t
+    fig13_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Fig. 14 — mlcTHR sensitivity
 // ---------------------------------------------------------------------------
+
+/// Fig. 14 as a declarative sweep (DDIO base + 5 threshold cells).
+pub fn fig14_spec(scale: Scale) -> FigureSpec {
+    let thresholds = [10.0f64, 25.0, 50.0, 75.0, 100.0];
+    let mut cells = vec![SweepCell::new(
+        "fig14/DDIO-base",
+        bursty_cfg(
+            scale,
+            100.0,
+            SteeringPolicy::Ddio,
+            NfKind::TouchDrop,
+            1514,
+            false,
+            Dscp::BEST_EFFORT,
+        ),
+    )];
+    for thr in thresholds {
+        let mut cfg = bursty_cfg(
+            scale,
+            100.0,
+            SteeringPolicy::Idio,
+            NfKind::TouchDrop,
+            1514,
+            false,
+            Dscp::BEST_EFFORT,
+        );
+        cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
+        cells.push(SweepCell::new(format!("fig14/thr{thr:.0}"), cfg));
+    }
+    FigureSpec::new("fig14", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "fig14",
+            "Sensitivity to mlcTHR at 100 Gbps (normalised to DDIO)",
+            &["mlc_thr_mtps", "mlc_wb", "llc_wb", "dram_wr", "exe_time"],
+        );
+        let base = &outcomes[0].report;
+        let base_exe = base.mean_exe_time(1);
+        for (thr, o) in thresholds.into_iter().zip(&outcomes[1..]) {
+            let r = &o.report;
+            let exe = match (r.mean_exe_time(1), base_exe) {
+                (Some(a), Some(b)) if b > Duration::ZERO => {
+                    format!("{:.3}", a.as_ps() as f64 / b.as_ps() as f64)
+                }
+                _ => "-".into(),
+            };
+            t.push_row(vec![
+                format!("{thr:.0}"),
+                fmt_ratio(ratio(r.totals.mlc_wb, base.totals.mlc_wb)),
+                fmt_ratio(ratio(r.totals.llc_wb, base.totals.llc_wb)),
+                fmt_ratio(ratio(r.totals.dram_wr, base.totals.dram_wr)),
+                exe,
+            ]);
+        }
+        t
+    })
+}
 
 /// Fig. 14: the Fig. 10 metrics at 100 Gbps while sweeping `mlcTHR` from
 /// 10 to 100 MTPS.
@@ -739,83 +983,62 @@ pub fn fig13(scale: Scale) -> FigureResult {
 /// Paper shape: IDIO's improvements are consistent across the sweep — the
 /// self-invalidation/prefetch synergy makes the threshold uncritical.
 pub fn fig14(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "fig14",
-        "Sensitivity to mlcTHR at 100 Gbps (normalised to DDIO)",
-        &["mlc_thr_mtps", "mlc_wb", "llc_wb", "dram_wr", "exe_time"],
-    );
-    let base = run_bursty(
-        scale,
-        100.0,
-        SteeringPolicy::Ddio,
-        NfKind::TouchDrop,
-        1514,
-        false,
-        Dscp::BEST_EFFORT,
-    );
-    let base_exe = base.mean_exe_time(1);
-    for thr in [10.0, 25.0, 50.0, 75.0, 100.0] {
-        let traffic = scale.bursty(100.0, 1514);
-        let mut cfg = SystemConfig::touchdrop_scenario(2, traffic);
-        cfg.ring_size = scale.ring;
-        cfg.duration = scale.burst_duration();
-        cfg.drain_grace = scale.period;
-        cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
-        let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
-        let exe = match (r.mean_exe_time(1), base_exe) {
-            (Some(a), Some(b)) if b > Duration::ZERO => {
-                format!("{:.3}", a.as_ps() as f64 / b.as_ps() as f64)
-            }
-            _ => "-".into(),
-        };
-        t.push_row(vec![
-            format!("{thr:.0}"),
-            fmt_ratio(ratio(r.totals.mlc_wb, base.totals.mlc_wb)),
-            fmt_ratio(ratio(r.totals.llc_wb, base.totals.llc_wb)),
-            fmt_ratio(ratio(r.totals.dram_wr, base.totals.dram_wr)),
-            exe,
-        ]);
-    }
-    t
+    fig14_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Sec. VII future work — CPU-paced prefetching
 // ---------------------------------------------------------------------------
 
-/// The paper's future-work suggestion (Sec. VII): "a more sophisticated
-/// prefetcher that follows the CPU pointer in the ring buffer to regulate
-/// the MLC prefetching rate will likely provide more benefit". Compares
-/// the paper's drop-on-full queued prefetcher against the CPU-paced
-/// variant at 100 and 25 Gbps.
-///
-/// Expected shape: identical at 25 Gbps (the queue keeps up anyway); at
-/// 100 Gbps the paced prefetcher avoids both the hint drops and the
-/// MLC flood/FSM-disable cycle, yielding shorter burst processing.
-pub fn future_work(scale: Scale) -> FigureResult {
+/// The future-work comparison as a declarative sweep (2 rates × 2
+/// prefetcher variants).
+pub fn future_work_spec(scale: Scale) -> FigureSpec {
     use crate::prefetcher::PrefetchPacing;
-    let mut t = FigureResult::new(
-        "future-work",
-        "Queued vs CPU-paced prefetching (IDIO)",
-        &["rate", "prefetcher", "mlc_wb", "llc_wb", "prefetches", "exe_ms"],
-    );
-    for rate in [100.0, 25.0] {
-        for (name, pacing) in [
-            ("queued", PrefetchPacing::Queued),
-            ("cpu-paced", PrefetchPacing::CpuPaced { window_packets: 64 }),
-        ] {
-            let traffic = scale.bursty(rate, 1514);
-            let mut cfg = SystemConfig::touchdrop_scenario(2, traffic);
-            cfg.ring_size = scale.ring;
-            cfg.duration = scale.burst_duration();
-            cfg.drain_grace = scale.period;
+    let variants = [
+        ("queued", PrefetchPacing::Queued),
+        ("cpu-paced", PrefetchPacing::CpuPaced { window_packets: 64 }),
+    ];
+    let mut cells = Vec::new();
+    let mut meta = Vec::new();
+    for rate in [100.0f64, 25.0] {
+        for (name, pacing) in variants {
+            let mut cfg = bursty_cfg(
+                scale,
+                rate,
+                SteeringPolicy::Idio,
+                NfKind::TouchDrop,
+                1514,
+                false,
+                Dscp::BEST_EFFORT,
+            );
             cfg.prefetcher.pacing = pacing;
             if matches!(pacing, PrefetchPacing::CpuPaced { .. }) {
                 // The paced queue never drops; give it room for a full
                 // window of parked-then-released packets.
                 cfg.prefetcher.queue_depth = 64 * 32;
             }
-            let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();
+            cells.push(SweepCell::new(
+                format!("future-work/{rate:.0}G/{name}"),
+                cfg,
+            ));
+            meta.push((rate, name));
+        }
+    }
+    FigureSpec::new("future-work", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "future-work",
+            "Queued vs CPU-paced prefetching (IDIO)",
+            &[
+                "rate",
+                "prefetcher",
+                "mlc_wb",
+                "llc_wb",
+                "prefetches",
+                "exe_ms",
+            ],
+        );
+        for ((rate, name), o) in meta.into_iter().zip(outcomes) {
+            let r = &o.report;
             let exe = r
                 .mean_exe_time(1)
                 .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
@@ -829,13 +1052,60 @@ pub fn future_work(scale: Scale) -> FigureResult {
                 exe,
             ]);
         }
-    }
-    t
+        t
+    })
+}
+
+/// The paper's future-work suggestion (Sec. VII): "a more sophisticated
+/// prefetcher that follows the CPU pointer in the ring buffer to regulate
+/// the MLC prefetching rate will likely provide more benefit". Compares
+/// the paper's drop-on-full queued prefetcher against the CPU-paced
+/// variant at 100 and 25 Gbps.
+///
+/// Expected shape: identical at 25 Gbps (the queue keeps up anyway); at
+/// 100 Gbps the paced prefetcher avoids both the hint drops and the
+/// MLC flood/FSM-disable cycle, yielding shorter burst processing.
+pub fn future_work(scale: Scale) -> FigureResult {
+    future_work_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // DMA bloating occupancy (Sec. III observation 3, measured directly)
 // ---------------------------------------------------------------------------
+
+/// The bloating measurement as a declarative sweep (2 cells).
+pub fn bloating_spec(scale: Scale) -> FigureSpec {
+    let policies = [SteeringPolicy::Ddio, SteeringPolicy::Idio];
+    let cells = policies
+        .iter()
+        .map(|&policy| {
+            SweepCell::new(
+                format!("bloating/{}", policy.label()),
+                steady_cfg(scale, 10.0, scale.ring, policy, false),
+            )
+        })
+        .collect();
+    FigureSpec::new("bloating", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "bloating",
+            "DMA share of LLC capacity (steady 10 Gbps/core)",
+            &["policy", "mean_share", "max_share", "final_share"],
+        );
+        for (policy, o) in policies.into_iter().zip(outcomes) {
+            let series = &o.report.timelines.dma_llc_share;
+            let last = series.samples().last().map(|s| s.value).unwrap_or(0.0);
+            t.push_row(vec![
+                policy.label().into(),
+                format!("{:.3}", series.mean()),
+                format!("{:.3}", series.max_value()),
+                format!("{last:.3}"),
+            ]);
+            t.series
+                .push((format!("{}_dma_share", policy.label()), series.clone()));
+        }
+        t
+    })
+}
 
 /// Directly measures *DMA bloating*: the share of LLC lines occupied by
 /// DMA buffer regions over time, under DDIO vs IDIO, for steady traffic
@@ -845,51 +1115,47 @@ pub fn future_work(scale: Scale) -> FigureResult {
 /// non-DDIO ways until I/O data dominates the LLC; IDIO's
 /// self-invalidation keeps the share near the DDIO-way footprint.
 pub fn bloating(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "bloating",
-        "DMA share of LLC capacity (steady 10 Gbps/core)",
-        &["policy", "mean_share", "max_share", "final_share"],
-    );
-    for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-        let r = run_steady(scale, 10.0, scale.ring, policy, false);
-        let series = &r.timelines.dma_llc_share;
-        let last = series.samples().last().map(|s| s.value).unwrap_or(0.0);
-        t.push_row(vec![
-            policy.label().into(),
-            format!("{:.3}", series.mean()),
-            format!("{:.3}", series.max_value()),
-            format!("{last:.3}"),
-        ]);
-        t.series
-            .push((format!("{}_dma_share", policy.label()), series.clone()));
-    }
-    t
+    bloating_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Buffer recycling modes (Sec. II-B)
 // ---------------------------------------------------------------------------
 
-/// Compares the Sec. II-B buffer-recycling modes: run-to-completion
-/// (TouchDrop) vs copy-mode (TouchDropCopy, how the Linux stack works),
-/// under DDIO and IDIO.
-///
-/// Expected shape: copy-mode roughly doubles the MLC writeback stream
-/// under DDIO (dead DMA lines *and* application copies are evicted), and
-/// IDIO removes the DMA-buffer share of it while the application copies —
-/// live data — still write back.
-pub fn copy_mode(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "copy-mode",
-        "Run-to-completion vs copy-mode recycling",
-        &["stack", "policy", "mlc_wb", "llc_wb", "self_inval", "exe_ms"],
-    );
-    for (name, kind) in [
+/// The recycling-mode comparison as a declarative sweep (2 stacks × 2
+/// policies).
+pub fn copy_mode_spec(scale: Scale) -> FigureSpec {
+    let stacks = [
         ("run-to-completion", NfKind::TouchDrop),
         ("copy", NfKind::TouchDropCopy),
-    ] {
-        for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-            let r = run_bursty(scale, 25.0, policy, kind, 1514, false, Dscp::BEST_EFFORT);
+    ];
+    let policies = [SteeringPolicy::Ddio, SteeringPolicy::Idio];
+    let mut cells = Vec::new();
+    let mut meta = Vec::new();
+    for (name, kind) in stacks {
+        for policy in policies {
+            cells.push(SweepCell::new(
+                format!("copy-mode/{name}/{}", policy.label()),
+                bursty_cfg(scale, 25.0, policy, kind, 1514, false, Dscp::BEST_EFFORT),
+            ));
+            meta.push((name, policy));
+        }
+    }
+    FigureSpec::new("copy-mode", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "copy-mode",
+            "Run-to-completion vs copy-mode recycling",
+            &[
+                "stack",
+                "policy",
+                "mlc_wb",
+                "llc_wb",
+                "self_inval",
+                "exe_ms",
+            ],
+        );
+        for ((name, policy), o) in meta.into_iter().zip(outcomes) {
+            let r = &o.report;
             let exe = r
                 .mean_exe_time(1)
                 .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
@@ -903,42 +1169,60 @@ pub fn copy_mode(scale: Scale) -> FigureResult {
                 exe,
             ]);
         }
-    }
-    t
+        t
+    })
+}
+
+/// Compares the Sec. II-B buffer-recycling modes: run-to-completion
+/// (TouchDrop) vs copy-mode (TouchDropCopy, how the Linux stack works),
+/// under DDIO and IDIO.
+///
+/// Expected shape: copy-mode roughly doubles the MLC writeback stream
+/// under DDIO (dead DMA lines *and* application copies are evicted), and
+/// IDIO removes the DMA-buffer share of it while the application copies —
+/// live data — still write back.
+pub fn copy_mode(scale: Scale) -> FigureResult {
+    copy_mode_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Prior-work baseline comparison (IAT, Yuan et al. ISCA'21)
 // ---------------------------------------------------------------------------
 
-/// Compares baseline DDIO, the IAT-style dynamic-DDIO-way baseline, and
-/// full IDIO on TouchDrop bursts.
-///
-/// Expected shape (matching the paper's related-work positioning): IAT
-/// reduces the DMA leak by growing the I/O partition, but — lacking
-/// self-invalidation and MLC steering — it cannot remove the MLC
-/// writeback stream or shorten execution the way IDIO does.
-pub fn baselines(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "baselines",
-        "DDIO vs IAT-dynamic vs IDIO (TouchDrop)",
-        &["rate", "policy", "mlc_wb", "llc_wb", "dram_wr", "exe_ms"],
-    );
-    for rate in [100.0, 25.0] {
-        for policy in [
-            SteeringPolicy::Ddio,
-            SteeringPolicy::IatDynamic,
-            SteeringPolicy::Idio,
-        ] {
-            let r = run_bursty(
-                scale,
-                rate,
-                policy,
-                NfKind::TouchDrop,
-                1514,
-                false,
-                Dscp::BEST_EFFORT,
-            );
+/// The baseline comparison as a declarative sweep (2 rates × 3 policies).
+pub fn baselines_spec(scale: Scale) -> FigureSpec {
+    let policies = [
+        SteeringPolicy::Ddio,
+        SteeringPolicy::IatDynamic,
+        SteeringPolicy::Idio,
+    ];
+    let mut cells = Vec::new();
+    let mut meta = Vec::new();
+    for rate in [100.0f64, 25.0] {
+        for policy in policies {
+            cells.push(SweepCell::new(
+                format!("baselines/{rate:.0}G/{}", policy.label()),
+                bursty_cfg(
+                    scale,
+                    rate,
+                    policy,
+                    NfKind::TouchDrop,
+                    1514,
+                    false,
+                    Dscp::BEST_EFFORT,
+                ),
+            ));
+            meta.push((rate, policy));
+        }
+    }
+    FigureSpec::new("baselines", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "baselines",
+            "DDIO vs IAT-dynamic vs IDIO (TouchDrop)",
+            &["rate", "policy", "mlc_wb", "llc_wb", "dram_wr", "exe_ms"],
+        );
+        for ((rate, policy), o) in meta.into_iter().zip(outcomes) {
+            let r = &o.report;
             let exe = r
                 .mean_exe_time(1)
                 .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
@@ -952,13 +1236,58 @@ pub fn baselines(scale: Scale) -> FigureResult {
                 exe,
             ]);
         }
-    }
-    t
+        t
+    })
+}
+
+/// Compares baseline DDIO, the IAT-style dynamic-DDIO-way baseline, and
+/// full IDIO on TouchDrop bursts.
+///
+/// Expected shape (matching the paper's related-work positioning): IAT
+/// reduces the DMA leak by growing the I/O partition, but — lacking
+/// self-invalidation and MLC steering — it cannot remove the MLC
+/// writeback stream or shorten execution the way IDIO does.
+pub fn baselines(scale: Scale) -> FigureResult {
+    baselines_spec(scale).run_serial()
 }
 
 // ---------------------------------------------------------------------------
 // Sweeps (ablations extending the paper's Fig. 4 analysis)
 // ---------------------------------------------------------------------------
+
+/// The ring-depth sweep as a declarative sweep (5 rings × 2 policies).
+pub fn ring_sweep_spec(scale: Scale) -> FigureSpec {
+    let mut cells = Vec::new();
+    let mut meta = Vec::new();
+    for ring in [64u32, 256, 512, 1024, 2048] {
+        for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
+            cells.push(SweepCell::new(
+                format!("ring-sweep/ring{ring}/{}", policy.label()),
+                steady_cfg(scale, 10.0, ring, policy, false),
+            ));
+            meta.push((ring, policy));
+        }
+    }
+    FigureSpec::new("ring-sweep", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "ring-sweep",
+            "Ring-depth sweep at steady 10 Gbps/core",
+            &["ring", "policy", "mlc_wb/rx", "inval/rx", "self_inval/rx"],
+        );
+        for ((ring, policy), o) in meta.into_iter().zip(outcomes) {
+            let r = &o.report;
+            let rx = rx_data_lines(r, 1514).max(1);
+            t.push_row(vec![
+                format!("{ring}"),
+                policy.label().into(),
+                fmt_ratio(ratio(r.totals.mlc_wb, rx)),
+                fmt_ratio(ratio(r.totals.mlc_inval_by_dma, rx)),
+                fmt_ratio(ratio(r.totals.self_inval, rx)),
+            ]);
+        }
+        t
+    })
+}
 
 /// Ring-size sweep: normalised MLC writebacks and invalidations for DDIO
 /// *and* IDIO across ring depths — extends Fig. 4 (which only measures
@@ -968,52 +1297,20 @@ pub fn baselines(scale: Scale) -> FigureResult {
 /// MLC capacity) to writeback-dominated (ring > MLC); IDIO turns the
 /// writebacks back into (self-)invalidations at every depth.
 pub fn ring_sweep(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "ring-sweep",
-        "Ring-depth sweep at steady 10 Gbps/core",
-        &["ring", "policy", "mlc_wb/rx", "inval/rx", "self_inval/rx"],
-    );
-    for ring in [64u32, 256, 512, 1024, 2048] {
-        for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-            let r = run_steady(scale, 10.0, ring, policy, false);
-            let rx = rx_data_lines(&r, 1514).max(1);
-            t.push_row(vec![
-                format!("{ring}"),
-                policy.label().into(),
-                fmt_ratio(ratio(r.totals.mlc_wb, rx)),
-                fmt_ratio(ratio(r.totals.mlc_inval_by_dma, rx)),
-                fmt_ratio(ratio(r.totals.self_inval, rx)),
-            ]);
-        }
-    }
-    t
+    ring_sweep_spec(scale).run_serial()
 }
 
-/// Packet-size sweep at a fixed 25 Gbps burst rate: small frames are
-/// header-dominated (IDIO's always-on header steering covers them);
-/// large frames exercise payload steering and invalidation.
-pub fn packet_sweep(scale: Scale) -> FigureResult {
-    let mut t = FigureResult::new(
-        "packet-sweep",
-        "Packet-size sweep, 25 Gbps bursts",
-        &["bytes", "policy", "mlc_wb", "llc_wb", "exe_ratio"],
-    );
-    for len in [64u16, 256, 1024, 1514] {
-        let base = run_bursty(
-            scale,
-            25.0,
-            SteeringPolicy::Ddio,
-            NfKind::TouchDrop,
-            len,
-            false,
-            Dscp::BEST_EFFORT,
-        );
-        let base_exe = base.mean_exe_time(1);
-        for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-            let r = if policy == SteeringPolicy::Ddio {
-                base.clone()
-            } else {
-                run_bursty(
+/// The packet-size sweep as a declarative sweep (per size: DDIO base +
+/// IDIO).
+pub fn packet_sweep_spec(scale: Scale) -> FigureSpec {
+    let lens = [64u16, 256, 1024, 1514];
+    let policies = [SteeringPolicy::Ddio, SteeringPolicy::Idio];
+    let mut cells = Vec::new();
+    for len in lens {
+        for policy in policies {
+            cells.push(SweepCell::new(
+                format!("packet-sweep/{len}B/{}", policy.label()),
+                bursty_cfg(
                     scale,
                     25.0,
                     policy,
@@ -1021,47 +1318,73 @@ pub fn packet_sweep(scale: Scale) -> FigureResult {
                     len,
                     false,
                     Dscp::BEST_EFFORT,
-                )
-            };
-            let exe = match (r.mean_exe_time(1), base_exe) {
-                (Some(a), Some(b)) if b > Duration::ZERO => {
-                    format!("{:.3}", a.as_ps() as f64 / b.as_ps() as f64)
-                }
-                _ => "-".into(),
-            };
-            t.push_row(vec![
-                format!("{len}"),
-                policy.label().into(),
-                format!("{}", r.totals.mlc_wb),
-                format!("{}", r.totals.llc_wb),
-                exe,
-            ]);
+                ),
+            ));
         }
     }
-    t
+    FigureSpec::new("packet-sweep", cells, move |outcomes| {
+        let mut t = FigureResult::new(
+            "packet-sweep",
+            "Packet-size sweep, 25 Gbps bursts",
+            &["bytes", "policy", "mlc_wb", "llc_wb", "exe_ratio"],
+        );
+        for (i, len) in lens.into_iter().enumerate() {
+            let chunk = &outcomes[i * policies.len()..(i + 1) * policies.len()];
+            let base_exe = chunk[0].report.mean_exe_time(1); // DDIO
+            for (policy, o) in policies.into_iter().zip(chunk) {
+                let r = &o.report;
+                let exe = match (r.mean_exe_time(1), base_exe) {
+                    (Some(a), Some(b)) if b > Duration::ZERO => {
+                        format!("{:.3}", a.as_ps() as f64 / b.as_ps() as f64)
+                    }
+                    _ => "-".into(),
+                };
+                t.push_row(vec![
+                    format!("{len}"),
+                    policy.label().into(),
+                    format!("{}", r.totals.mlc_wb),
+                    format!("{}", r.totals.llc_wb),
+                    exe,
+                ]);
+            }
+        }
+        t
+    })
 }
 
-/// Runs every experiment at the given scale, in paper order.
-pub fn all(scale: Scale) -> Vec<FigureResult> {
+/// Packet-size sweep at a fixed 25 Gbps burst rate: small frames are
+/// header-dominated (IDIO's always-on header steering covers them);
+/// large frames exercise payload steering and invalidation.
+pub fn packet_sweep(scale: Scale) -> FigureResult {
+    packet_sweep_spec(scale).run_serial()
+}
+
+/// Declares every experiment at the given scale, in paper order.
+pub fn all_specs(scale: Scale) -> Vec<FigureSpec> {
     vec![
-        table1(),
-        table2(),
-        fig4(scale),
-        fig5(scale),
-        fig9(scale),
-        fig10(scale),
-        fig11(scale),
-        direct_dram(scale),
-        fig12(scale),
-        fig13(scale),
-        fig14(scale),
-        future_work(scale),
-        bloating(scale),
-        copy_mode(scale),
-        baselines(scale),
-        ring_sweep(scale),
-        packet_sweep(scale),
+        table1_spec(),
+        table2_spec(),
+        fig4_spec(scale),
+        fig5_spec(scale),
+        fig9_spec(scale),
+        fig10_spec(scale),
+        fig11_spec(scale),
+        direct_dram_spec(scale),
+        fig12_spec(scale),
+        fig13_spec(scale),
+        fig14_spec(scale),
+        future_work_spec(scale),
+        bloating_spec(scale),
+        copy_mode_spec(scale),
+        baselines_spec(scale),
+        ring_sweep_spec(scale),
+        packet_sweep_spec(scale),
     ]
+}
+
+/// Runs every experiment at the given scale, in paper order (serially).
+pub fn all(scale: Scale) -> Vec<FigureResult> {
+    crate::sweep::run_figures(all_specs(scale), &SweepOptions::serial()).0
 }
 
 /// Convenience used by workload specs in ad-hoc experiment code.
@@ -1129,5 +1452,20 @@ mod tests {
         assert!(ratio(5, 0).is_infinite());
         assert_eq!(fmt_ratio(ratio(1, 2)), "0.500");
         assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn specs_declare_unique_labels_across_the_suite() {
+        let mut labels = Vec::new();
+        for spec in all_specs(Scale::quick()) {
+            for cell in &spec.cells {
+                labels.push(cell.label.clone());
+            }
+        }
+        let total = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), total, "duplicate cell label across figures");
+        assert!(total >= 50, "the suite declares a substantial cell pool");
     }
 }

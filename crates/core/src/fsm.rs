@@ -131,7 +131,11 @@ mod tests {
         let mut f = PrefetchFsm::new();
         f.update(false);
         f.update(false);
-        assert_eq!(f.status(), MlcStatus::Llc, "low pressure alone never re-enables");
+        assert_eq!(
+            f.status(),
+            MlcStatus::Llc,
+            "low pressure alone never re-enables"
+        );
         f.reset_on_burst();
         assert_eq!(f.status(), MlcStatus::Mlc);
     }

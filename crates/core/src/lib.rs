@@ -51,6 +51,7 @@ pub mod layout;
 pub mod policy;
 pub mod prefetcher;
 pub mod report;
+pub mod sweep;
 pub mod system;
 
 pub use config::{AntagonistSpec, SystemConfig, WorkloadSpec};

@@ -76,9 +76,9 @@ impl SteeringPolicy {
     /// How payload MLC steering is decided.
     pub fn prefetch_mode(self) -> PrefetchMode {
         match self {
-            SteeringPolicy::Ddio
-            | SteeringPolicy::InvalidateOnly
-            | SteeringPolicy::IatDynamic => PrefetchMode::Off,
+            SteeringPolicy::Ddio | SteeringPolicy::InvalidateOnly | SteeringPolicy::IatDynamic => {
+                PrefetchMode::Off
+            }
             SteeringPolicy::PrefetchOnly | SteeringPolicy::Idio => PrefetchMode::Dynamic,
             SteeringPolicy::StaticIdio => PrefetchMode::Always,
         }

@@ -349,7 +349,10 @@ mod tests {
         t.record_dma(SimTime::ZERO, SimTime::ZERO);
         t.record_completion(SimTime::ZERO, SimTime::from_us(100));
         t.record_dma(SimTime::from_ms(10), SimTime::from_ms(10));
-        t.record_completion(SimTime::from_ms(10), SimTime::from_ms(10) + Duration::from_us(50));
+        t.record_completion(
+            SimTime::from_ms(10),
+            SimTime::from_ms(10) + Duration::from_us(50),
+        );
         assert_eq!(t.mean_exe_time(0), Some(Duration::from_us(75)));
         assert_eq!(t.mean_exe_time(1), Some(Duration::from_us(50)));
         assert_eq!(t.mean_exe_time(2), None);

@@ -1,0 +1,462 @@
+//! The parallel figure-sweep orchestrator.
+//!
+//! Every paper figure is a *sweep matrix*: dozens of independent
+//! [`System`] runs (cells) whose results are assembled into one table.
+//! This module turns that matrix into explicit data — a [`SweepCell`] is a
+//! labelled [`SystemConfig`], a [`FigureSpec`] is a list of cells plus an
+//! assembly function — and executes the cells on a pool of worker threads
+//! while keeping the output *bit-identical* to a serial run:
+//!
+//! * **Deterministic seeding.** Each cell's RNG seed is derived from the
+//!   sweep's root seed and a stable FNV-1a hash of the cell *label*
+//!   ([`idio_engine::rng::derive_seed`]) — never from thread identity,
+//!   scheduling order, or cell position. Renaming a cell changes its seed;
+//!   reordering or parallelising the sweep does not.
+//! * **Declaration-order reassembly.** Workers claim cells from a shared
+//!   cursor, but results are written into a slot table indexed by
+//!   declaration position, so the assembled [`FigureResult`]s are
+//!   byte-identical at `--jobs 1` and `--jobs N`.
+//!
+//! Wall-clock per cell is measured and reported via [`CellTiming`] /
+//! [`SuiteTiming`] — timing is kept *outside* [`FigureResult`] so the
+//! figure output itself stays deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use idio_engine::rng::derive_seed;
+
+use crate::config::SystemConfig;
+use crate::experiments::FigureResult;
+use crate::report::RunReport;
+use crate::system::System;
+
+/// Default root seed of every sweep (matches `SystemConfig`'s default).
+pub const DEFAULT_ROOT_SEED: u64 = 0xD10;
+
+/// One cell of a sweep matrix: a label and the configuration to run.
+///
+/// The label doubles as the cell's identity for seeding, progress
+/// reporting, and timing, so it should be unique within a sweep and stable
+/// across releases (e.g. `"fig9/100G/IDIO"`).
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Stable, unique identity of the cell within its sweep.
+    pub label: String,
+    /// The system configuration to run (its `seed` is overwritten by the
+    /// orchestrator with the label-derived seed).
+    pub cfg: SystemConfig,
+}
+
+impl SweepCell {
+    /// Creates a cell.
+    pub fn new(label: impl Into<String>, cfg: SystemConfig) -> Self {
+        SweepCell {
+            label: label.into(),
+            cfg,
+        }
+    }
+}
+
+/// The result of one executed cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell's label.
+    pub label: String,
+    /// The seed the run actually used (root ⊕ label hash).
+    pub seed: u64,
+    /// The simulation report.
+    pub report: RunReport,
+    /// Host wall-clock time of the run.
+    pub wall: std::time::Duration,
+}
+
+/// Orchestrator knobs.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; `0` uses the host's available parallelism.
+    pub jobs: usize,
+    /// Root seed every cell seed is derived from.
+    pub root_seed: u64,
+    /// Print one progress line per finished cell to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 1,
+            root_seed: DEFAULT_ROOT_SEED,
+            progress: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Serial execution with the default seed (the legacy behaviour).
+    pub fn serial() -> Self {
+        SweepOptions::default()
+    }
+
+    /// Resolves `jobs == 0` to the host's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Per-cell wall-clock entry of a timing report.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// The cell's label.
+    pub label: String,
+    /// Host wall-clock of the cell's simulation.
+    pub wall: std::time::Duration,
+}
+
+/// Per-figure timing: the figure's cells plus their summed cost.
+#[derive(Debug, Clone)]
+pub struct FigureTiming {
+    /// Figure identifier (e.g. `"fig9"`).
+    pub id: &'static str,
+    /// One entry per cell, in declaration order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl FigureTiming {
+    /// Sum of the figure's cell wall-clocks (CPU cost, not elapsed time).
+    pub fn cpu_total(&self) -> std::time::Duration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+}
+
+/// Timing summary of a whole suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteTiming {
+    /// Wall-clock of the complete sweep (cells + assembly), as elapsed.
+    pub wall: std::time::Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Root seed of the sweep.
+    pub root_seed: u64,
+    /// Per-figure breakdowns, in declaration order.
+    pub figures: Vec<FigureTiming>,
+}
+
+impl SuiteTiming {
+    /// Summed per-cell CPU cost across all figures. The ratio
+    /// `cpu_total / wall` approximates the achieved parallel speedup.
+    pub fn cpu_total(&self) -> std::time::Duration {
+        self.figures.iter().map(FigureTiming::cpu_total).sum()
+    }
+}
+
+/// An order-preserving parallel map: applies `f` to every item on up to
+/// `jobs` worker threads and returns the outputs in input order.
+///
+/// Each item is claimed exactly once via a shared cursor; the output
+/// position of an item is its input position regardless of which worker
+/// ran it or when it finished. With `jobs <= 1` (or a single item) the map
+/// degenerates to a plain sequential loop on the caller's thread.
+///
+/// # Panics
+///
+/// Panics (propagated) if `f` panics on any item.
+///
+/// # Examples
+///
+/// ```
+/// use idio_core::sweep::parallel_map;
+///
+/// let doubled = parallel_map(vec![1, 2, 3, 4], 8, |_, x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8]);
+/// ```
+pub fn parallel_map<I, O, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("cell slot lock")
+                    .take()
+                    .expect("each cell is claimed exactly once");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every claimed cell produced a result")
+        })
+        .collect()
+}
+
+/// Executes a batch of cells on the worker pool, returning outcomes in
+/// declaration order.
+///
+/// Each cell's config gets its seed overwritten with
+/// `derive_seed(root_seed, label)` before the run, making the outcome a
+/// pure function of `(cell, root_seed)` — independent of `jobs`.
+pub fn run_cells(cells: Vec<SweepCell>, opts: &SweepOptions) -> Vec<CellOutcome> {
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    let progress = opts.progress;
+    let root = opts.root_seed;
+    parallel_map(cells, opts.effective_jobs(), move |_, cell| {
+        let SweepCell { label, mut cfg } = cell;
+        let seed = derive_seed(root, &label);
+        cfg.seed = seed;
+        let t0 = Instant::now();
+        let report = System::new(cfg).run();
+        let wall = t0.elapsed();
+        if progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!("[{k}/{total}] {label} ({wall:.1?})");
+        }
+        CellOutcome {
+            label,
+            seed,
+            report,
+            wall,
+        }
+    })
+}
+
+/// The assembly stage of a figure: outcomes in declaration order → table.
+type AssembleFn = Box<dyn FnOnce(&[CellOutcome]) -> FigureResult>;
+
+/// A declared figure: its cells plus the function that assembles the
+/// executed cells into the printable [`FigureResult`].
+///
+/// The assembly function receives the outcomes in *declaration order* and
+/// must be a pure function of them (it runs on the coordinating thread,
+/// after all of the figure's cells finished).
+pub struct FigureSpec {
+    /// Figure identifier (e.g. `"fig9"`).
+    pub id: &'static str,
+    /// The sweep cells, in declaration order.
+    pub cells: Vec<SweepCell>,
+    assemble: AssembleFn,
+}
+
+impl std::fmt::Debug for FigureSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FigureSpec")
+            .field("id", &self.id)
+            .field("cells", &self.cells.len())
+            .finish()
+    }
+}
+
+impl FigureSpec {
+    /// Declares a figure.
+    pub fn new(
+        id: &'static str,
+        cells: Vec<SweepCell>,
+        assemble: impl FnOnce(&[CellOutcome]) -> FigureResult + 'static,
+    ) -> Self {
+        debug_assert!(
+            {
+                let mut labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+                labels.sort_unstable();
+                labels.windows(2).all(|w| w[0] != w[1])
+            },
+            "cell labels within a figure must be unique ({id})"
+        );
+        FigureSpec {
+            id,
+            cells,
+            assemble: Box::new(assemble),
+        }
+    }
+
+    /// Runs this figure's cells serially with default options and
+    /// assembles the result — the drop-in replacement for the legacy
+    /// inline-loop figure drivers.
+    pub fn run_serial(self) -> FigureResult {
+        self.run(&SweepOptions::serial()).0
+    }
+
+    /// Runs this figure's cells under `opts` and assembles the result.
+    pub fn run(self, opts: &SweepOptions) -> (FigureResult, FigureTiming) {
+        let id = self.id;
+        let outcomes = run_cells(self.cells, opts);
+        let timing = FigureTiming {
+            id,
+            cells: outcomes
+                .iter()
+                .map(|o| CellTiming {
+                    label: o.label.clone(),
+                    wall: o.wall,
+                })
+                .collect(),
+        };
+        ((self.assemble)(&outcomes), timing)
+    }
+}
+
+/// Runs a whole suite of figures over one shared worker pool.
+///
+/// All cells of all figures are flattened into a single batch so that a
+/// figure with one long-running cell does not serialise the sweep; results
+/// are regrouped per figure and assembled in declaration order.
+pub fn run_figures(
+    specs: Vec<FigureSpec>,
+    opts: &SweepOptions,
+) -> (Vec<FigureResult>, SuiteTiming) {
+    let t0 = Instant::now();
+    // Flatten (figure index, cell) pairs, remembering each figure's span.
+    let mut flat = Vec::new();
+    let mut spans = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let start = flat.len();
+        flat.extend(spec.cells.iter().cloned());
+        spans.push(start..flat.len());
+    }
+    let outcomes = run_cells(flat, opts);
+
+    let mut figures = Vec::with_capacity(specs.len());
+    let mut timings = Vec::with_capacity(specs.len());
+    for (spec, span) in specs.into_iter().zip(spans) {
+        let mine = &outcomes[span];
+        timings.push(FigureTiming {
+            id: spec.id,
+            cells: mine
+                .iter()
+                .map(|o| CellTiming {
+                    label: o.label.clone(),
+                    wall: o.wall,
+                })
+                .collect(),
+        });
+        figures.push((spec.assemble)(mine));
+    }
+    let timing = SuiteTiming {
+        wall: t0.elapsed(),
+        jobs: opts.effective_jobs(),
+        root_seed: opts.root_seed,
+        figures: timings,
+    };
+    (figures, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idio_engine::time::{Duration, SimTime};
+    use idio_net::gen::TrafficPattern;
+
+    fn tiny_cfg() -> SystemConfig {
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 5.0 });
+        cfg.duration = SimTime::from_us(50);
+        cfg.drain_grace = Duration::from_us(50);
+        cfg
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..64).collect::<Vec<_>>(), 8, |i, x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_with_zero_items_is_empty() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cell_seeds_are_label_derived_not_position_derived() {
+        let cells = vec![
+            SweepCell::new("a", tiny_cfg()),
+            SweepCell::new("b", tiny_cfg()),
+        ];
+        let swapped = vec![
+            SweepCell::new("b", tiny_cfg()),
+            SweepCell::new("a", tiny_cfg()),
+        ];
+        let out1 = run_cells(cells, &SweepOptions::serial());
+        let out2 = run_cells(swapped, &SweepOptions::serial());
+        assert_eq!(out1[0].seed, out2[1].seed, "seed follows the label");
+        assert_eq!(out1[1].seed, out2[0].seed);
+        assert_ne!(out1[0].seed, out1[1].seed);
+    }
+
+    #[test]
+    fn outcomes_are_identical_across_worker_counts() {
+        let mk = || {
+            (0..6)
+                .map(|i| SweepCell::new(format!("cell{i}"), tiny_cfg()))
+                .collect::<Vec<_>>()
+        };
+        let serial = run_cells(mk(), &SweepOptions::serial());
+        let parallel = run_cells(
+            mk(),
+            &SweepOptions {
+                jobs: 4,
+                ..SweepOptions::default()
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.seed, p.seed);
+            assert_eq!(s.report.totals, p.report.totals);
+        }
+    }
+
+    #[test]
+    fn figure_spec_assembles_in_declaration_order() {
+        let cells = vec![
+            SweepCell::new("first", tiny_cfg()),
+            SweepCell::new("second", tiny_cfg()),
+        ];
+        let spec = FigureSpec::new("test", cells, |outcomes| {
+            let mut f = FigureResult::new("test", "order", &["label"]);
+            for o in outcomes {
+                f.push_row(vec![o.label.clone()]);
+            }
+            f
+        });
+        let fig = spec.run_serial();
+        assert_eq!(
+            fig.rows,
+            vec![vec!["first".to_string()], vec!["second".to_string()]]
+        );
+    }
+}

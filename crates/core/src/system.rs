@@ -261,14 +261,15 @@ impl System {
                 }
                 gens.push(ArrivalSource::Replay(clipped.into_iter()));
             } else {
-                let flow =
-                    FlowSpec::udp_to_port(5000 + qi as u16, w.packet_len).with_dscp(w.dscp);
+                let flow = FlowSpec::udp_to_port(5000 + qi as u16, w.packet_len).with_dscp(w.dscp);
                 if cfg.steering == FlowSteering::Perfect {
                     nic.flow_director_mut()
                         .install_perfect(flow.tuple, QueueId(qi as u16));
                 }
                 gens.push(ArrivalSource::Gen(Box::new(TrafficGen::new(
-                    flow, w.traffic, cfg.duration,
+                    flow,
+                    w.traffic,
+                    cfg.duration,
                 ))));
             }
         }
@@ -375,8 +376,10 @@ impl System {
         if self.antagonist.is_some() {
             self.queue.schedule_at(SimTime::ZERO, Event::AntagonistNext);
         }
-        self.queue
-            .schedule_at(SimTime::ZERO + self.cfg.idio.control_interval, Event::ControlTick);
+        self.queue.schedule_at(
+            SimTime::ZERO + self.cfg.idio.control_interval,
+            Event::ControlTick,
+        );
         self.queue
             .schedule_at(SimTime::ZERO + self.cfg.sample_interval, Event::SampleTick);
     }
@@ -524,7 +527,8 @@ impl System {
         if pf.push(line) && !pf.issue_pending {
             pf.issue_pending = true;
             let gap = pf.config().issue_gap;
-            self.queue.schedule_at(now + gap, Event::PrefetchIssue { core });
+            self.queue
+                .schedule_at(now + gap, Event::PrefetchIssue { core });
         }
     }
 
@@ -565,9 +569,7 @@ impl System {
             // consumption pointer, so it may recover lines from DRAM; the
             // paper's queued prefetcher only pulls from the LLC.
             let out = match self.cfg.prefetcher.pacing {
-                PrefetchPacing::Queued => {
-                    self.hier.prefetch_fill(CoreId::new(core as u16), line)
-                }
+                PrefetchPacing::Queued => self.hier.prefetch_fill(CoreId::new(core as u16), line),
                 PrefetchPacing::CpuPaced { .. } => {
                     self.hier.prefetch_fill_deep(CoreId::new(core as u16), line)
                 }
@@ -580,7 +582,8 @@ impl System {
             self.prefetchers[core].issue_pending = false;
         } else {
             let gap = self.prefetchers[core].config().issue_gap;
-            self.queue.schedule_at(now + gap, Event::PrefetchIssue { core });
+            self.queue
+                .schedule_at(now + gap, Event::PrefetchIssue { core });
         }
     }
 
@@ -590,7 +593,9 @@ impl System {
         // are not steered).
         let desc = self.nic.ring(queue).desc_addr(slot);
         for l in 0..(idio_nic::ring::DESC_BYTES / LINE_SIZE) {
-            let w = self.hier.pcie_write(desc.line().offset(l), DmaPlacement::Llc);
+            let w = self
+                .hier
+                .pcie_write(desc.line().offset(l), DmaPlacement::Llc);
             self.charge_dram(now, w.effects);
         }
         self.nic.ring_mut(queue).complete(slot);
@@ -607,10 +612,7 @@ impl System {
 
     fn on_core_wake(&mut self, now: SimTime, core: usize) {
         // Finish the packet whose service time just elapsed.
-        if let Some((slot, action)) = self.nf[core]
-            .as_mut()
-            .and_then(|st| st.current.take())
-        {
+        if let Some((slot, action)) = self.nf[core].as_mut().and_then(|st| st.current.take()) {
             self.finish_packet(now, core, slot, action);
         }
 
@@ -937,12 +939,7 @@ impl System {
             self_inval: h.total_self_invalidations() + h.shared.llc_self_invalidations.get(),
             rx_packets: self.nic.stats().rx_packets.get(),
             rx_drops: self.nic.stats().rx_drops.get(),
-            completed_packets: self
-                .nf
-                .iter()
-                .flatten()
-                .map(|st| st.completed)
-                .sum(),
+            completed_packets: self.nf.iter().flatten().map(|st| st.completed).sum(),
         };
         let mut latency = Vec::new();
         for (ci, st) in self.nf.iter_mut().enumerate() {
@@ -987,10 +984,7 @@ mod tests {
     use idio_net::gen::BurstSpec;
 
     fn steady_cfg(rate_gbps: f64, policy: SteeringPolicy) -> SystemConfig {
-        let mut cfg = SystemConfig::touchdrop_scenario(
-            2,
-            TrafficPattern::Steady { rate_gbps },
-        );
+        let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps });
         cfg.duration = SimTime::from_us(300);
         cfg.drain_grace = Duration::from_us(200);
         cfg.policy = policy;
@@ -1000,7 +994,11 @@ mod tests {
     #[test]
     fn steady_ddio_processes_packets() {
         let report = System::new(steady_cfg(10.0, SteeringPolicy::Ddio)).run();
-        assert!(report.totals.rx_packets > 400, "{}", report.totals.rx_packets);
+        assert!(
+            report.totals.rx_packets > 400,
+            "{}",
+            report.totals.rx_packets
+        );
         assert_eq!(report.totals.rx_drops, 0);
         // At 10 Gbps/core the CPU keeps up: nearly everything completes.
         assert!(
@@ -1036,8 +1034,7 @@ mod tests {
     #[test]
     fn bursty_traffic_tracks_burst_windows() {
         let spec = BurstSpec::for_ring(64, 1514, 25.0, Duration::from_ms(1));
-        let mut cfg =
-            SystemConfig::touchdrop_scenario(1, TrafficPattern::Bursty(spec));
+        let mut cfg = SystemConfig::touchdrop_scenario(1, TrafficPattern::Bursty(spec));
         cfg.ring_size = 64;
         cfg.duration = SimTime::from_ms(3);
         cfg.drain_grace = Duration::from_ms(1);
@@ -1095,10 +1092,8 @@ mod tests {
         // must be identical to the generator-driven run.
         let horizon = SimTime::from_us(400);
         let mk_cfg = || {
-            let mut cfg = SystemConfig::touchdrop_scenario(
-                1,
-                TrafficPattern::Steady { rate_gbps: 10.0 },
-            );
+            let mut cfg =
+                SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 10.0 });
             cfg.duration = horizon;
             cfg.drain_grace = Duration::from_us(200);
             cfg

@@ -188,7 +188,10 @@ impl RateSampler {
     ///
     /// Panics if `interval` is zero.
     pub fn new(name: impl Into<String>, interval: Duration) -> Self {
-        assert!(interval > Duration::ZERO, "sampling interval must be positive");
+        assert!(
+            interval > Duration::ZERO,
+            "sampling interval must be positive"
+        );
         RateSampler {
             series: TimeSeries::new(name),
             last_value: 0,
@@ -274,7 +277,9 @@ impl LatencyRecorder {
             return None;
         }
         let total: u128 = self.samples.iter().map(|d| d.as_ps() as u128).sum();
-        Some(Duration::from_ps((total / self.samples.len() as u128) as u64))
+        Some(Duration::from_ps(
+            (total / self.samples.len() as u128) as u64,
+        ))
     }
 
     /// Maximum latency, or `None` when empty.

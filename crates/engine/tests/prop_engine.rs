@@ -1,17 +1,17 @@
-//! Property tests for the simulation engine: the event queue is a stable
-//! time-ordered priority queue, and the statistics primitives compute
-//! exact values.
+//! Randomized property tests for the simulation engine: the event queue is
+//! a stable time-ordered priority queue, and the statistics primitives
+//! compute exact values. Driven by the in-repo deterministic harness
+//! (`idio_engine::check`) — the build environment has no crates.io access.
 
+use idio_engine::check::Cases;
 use idio_engine::queue::EventQueue;
 use idio_engine::stats::{LatencyRecorder, RateSampler};
 use idio_engine::time::{Duration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn queue_pops_sorted_and_stable(times in proptest::collection::vec(0..10_000u64, 1..200)) {
+#[test]
+fn queue_pops_sorted_and_stable() {
+    Cases::new(256).run(|g| {
+        let times = g.vec(1..200, |g| g.u64(0..10_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(SimTime::from_ps(t), i);
@@ -19,22 +19,23 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((at, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(at >= lt, "time order");
+                assert!(at >= lt, "time order");
                 if at == lt {
-                    prop_assert!(idx > lidx, "FIFO among ties");
+                    assert!(idx > lidx, "FIFO among ties");
                 }
             }
-            prop_assert_eq!(SimTime::from_ps(times[idx]), at, "payload matches schedule");
+            assert_eq!(SimTime::from_ps(times[idx]), at, "payload matches schedule");
             last = Some((at, idx));
         }
-        prop_assert_eq!(q.now(), SimTime::from_ps(*times.iter().max().unwrap()));
-    }
+        assert_eq!(q.now(), SimTime::from_ps(*times.iter().max().unwrap()));
+    });
+}
 
-    #[test]
-    fn percentiles_match_sorted_reference(
-        mut samples in proptest::collection::vec(0..1_000_000u64, 1..500),
-        p in 1..=100u8,
-    ) {
+#[test]
+fn percentiles_match_sorted_reference() {
+    Cases::new(256).run(|g| {
+        let mut samples = g.vec(1..500, |g| g.u64(0..1_000_000));
+        let p = g.u64(1..101) as u8;
         let mut rec = LatencyRecorder::new();
         for &s in &samples {
             rec.record(Duration::from_ps(s));
@@ -42,14 +43,17 @@ proptest! {
         samples.sort_unstable();
         let rank = ((f64::from(p) / 100.0) * samples.len() as f64).ceil() as usize;
         let expected = samples[rank.saturating_sub(1)];
-        prop_assert_eq!(
+        assert_eq!(
             rec.percentile(f64::from(p)),
             Some(Duration::from_ps(expected))
         );
-    }
+    });
+}
 
-    #[test]
-    fn rate_sampler_recovers_total(counts in proptest::collection::vec(0..1000u64, 1..100)) {
+#[test]
+fn rate_sampler_recovers_total() {
+    Cases::new(256).run(|g| {
+        let counts = g.vec(1..100, |g| g.u64(0..1000));
         let interval = Duration::from_us(10);
         let mut s = RateSampler::new("prop", interval);
         let mut acc = 0u64;
@@ -64,14 +68,18 @@ proptest! {
             .iter()
             .map(|smp| smp.value * interval.as_secs_f64())
             .sum();
-        prop_assert!((recovered - acc as f64).abs() < 1e-6 * acc.max(1) as f64);
-    }
+        assert!((recovered - acc as f64).abs() < 1e-6 * acc.max(1) as f64);
+    });
+}
 
-    #[test]
-    fn wire_time_scales_linearly(bytes in 1..100_000u64, gbps in 1..400u32) {
+#[test]
+fn wire_time_scales_linearly() {
+    Cases::new(256).run(|g| {
+        let bytes = g.u64(1..100_000);
+        let gbps = g.u32(1..400);
         let one = idio_engine::time::wire_time(bytes, f64::from(gbps));
         let two = idio_engine::time::wire_time(bytes * 2, f64::from(gbps));
         let diff = two.as_ps() as i128 - 2 * one.as_ps() as i128;
-        prop_assert!(diff.abs() <= 1, "rounding only: {diff}");
-    }
+        assert!(diff.abs() <= 1, "rounding only: {diff}");
+    });
 }

@@ -375,7 +375,10 @@ mod tests {
         let ip = Ipv4Header::parse(&bytes[ETH_HEADER_BYTES..]).unwrap();
         assert_eq!(ip.total_len as usize, 1514 - ETH_HEADER_BYTES);
         let udp = UdpHeader::parse(&bytes[ETH_HEADER_BYTES + IPV4_HEADER_BYTES..]).unwrap();
-        assert_eq!(udp.len as usize, 1514 - ETH_HEADER_BYTES - IPV4_HEADER_BYTES);
+        assert_eq!(
+            udp.len as usize,
+            1514 - ETH_HEADER_BYTES - IPV4_HEADER_BYTES
+        );
     }
 
     #[test]

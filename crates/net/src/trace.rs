@@ -132,7 +132,10 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<Arrival>, TraceError> {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_trace<W: Write>(mut writer: W, arrivals: &[Arrival]) -> std::io::Result<()> {
-    writeln!(writer, "# time_ns len src_ip dst_ip src_port dst_port proto dscp")?;
+    writeln!(
+        writer,
+        "# time_ns len src_ip dst_ip src_port dst_port proto dscp"
+    )?;
     for a in arrivals {
         let p = &a.packet;
         writeln!(

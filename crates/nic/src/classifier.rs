@@ -107,7 +107,10 @@ impl IdioClassifier {
     /// Panics if `num_cores` is zero or the burst window is zero.
     pub fn new(cfg: ClassifierConfig, num_cores: usize) -> Self {
         assert!(num_cores > 0, "need at least one core");
-        assert!(cfg.burst_window > Duration::ZERO, "burst window must be positive");
+        assert!(
+            cfg.burst_window > Duration::ZERO,
+            "burst window must be positive"
+        );
         let mut class1 = [false; 64];
         for d in &cfg.class1_dscps {
             class1[d.get() as usize] = true;
@@ -202,7 +205,10 @@ mod tests {
         let mut signals = 0;
         for i in 0..8 {
             let t = SimTime::from_ps(i * 121_120);
-            if cl.classify(t, &pkt(1514, Dscp::BEST_EFFORT), C0).burst_started {
+            if cl
+                .classify(t, &pkt(1514, Dscp::BEST_EFFORT), C0)
+                .burst_started
+            {
                 signals += 1;
             }
         }
@@ -238,7 +244,10 @@ mod tests {
         let mut signals = 0;
         for i in 0..40u64 {
             let t = SimTime::from_ps(i * 121_120);
-            if cl.classify(t, &pkt(1514, Dscp::BEST_EFFORT), C0).burst_started {
+            if cl
+                .classify(t, &pkt(1514, Dscp::BEST_EFFORT), C0)
+                .burst_started
+            {
                 signals += 1;
             }
         }

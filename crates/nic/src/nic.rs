@@ -17,9 +17,9 @@ use crate::classifier::{ClassifierConfig, IdioClassifier, PacketClass};
 use crate::dma::{DmaConfig, DmaEngine, DmaSchedule};
 use crate::flow_director::{FlowDirector, QueueId, DEFAULT_FILTER_TABLE_ENTRIES};
 use crate::ring::{RingFullError, RxRing, RxSlot, DESC_BYTES};
-use crate::tlp::{TlpHeader, TlpMeta};
 #[cfg(test)]
 use crate::tlp::AppClass;
+use crate::tlp::{TlpHeader, TlpMeta};
 
 /// Address layout of one receive queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -360,8 +360,7 @@ mod tests {
     fn perfect_filters_steer_to_pinned_queue() {
         let mut n = nic(2, 8);
         let flow = FiveTuple::udp(1, 2, 1000, 7);
-        n.flow_director_mut()
-            .install_perfect(flow, QueueId(1));
+        n.flow_director_mut().install_perfect(flow, QueueId(1));
         let dma = n
             .rx_packet(SimTime::ZERO, Packet::new(0, 1514, flow, Dscp::BEST_EFFORT))
             .unwrap();
@@ -375,18 +374,15 @@ mod tests {
         let dma = n.rx_packet(SimTime::ZERO, pkt(0, 1)).unwrap();
         assert!(dma.line_meta[0].is_header);
         assert!(dma.line_meta[0].is_burst, "MTU frame crosses rxBurstTHR");
-        assert!(dma.line_meta[1..].iter().all(|m| !m.is_header && !m.is_burst));
+        assert!(dma.line_meta[1..]
+            .iter()
+            .all(|m| !m.is_header && !m.is_burst));
     }
 
     #[test]
     fn class1_dscp_propagates_to_all_lines() {
         let mut n = nic(1, 8);
-        let p = Packet::new(
-            0,
-            1514,
-            FiveTuple::udp(1, 2, 3, 4),
-            Dscp::CLASS1_DEFAULT,
-        );
+        let p = Packet::new(0, 1514, FiveTuple::udp(1, 2, 3, 4), Dscp::CLASS1_DEFAULT);
         let dma = n.rx_packet(SimTime::ZERO, p).unwrap();
         assert!(dma
             .line_meta

@@ -160,7 +160,11 @@ impl RxRing {
     ///
     /// Returns [`RingFullError`] when no free descriptor exists (the packet
     /// is dropped — the caller must count it).
-    pub fn reserve(&mut self, packet: Packet, arrived_at: SimTime) -> Result<RxSlot, RingFullError> {
+    pub fn reserve(
+        &mut self,
+        packet: Packet,
+        arrived_at: SimTime,
+    ) -> Result<RxSlot, RingFullError> {
         if self.free_slots() == 0 {
             return Err(RingFullError);
         }

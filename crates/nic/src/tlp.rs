@@ -190,7 +190,10 @@ mod tests {
         // The core id is deliberately not preserved for class 1.
         assert_eq!(d.dest_core, CoreId::new(0));
         // All six core bits are set.
-        assert_eq!(h.dwords[0] & TlpHeader::reserved_mask_dword0(), TlpHeader::reserved_mask_dword0());
+        assert_eq!(
+            h.dwords[0] & TlpHeader::reserved_mask_dword0(),
+            TlpHeader::reserved_mask_dword0()
+        );
     }
 
     #[test]

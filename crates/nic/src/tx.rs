@@ -159,7 +159,10 @@ mod tests {
             tx.post(Addr::new(0x1000 * (i + 1)), 16, SimTime::from_ns(i))
                 .unwrap();
         }
-        assert_eq!(tx.post(Addr::new(0x9000), 1, SimTime::ZERO), Err(TxRingFullError));
+        assert_eq!(
+            tx.post(Addr::new(0x9000), 1, SimTime::ZERO),
+            Err(TxRingFullError)
+        );
         for i in 0..4u64 {
             let done = tx.complete();
             assert_eq!(done.buf, Addr::new(0x1000 * (i + 1)));

@@ -1,60 +1,57 @@
-//! Property tests for the NIC substrate: TLP metadata encoding is a
-//! lossless roundtrip that never touches architected bits, and descriptor
-//! rings preserve FIFO order and occupancy bounds under arbitrary
-//! fill/complete/consume/free interleavings.
+//! Randomized property tests for the NIC substrate: TLP metadata encoding
+//! is a lossless roundtrip that never touches architected bits, and
+//! descriptor rings preserve FIFO order and occupancy bounds under
+//! arbitrary fill/complete/consume/free interleavings. Driven by the
+//! in-repo deterministic harness (`idio_engine::check`).
 
 use idio_cache::addr::CoreId;
+use idio_engine::check::{Cases, Gen};
 use idio_engine::time::SimTime;
 use idio_net::packet::{Dscp, FiveTuple, Packet};
 use idio_nic::ring::RxRing;
 use idio_nic::tlp::{AppClass, TlpHeader, TlpMeta};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn tlp_roundtrip_class0(
-        core in 0..63u16,
-        header in any::<bool>(),
-        burst in any::<bool>(),
-    ) {
+#[test]
+fn tlp_roundtrip_class0() {
+    Cases::new(512).run(|g| {
         let meta = TlpMeta {
-            dest_core: CoreId::new(core),
+            dest_core: CoreId::new(g.u16(0..63)),
             app_class: AppClass::Class0,
-            is_header: header,
-            is_burst: burst,
+            is_header: g.bool(),
+            is_burst: g.bool(),
         };
         let tlp = TlpHeader::encode(meta).unwrap();
-        prop_assert_eq!(tlp.decode(), meta);
+        assert_eq!(tlp.decode(), meta);
         // Architected bits untouched.
-        prop_assert_eq!(tlp.dwords[0] & !TlpHeader::reserved_mask_dword0(), 0);
-        prop_assert_eq!(tlp.dwords[1] & !TlpHeader::reserved_mask_dword1(), 0);
-    }
+        assert_eq!(tlp.dwords[0] & !TlpHeader::reserved_mask_dword0(), 0);
+        assert_eq!(tlp.dwords[1] & !TlpHeader::reserved_mask_dword1(), 0);
+    });
+}
 
-    #[test]
-    fn tlp_class1_decodes_as_class1(
-        core in 0..u16::MAX,
-        header in any::<bool>(),
-        burst in any::<bool>(),
-    ) {
+#[test]
+fn tlp_class1_decodes_as_class1() {
+    Cases::new(512).run(|g| {
+        let header = g.bool();
+        let burst = g.bool();
         let meta = TlpMeta {
-            dest_core: CoreId::new(core),
+            dest_core: CoreId::new(g.u16(0..u16::MAX)),
             app_class: AppClass::Class1,
             is_header: header,
             is_burst: burst,
         };
         let d = TlpHeader::encode(meta).unwrap().decode();
-        prop_assert_eq!(d.app_class, AppClass::Class1);
-        prop_assert_eq!(d.is_header, header);
-        prop_assert_eq!(d.is_burst, burst);
-    }
+        assert_eq!(d.app_class, AppClass::Class1);
+        assert_eq!(d.is_header, header);
+        assert_eq!(d.is_burst, burst);
+    });
+}
 
-    #[test]
-    fn distinct_class0_metas_encode_distinctly(
-        a in (0..63u16, any::<bool>(), any::<bool>()),
-        b in (0..63u16, any::<bool>(), any::<bool>()),
-    ) {
+#[test]
+fn distinct_class0_metas_encode_distinctly() {
+    Cases::new(512).run(|g| {
+        let mk_input = |g: &mut Gen| (g.u16(0..63), g.bool(), g.bool());
+        let a = mk_input(g);
+        let b = mk_input(g);
         let mk = |(c, h, bu): (u16, bool, bool)| TlpMeta {
             dest_core: CoreId::new(c),
             app_class: AppClass::Class0,
@@ -67,11 +64,11 @@ proptest! {
             TlpHeader::encode(mb).unwrap(),
         );
         if ma != mb {
-            prop_assert_ne!(ta, tb);
+            assert_ne!(ta, tb);
         } else {
-            prop_assert_eq!(ta, tb);
+            assert_eq!(ta, tb);
         }
-    }
+    });
 }
 
 /// One step of the ring's lifecycle driven by the fuzzer.
@@ -87,32 +84,29 @@ enum RingOp {
     Free,
 }
 
-fn ring_op() -> impl Strategy<Value = RingOp> {
-    prop_oneof![
-        Just(RingOp::Rx),
-        Just(RingOp::Complete),
-        (1..32u8).prop_map(RingOp::Poll),
-        Just(RingOp::Free),
-    ]
+fn ring_op(g: &mut Gen) -> RingOp {
+    match g.u64(0..4) {
+        0 => RingOp::Rx,
+        1 => RingOp::Complete,
+        2 => RingOp::Poll(g.u64(1..32) as u8),
+        _ => RingOp::Free,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn ring_occupancy_and_fifo_hold(
-        size in 1..32u32,
-        ops in proptest::collection::vec(ring_op(), 1..300),
-    ) {
+#[test]
+fn ring_occupancy_and_fifo_hold() {
+    Cases::new(256).run(|g| {
+        let size = g.u32(1..32);
+        let ops = g.vec(1..300, ring_op);
         let mut ring = RxRing::new(
             size,
             idio_cache::addr::Addr::new(0x10_0000),
             idio_cache::addr::Addr::new(0x20_0000),
         );
         let mut next_id = 0u64;
-        let mut inflight = 0u32;      // reserved, not completed
-        let mut completed = 0u32;     // completed, not polled
-        let mut consumed = 0u32;      // polled, not freed
+        let mut inflight = 0u32; // reserved, not completed
+        let mut completed = 0u32; // completed, not polled
+        let mut consumed = 0u32; // polled, not freed
         let mut next_polled_id = 0u64;
 
         for op in ops {
@@ -121,23 +115,23 @@ proptest! {
                     let pkt = Packet::new(next_id, 1514, FiveTuple::default(), Dscp::BEST_EFFORT);
                     match ring.reserve(pkt, SimTime::ZERO) {
                         Ok(slot) => {
-                            prop_assert_eq!(slot.packet.id, next_id);
+                            assert_eq!(slot.packet.id, next_id);
                             next_id += 1;
                             inflight += 1;
                         }
                         Err(_) => {
-                            prop_assert_eq!(inflight + completed + consumed, size,
-                                "ring refuses only when genuinely full");
+                            assert_eq!(
+                                inflight + completed + consumed,
+                                size,
+                                "ring refuses only when genuinely full"
+                            );
                         }
                     }
                 }
                 RingOp::Complete => {
                     if inflight > 0 {
-                        let oldest = (next_polled_id + u64::from(completed + consumed))
-                            % u64::from(size).max(1);
                         // complete() asserts FIFO internally; just drive it.
                         let slot = ((next_id - u64::from(inflight)) % u64::from(size)) as u32;
-                        let _ = oldest;
                         ring.complete(slot);
                         inflight -= 1;
                         completed += 1;
@@ -145,9 +139,9 @@ proptest! {
                 }
                 RingOp::Poll(n) => {
                     let got = ring.pop_completed(u32::from(n));
-                    prop_assert!(got.len() as u32 <= completed);
+                    assert!(got.len() as u32 <= completed);
                     for s in &got {
-                        prop_assert_eq!(s.packet.id, next_polled_id, "strict FIFO consumption");
+                        assert_eq!(s.packet.id, next_polled_id, "strict FIFO consumption");
                         next_polled_id += 1;
                     }
                     completed -= got.len() as u32;
@@ -160,9 +154,9 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(ring.use_distance(), inflight + completed + consumed);
-            prop_assert_eq!(ring.free_slots(), size - (inflight + completed + consumed));
-            prop_assert_eq!(ring.completed_count(), completed);
+            assert_eq!(ring.use_distance(), inflight + completed + consumed);
+            assert_eq!(ring.free_slots(), size - (inflight + completed + consumed));
+            assert_eq!(ring.completed_count(), completed);
         }
-    }
+    });
 }

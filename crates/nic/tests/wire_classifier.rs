@@ -45,12 +45,7 @@ fn wire_and_struct_classification_agree() {
 #[test]
 fn class1_marking_survives_the_wire() {
     let mut cl = IdioClassifier::new(ClassifierConfig::paper_default(), 1);
-    let pkt = Packet::new(
-        0,
-        1514,
-        FiveTuple::udp(1, 2, 3, 4),
-        Dscp::CLASS1_DEFAULT,
-    );
+    let pkt = Packet::new(0, 1514, FiveTuple::udp(1, 2, 3, 4), Dscp::CLASS1_DEFAULT);
     let c = classify_from_wire(&mut cl, SimTime::ZERO, &pkt, CoreId::new(0));
     assert_eq!(c.app_class, AppClass::Class1);
 }

@@ -246,10 +246,7 @@ mod tests {
         let total: u32 = w.ops.iter().map(MemOp::lines).sum();
         // 2 desc + 2 meta + 24 frame lines.
         assert_eq!(total, 28);
-        assert!(matches!(
-            w.ops.last(),
-            Some(MemOp::Read { lines: 24, .. })
-        ));
+        assert!(matches!(w.ops.last(), Some(MemOp::Read { lines: 24, .. })));
     }
 
     #[test]

@@ -202,9 +202,7 @@ mod tests {
     fn regime_structure_holds() {
         // 1514-byte TouchDrop packet: 24 payload + 2 desc + 2 mbuf lines.
         let t = CoreTiming::default();
-        let service_mlc = t.per_packet()
-            + t.access_cost(HitLevel::Mlc, None) * 28
-            + t.batch() / 32;
+        let service_mlc = t.per_packet() + t.access_cost(HitLevel::Mlc, None) * 28 + t.batch() / 32;
         let service_llc = t.per_packet()
             + t.access_cost(HitLevel::Llc, None) * 24
             + t.access_cost(HitLevel::Mlc, None) * 4

@@ -24,8 +24,8 @@ fn main() {
 
     let mut baseline: Option<(f64, Duration)> = None;
     for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
-        let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec))
-            .with_antagonist();
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(2, TrafficPattern::Bursty(spec)).with_antagonist();
         cfg.duration = SimTime::ZERO + period * 4;
         cfg.drain_grace = period;
         let report = System::new(cfg.with_policy(policy)).run();

@@ -16,7 +16,10 @@ fn main() {
     // steady 10 Gbps of MTU-sized frames — the paper's Fig. 13 scenario.
     let traffic = TrafficPattern::Steady { rate_gbps: 10.0 };
 
-    println!("{:-^72}", " IDIO quickstart: steady 10 Gbps/core TouchDrop ");
+    println!(
+        "{:-^72}",
+        " IDIO quickstart: steady 10 Gbps/core TouchDrop "
+    );
     for policy in [SteeringPolicy::Ddio, SteeringPolicy::Idio] {
         let mut cfg = SystemConfig::touchdrop_scenario(2, traffic);
         cfg.duration = SimTime::from_ms(3);

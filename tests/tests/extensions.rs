@@ -100,10 +100,8 @@ fn iat_baseline_runs_without_idio_mechanisms() {
 #[test]
 fn bloat_gauge_separates_policies() {
     let run = |policy| {
-        let mut cfg = SystemConfig::touchdrop_scenario(
-            2,
-            TrafficPattern::Steady { rate_gbps: 10.0 },
-        );
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps: 10.0 });
         cfg.duration = SimTime::from_ms(3);
         System::new(cfg.with_policy(policy)).run()
     };
@@ -158,7 +156,10 @@ fn poisson_traffic_runs_end_to_end() {
     // ~10 Gbps of MTU frames for 2 ms per core: roughly 1650 packets/core.
     assert!(r.totals.rx_packets > 2500, "{}", r.totals.rx_packets);
     assert_eq!(r.totals.completed_packets, r.totals.rx_packets);
-    assert!(r.bursts.is_empty(), "no burst windows for open-loop traffic");
+    assert!(
+        r.bursts.is_empty(),
+        "no burst windows for open-loop traffic"
+    );
 }
 
 #[test]

@@ -131,7 +131,10 @@ fn overload_drops_packets_at_full_ring() {
     cfg.duration = SimTime::from_ms(1);
     cfg.drain_grace = Duration::from_ms(1);
     let r = System::new(cfg).run();
-    assert!(r.totals.rx_drops > 0, "64-slot ring under a 1024-packet burst");
+    assert!(
+        r.totals.rx_drops > 0,
+        "64-slot ring under a 1024-packet burst"
+    );
     assert_eq!(r.totals.rx_packets, r.totals.completed_packets);
 }
 

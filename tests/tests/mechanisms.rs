@@ -73,10 +73,7 @@ fn m2_static_equals_idio_at_moderate_rates() {
 fn m2_headers_are_prefetched_even_when_payload_is_not() {
     // At a rate below rxBurstTHR no bursts are signalled, so payload stays
     // in the LLC; headers still go to the MLC.
-    let mut cfg = SystemConfig::touchdrop_scenario(
-        1,
-        TrafficPattern::Steady { rate_gbps: 5.0 },
-    );
+    let mut cfg = SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 5.0 });
     cfg.classifier.rx_burst_thr_bytes = u32::MAX; // never signal a burst
     cfg.duration = SimTime::from_ms(1);
     let r = System::new(cfg.with_policy(SteeringPolicy::Idio)).run();

@@ -76,11 +76,13 @@ fn antagonist_core_gets_256kb_mlc() {
     let sys = idio_core::system::System::new(c);
     let h = sys.hierarchy();
     assert_eq!(
-        h.mlc(idio_core::cache::addr::CoreId::new(2)).capacity_lines(),
+        h.mlc(idio_core::cache::addr::CoreId::new(2))
+            .capacity_lines(),
         (256 << 10) / 64
     );
     assert_eq!(
-        h.mlc(idio_core::cache::addr::CoreId::new(0)).capacity_lines(),
+        h.mlc(idio_core::cache::addr::CoreId::new(0))
+            .capacity_lines(),
         (1 << 20) / 64
     );
 }
