@@ -17,13 +17,14 @@ use std::process::ExitCode;
 use idio_bench::json::{figure_to_json, suite_timing_to_json};
 use idio_bench::{experiment_spec, EXPERIMENTS};
 use idio_core::experiments::Scale;
-use idio_core::sweep::{run_figures, SweepOptions};
+use idio_core::sweep::{run_figures_detailed, SweepOptions};
 
 fn main() -> ExitCode {
     let mut scale = Scale::full();
     let mut print_series = false;
     let mut as_json = false;
     let mut timings = false;
+    let mut metrics = false;
     let mut opts = SweepOptions::default();
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -32,7 +33,13 @@ fn main() -> ExitCode {
             "--quick" => scale = Scale::quick(),
             "--series" => print_series = true,
             "--json" => as_json = true,
-            "--timings" => timings = true,
+            "--timings" => {
+                timings = true;
+                // Per-event wall-clock makes --timings answer "where does
+                // simulation time go"; it never touches stdout.
+                opts.profile_events = true;
+            }
+            "--metrics" => metrics = true,
             "--progress" => opts.progress = true,
             "--jobs" | "-j" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => opts.jobs = n,
@@ -50,7 +57,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--series] [--json] [--timings] \
+                    "usage: repro [--quick] [--series] [--json] [--metrics] [--timings] \
                      [--progress] [--jobs N] [--seed S] [experiment...]"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
@@ -75,7 +82,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let (figures, timing) = run_figures(specs, &opts);
+    let suite = run_figures_detailed(specs, &opts);
+    let (figures, timing) = (suite.figures, suite.timing);
 
     for figure in &figures {
         if as_json {
@@ -95,6 +103,19 @@ fn main() -> ExitCode {
         }
         if !as_json {
             println!();
+        }
+    }
+
+    if metrics {
+        // Per-cell metrics in declaration order, one NDJSON line each.
+        // Deterministic (byte-identical across --jobs values), so it
+        // belongs on stdout with the figures.
+        for cell in &suite.cells {
+            println!(
+                "{{\"cell\":\"{}\",\"metrics\":{}}}",
+                cell.label.replace('\\', "\\\\").replace('"', "\\\""),
+                cell.metrics.to_json()
+            );
         }
     }
 

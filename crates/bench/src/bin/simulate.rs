@@ -18,6 +18,7 @@ use idio_core::policy::SteeringPolicy;
 use idio_core::stack::nf::NfKind;
 use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
 use idio_core::system::System;
+use idio_engine::telemetry::{records_to_ndjson, TraceFilter};
 use idio_engine::time::{Duration, SimTime};
 
 struct Args {
@@ -36,6 +37,7 @@ struct Args {
     seed: u64,
     all_policies: bool,
     jobs: usize,
+    trace: TraceFilter,
 }
 
 impl Default for Args {
@@ -56,6 +58,7 @@ impl Default for Args {
             seed: 0xD10,
             all_policies: false,
             jobs: 1,
+            trace: TraceFilter::off(),
         }
     }
 }
@@ -76,7 +79,11 @@ fn usage() {
          --mlc-thr <mtps>                                override mlcTHR\n\
          --seed <n>                                      PRNG seed\n\
          --all-policies                                  run every policy and compare\n\
-         --jobs <n>                                      worker threads for --all-policies (0 = all cores)"
+         --jobs <n>                                      worker threads for --all-policies (0 = all cores)\n\
+         --trace <filter>                                dump NDJSON trace to stdout after the report;\n\
+                                                         filter is 'all' or components like 'steer,fsm'\n\
+                                                         (steer fsm prefetch maint event); ignored with\n\
+                                                         --all-policies"
     );
 }
 
@@ -125,11 +132,15 @@ fn parse() -> Result<Args, String> {
                 args.mlc_thr_mtps = Some(val("--mlc-thr")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--trace" => args.trace = val("--trace")?.parse()?,
             "--all-policies" => args.all_policies = true,
             "--jobs" | "-j" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
                 usage();
                 std::process::exit(0);
+            }
+            other if other.starts_with("--trace=") => {
+                args.trace = other["--trace=".len()..].parse()?;
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -181,6 +192,7 @@ fn main() -> ExitCode {
     if let Some(thr) = args.mlc_thr_mtps {
         cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
     }
+    cfg.trace = args.trace.clone();
     cfg = cfg.with_policy(args.policy);
     if args.antagonist {
         cfg = cfg.with_antagonist();
@@ -200,6 +212,7 @@ fn main() -> ExitCode {
             jobs: args.jobs,
             root_seed: args.seed,
             progress: false,
+            profile_events: false,
         };
         println!(
             "comparing {} policies on {} worker(s), seed {:#x}:",
@@ -276,6 +289,17 @@ fn main() -> ExitCode {
             share.mean(),
             share.max_value()
         );
+    }
+    if !args.trace.is_off() {
+        // NDJSON trace dump: deterministic, so it goes to stdout. The
+        // summary stays on stderr to keep stdout machine-readable.
+        eprintln!(
+            "[trace: {} records kept, {} evicted (filter {})]",
+            report.trace.len(),
+            report.metrics.counter("trace.evicted"),
+            args.trace
+        );
+        print!("{}", records_to_ndjson(&report.trace));
     }
     ExitCode::SUCCESS
 }

@@ -135,10 +135,27 @@ pub fn suite_timing_to_json(timing: &SuiteTiming) -> String {
                 .cells
                 .iter()
                 .map(|c| {
+                    // Per-event-type engine-loop profile: counts are
+                    // deterministic; wall_ms is zero unless the sweep ran
+                    // with event profiling on (repro --timings).
+                    let events: Vec<String> = c
+                        .events
+                        .iter()
+                        .filter(|e| e.count > 0)
+                        .map(|e| {
+                            format!(
+                                "{{\"name\": {}, \"count\": {}, \"wall_ms\": {}}}",
+                                json_string(e.name),
+                                e.count,
+                                ms(e.wall)
+                            )
+                        })
+                        .collect();
                     format!(
-                        "      {{\"label\": {}, \"wall_ms\": {}}}",
+                        "      {{\"label\": {}, \"wall_ms\": {}, \"events\": [{}]}}",
                         json_string(&c.label),
-                        ms(c.wall)
+                        ms(c.wall),
+                        events.join(", ")
                     )
                 })
                 .collect();

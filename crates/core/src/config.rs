@@ -3,6 +3,7 @@
 use idio_cache::addr::CoreId;
 use idio_cache::config::{CacheGeometry, HierarchyConfig};
 use idio_cache::hierarchy::InvalidateScope;
+use idio_engine::telemetry::TraceFilter;
 use idio_engine::time::{Duration, SimTime};
 use idio_mem::DramConfig;
 use idio_net::gen::{Arrival, TrafficPattern};
@@ -110,6 +111,15 @@ pub struct SystemConfig {
     pub drain_grace: Duration,
     /// Statistics sampling interval (10 µs in the paper's figures).
     pub sample_interval: Duration,
+    /// Which components the run's tracer records (off by default; see
+    /// [`idio_engine::telemetry::Tracer`]). Trace output is deterministic:
+    /// a pure function of the configuration and seed.
+    pub trace: TraceFilter,
+    /// Measure host wall-clock per event type in the engine loop.
+    /// Dispatch *counts* are always collected (they are deterministic);
+    /// the wall-clock measurement is host noise and is opt-in so it never
+    /// taxes—or leaks into—deterministic runs.
+    pub profile_events: bool,
     /// PRNG seed (antagonist access pattern).
     pub seed: u64,
 }
@@ -147,6 +157,8 @@ impl SystemConfig {
             duration: SimTime::from_ms(10),
             drain_grace: Duration::from_ms(5),
             sample_interval: Duration::from_us(10),
+            trace: TraceFilter::off(),
+            profile_events: false,
             seed: 0xD10,
         }
     }

@@ -25,6 +25,12 @@ pub struct IdioConfig {
     /// MLC-pressure threshold `mlcTHR`, in writebacks per control interval.
     /// The paper's 50 MTPS over 1 µs is 50 writebacks/interval.
     pub mlc_thr: u32,
+    /// The rate intent behind `mlc_thr`, in milli-MTPS (fixed point so the
+    /// config stays `Eq`/`Hash`-able). When set, the effective threshold
+    /// is recomputed from this and the *current* `control_interval`, so
+    /// changing the interval after [`IdioConfig::with_mlc_thr_mtps`] can
+    /// never leave a stale `mlc_thr`.
+    pub mlc_thr_mtps_milli: Option<u64>,
 }
 
 impl IdioConfig {
@@ -34,14 +40,52 @@ impl IdioConfig {
             control_interval: Duration::from_us(1),
             avg_window: 8192,
             mlc_thr: 50,
+            mlc_thr_mtps_milli: None,
         }
     }
 
     /// Sets `mlcTHR` from a rate in MTPS (million transactions/second).
+    ///
+    /// The intent is stored, so a later `control_interval` change
+    /// (via [`IdioConfig::with_control_interval`] or direct field
+    /// assignment) transparently rescales the effective threshold. Rates
+    /// that round to zero writebacks per interval are rounded *up* to 1 —
+    /// a zero threshold would silently disable pressure detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtps` is not finite and strictly positive.
     pub fn with_mlc_thr_mtps(mut self, mtps: f64) -> Self {
-        let per_interval = mtps * 1e6 * self.control_interval.as_secs_f64();
-        self.mlc_thr = per_interval.round() as u32;
+        assert!(
+            mtps.is_finite() && mtps > 0.0,
+            "mlcTHR rate must be finite and positive, got {mtps}"
+        );
+        self.mlc_thr_mtps_milli = Some(((mtps * 1e3).round() as u64).max(1));
+        self.mlc_thr = self.effective_mlc_thr();
         self
+    }
+
+    /// Sets the control interval, rescaling `mlc_thr` when it was derived
+    /// from an MTPS rate.
+    pub fn with_control_interval(mut self, interval: Duration) -> Self {
+        self.control_interval = interval;
+        self.mlc_thr = self.effective_mlc_thr();
+        self
+    }
+
+    /// The threshold actually applied by the controller, in writebacks per
+    /// `control_interval`: recomputed from the stored MTPS intent (if any)
+    /// and the current interval, and never zero.
+    pub fn effective_mlc_thr(&self) -> u32 {
+        let thr = match self.mlc_thr_mtps_milli {
+            Some(milli) => {
+                // milli-MTPS → transactions/second → per interval.
+                let per_interval = milli as f64 * 1e3 * self.control_interval.as_secs_f64();
+                per_interval.round().min(u32::MAX as f64) as u32
+            }
+            None => self.mlc_thr,
+        };
+        thr.max(1)
     }
 }
 
@@ -118,9 +162,12 @@ impl IdioController {
     /// # Panics
     ///
     /// Panics if `num_cores` is zero or the averaging window is zero.
-    pub fn new(cfg: IdioConfig, num_cores: usize) -> Self {
+    pub fn new(mut cfg: IdioConfig, num_cores: usize) -> Self {
         assert!(num_cores > 0, "need at least one core");
         assert!(cfg.avg_window > 0, "averaging window must be positive");
+        // Resolve the threshold once against the final interval, so an
+        // intent stored before an interval change still applies correctly.
+        cfg.mlc_thr = cfg.effective_mlc_thr();
         IdioController {
             cfg,
             fsm: vec![PrefetchFsm::new(); num_cores],
@@ -231,6 +278,47 @@ mod tests {
     }
 
     #[test]
+    fn mtps_intent_survives_interval_change() {
+        // Regression: with_mlc_thr_mtps used to bake the interval in at
+        // call time, so changing the interval afterwards left a stale
+        // threshold (50 instead of 100 here).
+        let cfg = IdioConfig::paper_default()
+            .with_mlc_thr_mtps(50.0)
+            .with_control_interval(Duration::from_us(2));
+        assert_eq!(cfg.mlc_thr, 100);
+        assert_eq!(cfg.effective_mlc_thr(), 100);
+
+        // Direct field assignment is also rescued at controller build.
+        let mut cfg = IdioConfig::paper_default().with_mlc_thr_mtps(50.0);
+        cfg.control_interval = Duration::from_us(4);
+        assert_eq!(cfg.effective_mlc_thr(), 200);
+        let c = IdioController::new(cfg, 1);
+        assert_eq!(c.config().mlc_thr, 200);
+    }
+
+    #[test]
+    fn tiny_mtps_rounds_up_to_one_not_zero() {
+        // Regression: 0.2 MTPS over 1 µs is 0.2 WB/interval, which used to
+        // round to a threshold of 0 — a value that makes *any* writeback
+        // count as pressure, silently disabling MLC steering.
+        let cfg = IdioConfig::paper_default().with_mlc_thr_mtps(0.2);
+        assert_eq!(cfg.mlc_thr, 1);
+        assert_eq!(cfg.effective_mlc_thr(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_mtps_is_rejected() {
+        let _ = IdioConfig::paper_default().with_mlc_thr_mtps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nan_mtps_is_rejected() {
+        let _ = IdioConfig::paper_default().with_mlc_thr_mtps(f64::NAN);
+    }
+
+    #[test]
     fn ddio_policy_never_leaves_llc() {
         let mut c = IdioController::new(IdioConfig::paper_default(), 1);
         for m in [
@@ -315,6 +403,7 @@ mod tests {
             control_interval: Duration::from_us(1),
             avg_window: 4,
             mlc_thr: 50,
+            mlc_thr_mtps_milli: None,
         };
         let mut c = IdioController::new(cfg, 1);
         let mut wb = 0u64;

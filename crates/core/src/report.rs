@@ -11,6 +11,7 @@ use std::fmt;
 use idio_cache::addr::CoreId;
 use idio_cache::stats::HierarchyStats;
 use idio_engine::stats::{LatencyRecorder, TimeSeries};
+use idio_engine::telemetry::{MetricsSnapshot, TraceRecord};
 use idio_engine::time::{Duration, SimTime};
 use idio_mem::DramStats;
 
@@ -197,6 +198,21 @@ pub struct HitBreakdown {
     pub accesses: u64,
 }
 
+/// Per-event-type profile of the engine loop of one run.
+///
+/// `count` is deterministic (a pure function of config and seed); `wall`
+/// is host wall-clock attributed to the event type's handler and stays
+/// zero unless [`crate::config::SystemConfig::profile_events`] was set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventTypeProfile {
+    /// Stable event-type name (e.g. `"dma_line"`).
+    pub name: &'static str,
+    /// Times this event type was dispatched.
+    pub count: u64,
+    /// Host wall-clock spent in its handler (zero when not profiled).
+    pub wall: std::time::Duration,
+}
+
 /// Complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -218,6 +234,15 @@ pub struct RunReport {
     pub bursts: Vec<BurstWindow>,
     /// Antagonist cycles-per-access (CPI proxy), if an antagonist ran.
     pub antagonist_cpa: Option<f64>,
+    /// Final metrics registry snapshot (stable dotted names; see
+    /// `DESIGN.md` for the naming scheme). Deterministic.
+    pub metrics: MetricsSnapshot,
+    /// Trace records kept by the run's tracer (empty when tracing is
+    /// off). Deterministic.
+    pub trace: Vec<TraceRecord>,
+    /// Engine-loop dispatch profile, one entry per event type in stable
+    /// order.
+    pub profile: Vec<EventTypeProfile>,
 }
 
 impl RunReport {

@@ -26,10 +26,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use idio_engine::rng::derive_seed;
+use idio_engine::telemetry::MetricsSnapshot;
 
 use crate::config::SystemConfig;
 use crate::experiments::FigureResult;
-use crate::report::RunReport;
+use crate::report::{EventTypeProfile, RunReport};
 use crate::system::System;
 
 /// Default root seed of every sweep (matches `SystemConfig`'s default).
@@ -81,6 +82,9 @@ pub struct SweepOptions {
     pub root_seed: u64,
     /// Print one progress line per finished cell to stderr.
     pub progress: bool,
+    /// Measure host wall-clock per event type inside every cell (fed into
+    /// [`CellTiming::events`]; dispatch counts are collected either way).
+    pub profile_events: bool,
 }
 
 impl Default for SweepOptions {
@@ -89,6 +93,7 @@ impl Default for SweepOptions {
             jobs: 1,
             root_seed: DEFAULT_ROOT_SEED,
             progress: false,
+            profile_events: false,
         }
     }
 }
@@ -118,6 +123,10 @@ pub struct CellTiming {
     pub label: String,
     /// Host wall-clock of the cell's simulation.
     pub wall: std::time::Duration,
+    /// Engine-loop profile: where the cell's simulation time went, one
+    /// entry per event type. Wall-clock components are zero unless
+    /// [`SweepOptions::profile_events`] was set.
+    pub events: Vec<EventTypeProfile>,
 }
 
 /// Per-figure timing: the figure's cells plus their summed cost.
@@ -232,11 +241,15 @@ pub fn run_cells(cells: Vec<SweepCell>, opts: &SweepOptions) -> Vec<CellOutcome>
     let total = cells.len();
     let done = AtomicUsize::new(0);
     let progress = opts.progress;
+    let profile_events = opts.profile_events;
     let root = opts.root_seed;
     parallel_map(cells, opts.effective_jobs(), move |_, cell| {
         let SweepCell { label, mut cfg } = cell;
         let seed = derive_seed(root, &label);
         cfg.seed = seed;
+        if profile_events {
+            cfg.profile_events = true;
+        }
         let t0 = Instant::now();
         let report = System::new(cfg).run();
         let wall = t0.elapsed();
@@ -314,16 +327,40 @@ impl FigureSpec {
         let outcomes = run_cells(self.cells, opts);
         let timing = FigureTiming {
             id,
-            cells: outcomes
-                .iter()
-                .map(|o| CellTiming {
-                    label: o.label.clone(),
-                    wall: o.wall,
-                })
-                .collect(),
+            cells: outcomes.iter().map(cell_timing).collect(),
         };
         ((self.assemble)(&outcomes), timing)
     }
+}
+
+fn cell_timing(o: &CellOutcome) -> CellTiming {
+    CellTiming {
+        label: o.label.clone(),
+        wall: o.wall,
+        events: o.report.profile.clone(),
+    }
+}
+
+/// Final telemetry of one executed cell, in declaration order within a
+/// suite run (see [`run_figures_detailed`]).
+#[derive(Debug, Clone)]
+pub struct CellMetrics {
+    /// The cell's label.
+    pub label: String,
+    /// The cell's final [`MetricsSnapshot`] (deterministic).
+    pub metrics: MetricsSnapshot,
+}
+
+/// A suite run's complete output: assembled figures, per-cell telemetry,
+/// and timing.
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// Assembled figures, in declaration order.
+    pub figures: Vec<FigureResult>,
+    /// Per-cell metrics across all figures, in declaration order.
+    pub cells: Vec<CellMetrics>,
+    /// Timing summary (host noise; keep on stderr).
+    pub timing: SuiteTiming,
 }
 
 /// Runs a whole suite of figures over one shared worker pool.
@@ -335,6 +372,13 @@ pub fn run_figures(
     specs: Vec<FigureSpec>,
     opts: &SweepOptions,
 ) -> (Vec<FigureResult>, SuiteTiming) {
+    let out = run_figures_detailed(specs, opts);
+    (out.figures, out.timing)
+}
+
+/// [`run_figures`] plus each cell's final metrics snapshot (the
+/// `repro --metrics` data source).
+pub fn run_figures_detailed(specs: Vec<FigureSpec>, opts: &SweepOptions) -> SuiteOutcome {
     let t0 = Instant::now();
     // Flatten (figure index, cell) pairs, remembering each figure's span.
     let mut flat = Vec::new();
@@ -345,6 +389,13 @@ pub fn run_figures(
         spans.push(start..flat.len());
     }
     let outcomes = run_cells(flat, opts);
+    let cells = outcomes
+        .iter()
+        .map(|o| CellMetrics {
+            label: o.label.clone(),
+            metrics: o.report.metrics.clone(),
+        })
+        .collect();
 
     let mut figures = Vec::with_capacity(specs.len());
     let mut timings = Vec::with_capacity(specs.len());
@@ -352,13 +403,7 @@ pub fn run_figures(
         let mine = &outcomes[span];
         timings.push(FigureTiming {
             id: spec.id,
-            cells: mine
-                .iter()
-                .map(|o| CellTiming {
-                    label: o.label.clone(),
-                    wall: o.wall,
-                })
-                .collect(),
+            cells: mine.iter().map(cell_timing).collect(),
         });
         figures.push((spec.assemble)(mine));
     }
@@ -368,7 +413,11 @@ pub fn run_figures(
         root_seed: opts.root_seed,
         figures: timings,
     };
-    (figures, timing)
+    SuiteOutcome {
+        figures,
+        cells,
+        timing,
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use idio_cache::maintenance::{allocate_invalidatable, invalidate_range, PageTabl
 use idio_engine::queue::EventQueue;
 use idio_engine::rng::SimRng;
 use idio_engine::stats::{LatencyRecorder, RateSampler};
+use idio_engine::telemetry::{MetricsRegistry, Tracer, DEFAULT_TRACE_CAPACITY};
 use idio_engine::time::{Duration, SimTime};
 use idio_mem::{DramModel, DramOp};
 use idio_net::gen::{Arrival, FlowSpec, TrafficGen, TrafficPattern};
@@ -32,9 +33,12 @@ use idio_stack::timing::CoreTiming;
 
 use crate::config::{FlowSteering, SystemConfig};
 use crate::controller::{IdioController, Placement};
+use crate::fsm::MlcStatus;
 use crate::layout::{AddressMap, QueueRegions};
 use crate::prefetcher::MlcPrefetcher;
-use crate::report::{BurstTracker, LatencySummary, RunReport, RunTotals, Timelines};
+use crate::report::{
+    BurstTracker, EventTypeProfile, LatencySummary, RunReport, RunTotals, Timelines,
+};
 
 /// Events of the full-system simulation.
 #[derive(Debug, Clone)]
@@ -69,6 +73,40 @@ enum Event {
     ControlTick,
     /// Statistics sampling tick (10 µs).
     SampleTick,
+}
+
+impl Event {
+    /// Number of event types (length of [`Event::NAMES`]).
+    const TYPES: usize = 9;
+
+    /// Stable event-type names, indexed by [`Event::type_index`]. These
+    /// appear in trace output, metrics (`engine.events.<name>`), and the
+    /// `--timings` profile, so they must not change across releases.
+    const NAMES: [&'static str; Event::TYPES] = [
+        "arrival",
+        "dma_line",
+        "desc_writeback",
+        "prefetch_issue",
+        "core_wake",
+        "tx_complete",
+        "antagonist",
+        "control_tick",
+        "sample_tick",
+    ];
+
+    fn type_index(&self) -> usize {
+        match self {
+            Event::Arrival { .. } => 0,
+            Event::DmaLine { .. } => 1,
+            Event::DescWriteback { .. } => 2,
+            Event::PrefetchIssue { .. } => 3,
+            Event::CoreWake { .. } => 4,
+            Event::TxComplete { .. } => 5,
+            Event::AntagonistNext => 6,
+            Event::ControlTick => 7,
+            Event::SampleTick => 8,
+        }
+    }
 }
 
 /// A workload's packet-arrival stream: analytic generator or trace replay.
@@ -177,6 +215,16 @@ pub struct System {
     sample_ticks: u64,
     /// IAT way-tuner state: (control ticks, LLC-WB snapshot, quiet streak).
     iat: (u64, u64, u32),
+    /// Run-level metrics registry (exported via [`RunReport::metrics`]).
+    metrics: MetricsRegistry,
+    /// Bounded event tracer (filter from [`SystemConfig::trace`]).
+    tracer: Tracer,
+    /// Per-event-type dispatch counts (deterministic).
+    ev_counts: [u64; Event::TYPES],
+    /// Per-event-type handler wall-clock (only with `profile_events`).
+    ev_wall: [std::time::Duration; Event::TYPES],
+    /// Steering decisions by placement: (LLC, MLC, DRAM) line counts.
+    steer: (u64, u64, u64),
 }
 
 impl System {
@@ -344,6 +392,11 @@ impl System {
                 (lo.line().get(), hi.line().get())
             })
             .collect();
+        let tracer = if cfg.trace.is_off() {
+            Tracer::disabled()
+        } else {
+            Tracer::new(cfg.trace.clone(), DEFAULT_TRACE_CAPACITY)
+        };
         let mut system = System {
             queue: EventQueue::new(),
             pending_arrival: vec![None; gens.len()],
@@ -363,6 +416,11 @@ impl System {
             dma_line_ranges,
             sample_ticks: 0,
             iat: (0, 0, 0),
+            metrics: MetricsRegistry::new(),
+            tracer,
+            ev_counts: [0; Event::TYPES],
+            ev_wall: [std::time::Duration::ZERO; Event::TYPES],
+            steer: (0, 0, 0),
             cfg,
         };
         system.schedule_initial();
@@ -393,11 +451,26 @@ impl System {
 
     /// Runs the simulation to completion and produces the report.
     pub fn run(mut self) -> RunReport {
+        let profile_wall = self.cfg.profile_events;
         while let Some((now, ev)) = self.queue.pop() {
             if now > self.hard_stop {
                 break;
             }
-            self.handle(now, ev);
+            let ti = ev.type_index();
+            self.ev_counts[ti] += 1;
+            if self.tracer.enabled("event") {
+                let pending = self.queue.len();
+                self.tracer.record(now, "event", Event::NAMES[ti], || {
+                    format!("pending={pending}")
+                });
+            }
+            if profile_wall {
+                let t0 = std::time::Instant::now();
+                self.handle(now, ev);
+                self.ev_wall[ti] += t0.elapsed();
+            } else {
+                self.handle(now, ev);
+            }
         }
         self.into_report()
     }
@@ -488,16 +561,43 @@ impl System {
         if let Some(b) = &mut self.bursts {
             b.record_dma(arrival, now);
         }
-        match self.ctrl.steer(self.cfg.policy, meta) {
+        // A burst flag can flip the destination core's FSM inside steer();
+        // observe the before/after status only when someone is watching.
+        let fsm_before = if self.tracer.enabled("fsm") {
+            Some(self.ctrl.status(meta.dest_core))
+        } else {
+            None
+        };
+        let placement = self.ctrl.steer(self.cfg.policy, meta);
+        if let Some(before) = fsm_before {
+            let after = self.ctrl.status(meta.dest_core);
+            if after != before {
+                self.tracer.record(now, "fsm", "transition", move || {
+                    format!("core={} {before:?}->{after:?} cause=burst", meta.dest_core)
+                });
+            }
+        }
+        if self.tracer.enabled("steer") {
+            self.tracer.record(now, "steer", "placement", move || {
+                format!(
+                    "line={line} core={} class={:?} hdr={} burst={} p={placement:?}",
+                    meta.dest_core, meta.app_class, meta.is_header, meta.is_burst
+                )
+            });
+        }
+        match placement {
             Placement::Llc => {
+                self.steer.0 += 1;
                 let w = self.hier.pcie_write(line, DmaPlacement::Llc);
                 self.charge_dram(now, w.effects);
             }
             Placement::Dram => {
+                self.steer.2 += 1;
                 let w = self.hier.pcie_write(line, DmaPlacement::Dram);
                 self.charge_dram(now, w.effects);
             }
             Placement::Mlc(core) => {
+                self.steer.1 += 1;
                 let w = self.hier.pcie_write(line, DmaPlacement::Llc);
                 self.charge_dram(now, w.effects);
                 let ci = core.index();
@@ -523,8 +623,14 @@ impl System {
     }
 
     fn push_hint(&mut self, now: SimTime, core: usize, line: LineAddr) {
+        if !self.prefetchers[core].push(line) {
+            self.tracer.record(now, "prefetch", "drop", move || {
+                format!("core=core{core} line={line}")
+            });
+            return;
+        }
         let pf = &mut self.prefetchers[core];
-        if pf.push(line) && !pf.issue_pending {
+        if !pf.issue_pending {
             pf.issue_pending = true;
             let gap = pf.config().issue_gap;
             self.queue
@@ -701,7 +807,10 @@ impl System {
         (service, work.action)
     }
 
-    fn invalidate_buffer(&mut self, core: usize, buf: Addr, lines: u32) {
+    fn invalidate_buffer(&mut self, now: SimTime, core: usize, buf: Addr, lines: u32) {
+        self.tracer.record(now, "maint", "invalidate", move || {
+            format!("core=core{core} buf={buf} lines={lines}")
+        });
         let scope = self.cfg.invalidate_scope;
         invalidate_range(
             &mut self.hier,
@@ -719,7 +828,7 @@ impl System {
         match action {
             PacketAction::Drop => {
                 if self.cfg.policy.invalidates() {
-                    self.invalidate_buffer(core, slot.buf, slot.packet.lines());
+                    self.invalidate_buffer(now, core, slot.buf, slot.packet.lines());
                 }
                 self.nic.ring_mut(queue).free(1);
                 self.record_completion(now, core, &slot);
@@ -787,7 +896,7 @@ impl System {
             self.charge_dram(now, w.effects);
         }
         if self.cfg.policy.invalidates() {
-            self.invalidate_buffer(core, buf, lines);
+            self.invalidate_buffer(now, core, buf, lines);
         }
         self.nic.ring_mut(queue).free(1);
         let st = self.nf[core].as_mut().unwrap();
@@ -832,7 +941,26 @@ impl System {
             .iter()
             .map(|c| c.mlc_wb.get())
             .collect();
+        let fsm_watch = self.tracer.enabled("fsm");
+        let before: Vec<MlcStatus> = if fsm_watch {
+            (0..wbs.len())
+                .map(|i| self.ctrl.status(CoreId::new(i as u16)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.ctrl.control_tick(&wbs);
+        if fsm_watch {
+            for (i, prev) in before.into_iter().enumerate() {
+                let cur = self.ctrl.status(CoreId::new(i as u16));
+                if cur != prev {
+                    let wb = wbs[i];
+                    self.tracer.record(now, "fsm", "transition", move || {
+                        format!("core=core{i} {prev:?}->{cur:?} wb={wb} cause=tick")
+                    });
+                }
+            }
+        }
         if self.cfg.policy.tunes_ddio_ways() {
             // IAT-style tuner: every 25 control intervals (25 us), grow
             // the DDIO partition while inbound data is leaking to DRAM;
@@ -954,6 +1082,78 @@ impl System {
             .antagonist
             .as_ref()
             .map(|(_, a)| a.stats().cycles_per_access(ps_per_cycle));
+
+        // ---- fold final counters into the metrics registry -----------------
+        // Engine-level anomaly counters (were debug_assert!s; now always-on
+        // diagnostics identical across build profiles).
+        self.metrics.counter_set(
+            "engine.schedule_past_clamped",
+            self.queue.schedule_past_clamped(),
+        );
+        let backwards = [
+            &self.samplers.mlc_wb,
+            &self.samplers.llc_wb,
+            &self.samplers.dram_rd,
+            &self.samplers.dram_wr,
+            &self.samplers.dma_wr,
+            &self.samplers.prefetch,
+            &self.samplers.self_inval,
+        ]
+        .iter()
+        .map(|s| s.backwards_samples())
+        .sum();
+        self.metrics
+            .counter_set("stats.counter_backwards", backwards);
+        for (ti, name) in Event::NAMES.iter().enumerate() {
+            self.metrics
+                .counter_set(&format!("engine.events.{name}"), self.ev_counts[ti]);
+        }
+        // Component counters under stable dotted names.
+        self.metrics
+            .counter_set("nic.rx.packets", totals.rx_packets);
+        self.metrics.counter_set("nic.rx.drops", totals.rx_drops);
+        self.metrics.counter_set("nic.dma.lines", totals.pcie_wr);
+        self.metrics.counter_set("llc.wb", totals.llc_wb);
+        self.metrics.counter_set("dram.rd", totals.dram_rd);
+        self.metrics.counter_set("dram.wr", totals.dram_wr);
+        self.metrics.counter_set("steer.llc", self.steer.0);
+        self.metrics.counter_set("steer.mlc", self.steer.1);
+        self.metrics.counter_set("steer.dram", self.steer.2);
+        self.metrics
+            .counter_set("packets.completed", totals.completed_packets);
+        self.metrics
+            .counter_set("maint.self_inval", totals.self_inval);
+        for (i, c) in h.core.iter().enumerate() {
+            self.metrics
+                .counter_set(&format!("core{i}.mlc.wb"), c.mlc_wb.get());
+        }
+        let (accepted, dropped, issued) = self.prefetchers.iter().fold((0, 0, 0), |acc, p| {
+            let s = p.stats();
+            (
+                acc.0 + s.accepted.get(),
+                acc.1 + s.dropped.get(),
+                acc.2 + s.issued.get(),
+            )
+        });
+        self.metrics.counter_set("prefetch.accepted", accepted);
+        self.metrics.counter_set("prefetch.drops", dropped);
+        self.metrics.counter_set("prefetch.issued", issued);
+        self.metrics
+            .counter_set("trace.records", self.tracer.total());
+        self.metrics
+            .counter_set("trace.evicted", self.tracer.evicted());
+        if let Some(s) = self.samplers.dma_llc_share.samples().last() {
+            self.metrics.gauge_set("llc.dma_share", s.value);
+        }
+        let metrics = self.metrics.snapshot();
+        let trace = self.tracer.take_records();
+        let profile = (0..Event::TYPES)
+            .map(|ti| EventTypeProfile {
+                name: Event::NAMES[ti],
+                count: self.ev_counts[ti],
+                wall: self.ev_wall[ti],
+            })
+            .collect();
         RunReport {
             policy: self.cfg.policy,
             finished_at: self.queue.now(),
@@ -973,6 +1173,9 @@ impl System {
             latency,
             bursts: self.bursts.map(|b| b.windows()).unwrap_or_default(),
             antagonist_cpa,
+            metrics,
+            trace,
+            profile,
         }
     }
 }

@@ -45,9 +45,11 @@ pub mod check;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, LatencyRecorder, RateSampler, Sample, TimeSeries};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, TraceFilter, TraceRecord, Tracer};
 pub use time::{wire_time, Duration, Freq, SimTime};

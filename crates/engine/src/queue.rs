@@ -43,8 +43,11 @@ impl<E> Ord for Scheduled<E> {
 ///
 /// The queue tracks the current simulated time: [`EventQueue::pop`] advances
 /// `now()` to the timestamp of the event it returns. Scheduling an event in
-/// the past is a logic error and panics in debug builds (it is clamped to
-/// `now()` in release builds).
+/// the past is a model bug, but one that must behave identically in debug
+/// and release builds: the timestamp is always clamped to `now()` and the
+/// anomaly is counted ([`EventQueue::schedule_past_clamped`]) so callers can
+/// surface it as telemetry (`engine.schedule_past_clamped`) instead of it
+/// being silently absorbed.
 ///
 /// # Examples
 ///
@@ -64,6 +67,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
     now: SimTime,
+    clamped: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -73,6 +77,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            clamped: 0,
         }
     }
 
@@ -96,16 +101,16 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// # Panics
-    ///
-    /// In debug builds, panics if `at` is earlier than `now()`.
+    /// An `at` earlier than `now()` is clamped to `now()` — identically in
+    /// debug and release builds — and counted; see
+    /// [`EventQueue::schedule_past_clamped`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "scheduling into the past: {at} < now {}",
+        let at = if at < self.now {
+            self.clamped += 1;
             self.now
-        );
-        let at = at.max(self.now);
+        } else {
+            at
+        };
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });
@@ -120,6 +125,16 @@ impl<E> EventQueue<E> {
     /// events with the same timestamp).
     pub fn schedule_now(&mut self, event: E) {
         self.schedule_at(self.now, event);
+    }
+
+    /// Number of events whose requested timestamp lay in the past and was
+    /// clamped to `now()`. A nonzero value indicates a model bug upstream
+    /// (an event handler computing a completion time earlier than the
+    /// event it is handling); the queue keeps the simulation causal either
+    /// way, and this counter makes the anomaly observable.
+    #[inline]
+    pub fn schedule_past_clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Timestamp of the next event, if any.
@@ -194,13 +209,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scheduling into the past")]
-    #[cfg(debug_assertions)]
-    fn scheduling_into_past_panics_in_debug() {
+    fn scheduling_into_past_clamps_and_counts_in_every_profile() {
+        // Regression: this used to panic under debug_assertions but
+        // silently clamp in release — the same input now behaves
+        // identically in both profiles.
         let mut q = EventQueue::new();
-        q.schedule_at(SimTime::from_ns(10), ());
+        q.schedule_at(SimTime::from_ns(10), "on-time");
         q.pop();
-        q.schedule_at(SimTime::from_ns(5), ());
+        assert_eq!(q.schedule_past_clamped(), 0);
+        q.schedule_at(SimTime::from_ns(5), "late");
+        assert_eq!(q.schedule_past_clamped(), 1);
+        // The clamped event fires at now(), not at its stale timestamp,
+        // so time never runs backwards.
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), "late")));
+        assert_eq!(q.now(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn clamped_events_keep_fifo_order_at_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), 0);
+        q.pop();
+        q.schedule_now(1);
+        q.schedule_at(SimTime::from_ns(3), 2); // clamped to 10ns
+        q.schedule_now(3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3], "clamp preserves insertion order");
+        assert_eq!(q.schedule_past_clamped(), 1);
     }
 
     #[test]

@@ -53,14 +53,12 @@ impl Counter {
 
     /// Difference since an earlier snapshot of the same counter.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `earlier` is larger than the current value
-    /// (counters never decrease).
+    /// Counters never decrease, so a "later" value below `earlier` is a
+    /// caller bug; the difference saturates to zero (identically in debug
+    /// and release — this used to debug-panic but wrap in release).
     #[inline]
     pub fn delta_since(self, earlier: Counter) -> u64 {
-        debug_assert!(self.0 >= earlier.0, "counter went backwards");
-        self.0 - earlier.0
+        self.0.saturating_sub(earlier.0)
     }
 }
 
@@ -179,6 +177,7 @@ pub struct RateSampler {
     series: TimeSeries,
     last_value: u64,
     interval: Duration,
+    backwards: u64,
 }
 
 impl RateSampler {
@@ -196,6 +195,7 @@ impl RateSampler {
             series: TimeSeries::new(name),
             last_value: 0,
             interval,
+            backwards: 0,
         }
     }
 
@@ -206,12 +206,37 @@ impl RateSampler {
 
     /// Records `rate_per_sec * scale` — e.g. `scale = 1e-6` for MTPS
     /// (million transactions per second).
+    ///
+    /// Counters are expected to be monotonic. A `counter_value` below the
+    /// previous one (a counter that was reset without
+    /// [`RateSampler::reset`]) records a 0-rate sample, re-baselines on
+    /// the new value, and is counted in
+    /// [`RateSampler::backwards_samples`] — identically in debug and
+    /// release builds — so the anomaly is observable as telemetry
+    /// (`stats.counter_backwards`) rather than a debug-only panic.
     pub fn sample_scaled(&mut self, at: SimTime, counter_value: u64, scale: f64) {
-        debug_assert!(counter_value >= self.last_value, "counter went backwards");
+        if counter_value < self.last_value {
+            self.backwards += 1;
+        }
         let delta = counter_value.saturating_sub(self.last_value);
         self.last_value = counter_value;
         let rate = delta as f64 / self.interval.as_secs_f64();
         self.series.push(at, rate * scale);
+    }
+
+    /// Re-baselines the sampler on `counter_value` without emitting a
+    /// sample. Use this when the underlying counter is legitimately reset
+    /// (e.g. a sampler reused across runs after `reset_stats`), so the
+    /// first sample of the new run measures a real delta instead of
+    /// tripping the backwards-counter detection.
+    pub fn reset(&mut self, counter_value: u64) {
+        self.last_value = counter_value;
+    }
+
+    /// Number of samples whose counter value went backwards (each
+    /// recorded as a 0-rate sample).
+    pub fn backwards_samples(&self) -> u64 {
+        self.backwards
     }
 
     /// The accumulated series.
@@ -331,6 +356,39 @@ mod tests {
         s.sample_scaled(SimTime::from_us(20), c.get(), 1e-6);
         // 50 events / 10 us = 5e6/s = 5 MTPS.
         assert!((s.series().samples()[1].value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_reused_across_runs_via_reset() {
+        // Regression: a sampler re-pointed at a freshly reset counter used
+        // to debug-panic ("counter went backwards") while silently
+        // emitting a 0-rate sample in release. reset() re-baselines
+        // explicitly and keeps both profiles identical.
+        let mut s = RateSampler::new("x", Duration::from_us(10));
+        s.sample(SimTime::from_us(10), 500);
+        assert_eq!(s.backwards_samples(), 0);
+
+        // Run 2: counters restarted from zero; reset instead of sampling.
+        s.reset(0);
+        s.sample(SimTime::from_us(20), 100);
+        assert_eq!(s.backwards_samples(), 0, "reset path is not an anomaly");
+        let v = s.series().samples()[1].value;
+        assert!((v - 1e7).abs() < 1e-3, "fresh delta measured: {v}");
+    }
+
+    #[test]
+    fn backwards_counter_is_counted_not_fatal() {
+        let mut s = RateSampler::new("x", Duration::from_us(10));
+        s.sample(SimTime::from_us(10), 500);
+        // No reset: the backwards value is absorbed as a 0-rate sample
+        // and counted.
+        s.sample(SimTime::from_us(20), 100);
+        assert_eq!(s.backwards_samples(), 1);
+        assert_eq!(s.series().samples()[1].value, 0.0);
+        // The sampler re-baselines, so the next sample is a real rate.
+        s.sample(SimTime::from_us(30), 200);
+        assert_eq!(s.backwards_samples(), 1);
+        assert!((s.series().samples()[2].value - 1e7).abs() < 1e-3);
     }
 
     #[test]

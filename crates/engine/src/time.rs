@@ -19,6 +19,19 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 /// Picoseconds in one second.
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
+/// Converts a fractional picosecond count to `u64`, saturating: NaN and
+/// negative inputs map to 0, values beyond `u64::MAX` to `u64::MAX`.
+/// (Rust's `as` cast already saturates; this helper documents that the
+/// clamping is intentional for time construction.)
+#[inline]
+fn ps_from_f64(ps: f64) -> u64 {
+    if ps.is_nan() {
+        0
+    } else {
+        ps as u64 // saturating float→int cast
+    }
+}
+
 /// An absolute point in simulated time, in picoseconds since simulation start.
 ///
 /// # Examples
@@ -45,22 +58,23 @@ impl SimTime {
         SimTime(ps)
     }
 
-    /// Creates a time from nanoseconds.
+    /// Creates a time from nanoseconds, saturating at [`SimTime::MAX`]
+    /// (this used to wrap silently in release builds for large inputs).
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
-        SimTime(ns * PS_PER_NS)
+        SimTime(ns.saturating_mul(PS_PER_NS))
     }
 
-    /// Creates a time from microseconds.
+    /// Creates a time from microseconds, saturating at [`SimTime::MAX`].
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        SimTime(us * PS_PER_US)
+        SimTime(us.saturating_mul(PS_PER_US))
     }
 
-    /// Creates a time from milliseconds.
+    /// Creates a time from milliseconds, saturating at [`SimTime::MAX`].
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * PS_PER_MS)
+        SimTime(ms.saturating_mul(PS_PER_MS))
     }
 
     /// Raw picoseconds since simulation start.
@@ -155,34 +169,40 @@ impl Duration {
         Duration(ps)
     }
 
-    /// Creates a span from nanoseconds.
+    /// Creates a span from nanoseconds, saturating at the maximum
+    /// representable span (this used to wrap silently in release builds
+    /// for large inputs).
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
-        Duration(ns * PS_PER_NS)
+        Duration(ns.saturating_mul(PS_PER_NS))
     }
 
-    /// Creates a span from microseconds.
+    /// Creates a span from microseconds, saturating.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        Duration(us * PS_PER_US)
+        Duration(us.saturating_mul(PS_PER_US))
     }
 
-    /// Creates a span from milliseconds.
+    /// Creates a span from milliseconds, saturating.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        Duration(ms * PS_PER_MS)
+        Duration(ms.saturating_mul(PS_PER_MS))
     }
 
-    /// Creates a span from fractional nanoseconds, rounding to picoseconds.
+    /// Creates a span from fractional nanoseconds, rounding to
+    /// picoseconds. NaN and negative inputs clamp to zero; values beyond
+    /// the representable range saturate.
     #[inline]
     pub fn from_ns_f64(ns: f64) -> Self {
-        Duration((ns * PS_PER_NS as f64).round() as u64)
+        Duration(ps_from_f64((ns * PS_PER_NS as f64).round()))
     }
 
-    /// Creates a span from fractional microseconds, rounding to picoseconds.
+    /// Creates a span from fractional microseconds, rounding to
+    /// picoseconds. NaN and negative inputs clamp to zero; values beyond
+    /// the representable range saturate.
     #[inline]
     pub fn from_us_f64(us: f64) -> Self {
-        Duration((us * PS_PER_US as f64).round() as u64)
+        Duration(ps_from_f64((us * PS_PER_US as f64).round()))
     }
 
     /// Raw picoseconds.
@@ -379,10 +399,18 @@ impl Default for Freq {
 /// let t = wire_time(1514, 100.0);
 /// assert!((t.as_ns_f64() - 121.1).abs() < 0.1);
 /// ```
+/// # Panics
+///
+/// Panics if `gbps` is not a finite, strictly positive number (a NaN,
+/// infinite, zero, or negative rate would otherwise turn into a garbage
+/// `u64` timestamp).
 pub fn wire_time(bytes: u64, gbps: f64) -> Duration {
-    assert!(gbps > 0.0, "rate must be positive");
+    assert!(
+        gbps.is_finite() && gbps > 0.0,
+        "rate must be finite and positive, got {gbps}"
+    );
     let bits = bytes as f64 * 8.0;
-    Duration::from_ps((bits / gbps * 1_000.0).round() as u64)
+    Duration::from_ps(ps_from_f64((bits / gbps * 1_000.0).round()))
 }
 
 #[cfg(test)]
@@ -434,6 +462,55 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn freq_rejects_zero() {
         let _ = Freq::from_ghz(0.0);
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        // Regression: these used to wrap in release builds (and only
+        // overflow-panic in debug), so a huge --duration-ms could travel
+        // back in time silently.
+        assert_eq!(SimTime::from_ns(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_us(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_ms(u64::MAX), SimTime::MAX);
+        assert_eq!(Duration::from_ns(u64::MAX).as_ps(), u64::MAX);
+        assert_eq!(Duration::from_us(u64::MAX).as_ps(), u64::MAX);
+        assert_eq!(Duration::from_ms(u64::MAX).as_ps(), u64::MAX);
+        // Values just past the boundary saturate too, not only u64::MAX.
+        assert_eq!(SimTime::from_ms(u64::MAX / PS_PER_MS + 1), SimTime::MAX);
+        // In-range values are unchanged.
+        assert_eq!(SimTime::from_ms(5).as_ps(), 5 * PS_PER_MS);
+    }
+
+    #[test]
+    fn f64_constructors_clamp_nan_and_negative() {
+        assert_eq!(Duration::from_ns_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_us_f64(-3.0), Duration::ZERO);
+        assert_eq!(Duration::from_ns_f64(f64::INFINITY).as_ps(), u64::MAX);
+        assert_eq!(Duration::from_us_f64(1.5).as_ps(), 1_500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn wire_time_rejects_nan_rate() {
+        let _ = wire_time(64, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn wire_time_rejects_infinite_rate() {
+        let _ = wire_time(64, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn wire_time_rejects_zero_rate() {
+        let _ = wire_time(64, 0.0);
+    }
+
+    #[test]
+    fn wire_time_saturates_on_extreme_inputs() {
+        // u64::MAX bytes at a tiny rate overflows f64→u64; saturate.
+        assert_eq!(wire_time(u64::MAX, 1e-30).as_ps(), u64::MAX);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! compute exact values. Driven by the in-repo deterministic harness
 //! (`idio_engine::check`) — the build environment has no crates.io access.
 
+use std::collections::BTreeMap;
+
 use idio_engine::check::Cases;
 use idio_engine::queue::EventQueue;
 use idio_engine::stats::{LatencyRecorder, RateSampler};
+use idio_engine::telemetry::MetricsRegistry;
 use idio_engine::time::{Duration, SimTime};
 
 #[test]
@@ -69,6 +72,64 @@ fn rate_sampler_recovers_total() {
             .map(|smp| smp.value * interval.as_secs_f64())
             .sum();
         assert!((recovered - acc as f64).abs() < 1e-6 * acc.max(1) as f64);
+    });
+}
+
+#[test]
+fn registry_delta_equals_sum_of_increments() {
+    // A snapshot delta must account for exactly the increments applied
+    // between the two snapshots — no more, no less — for any interleaving
+    // of counter names and increment sizes.
+    const NAMES: [&str; 5] = [
+        "nic.dma.lines",
+        "core0.mlc.wb",
+        "prefetch.drops",
+        "llc.wb",
+        "engine.events.arrival",
+    ];
+    Cases::new(256).run(|g| {
+        let mut reg = MetricsRegistry::new();
+        let ops = g.vec(1..200, |g| (*g.choose(&NAMES), g.u64(0..1000)));
+        let split = g.usize(0..ops.len() + 1);
+
+        let mut before_sums: BTreeMap<&str, u64> = BTreeMap::new();
+        for &(name, n) in &ops[..split] {
+            reg.counter_add(name, n);
+            *before_sums.entry(name).or_default() += n;
+        }
+        let mid = reg.snapshot();
+
+        let mut after_sums: BTreeMap<&str, u64> = BTreeMap::new();
+        for &(name, n) in &ops[split..] {
+            reg.counter_add(name, n);
+            *after_sums.entry(name).or_default() += n;
+        }
+        let end = reg.snapshot();
+
+        // Absolute values: snapshot equals the total of all increments.
+        for &name in &NAMES {
+            let total = before_sums.get(name).copied().unwrap_or(0)
+                + after_sums.get(name).copied().unwrap_or(0);
+            assert_eq!(end.counter(name), total, "total for {name}");
+            assert_eq!(
+                mid.counter(name),
+                before_sums.get(name).copied().unwrap_or(0)
+            );
+        }
+
+        // Delta: exactly the increments applied after the mid snapshot.
+        let delta = end.delta_since(&mid);
+        for &name in &NAMES {
+            assert_eq!(
+                delta.counter(name),
+                after_sums.get(name).copied().unwrap_or(0),
+                "delta for {name}"
+            );
+        }
+        // And nothing else: every counter present in the delta was named.
+        for (name, _) in delta.counters() {
+            assert!(NAMES.contains(&name), "unexpected counter {name}");
+        }
     });
 }
 

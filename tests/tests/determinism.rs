@@ -9,7 +9,10 @@ use idio_bench::json::figures_to_json;
 use idio_core::config::SystemConfig;
 use idio_core::experiments::{self, Scale};
 use idio_core::net::gen::TrafficPattern;
-use idio_core::sweep::{run_cells, run_figures, FigureSpec, SweepCell, SweepOptions};
+use idio_core::sweep::{
+    run_cells, run_figures, run_figures_detailed, FigureSpec, SweepCell, SweepOptions,
+};
+use idio_engine::telemetry::{records_to_ndjson, TraceFilter};
 use idio_engine::time::{Duration, SimTime};
 
 /// A small scenario whose behaviour actually depends on the RNG (the LLC
@@ -91,6 +94,80 @@ fn figure_json_is_byte_identical_across_worker_counts() {
         figures_to_json(&figs)
     };
     assert_eq!(serial, parallel, "--jobs 1 and --jobs 4 output diverged");
+}
+
+/// Like [`antagonist_cell`] but with full tracing on, so the trace
+/// contract itself is under test.
+fn traced_cell(label: &str) -> SweepCell {
+    let mut cell = antagonist_cell(label);
+    cell.cfg.trace = TraceFilter::all();
+    cell
+}
+
+/// Trace records and the metrics snapshot are part of the deterministic
+/// output contract: byte-identical run-to-run and across worker counts.
+/// This is what makes `simulate --trace` and `repro --metrics` diffable.
+#[test]
+fn trace_and_metrics_are_byte_identical_across_worker_counts() {
+    let cells = || {
+        vec![
+            traced_cell("trace/a"),
+            traced_cell("trace/b"),
+            traced_cell("trace/c"),
+        ]
+    };
+    let opts = |jobs| SweepOptions {
+        jobs,
+        root_seed: 0xFEED,
+        ..SweepOptions::default()
+    };
+    let render = |outcomes: Vec<idio_core::sweep::CellOutcome>| -> Vec<(String, String, String)> {
+        outcomes
+            .into_iter()
+            .map(|o| {
+                assert!(!o.report.trace.is_empty(), "trace empty for {}", o.label);
+                (
+                    o.label,
+                    records_to_ndjson(&o.report.trace),
+                    o.report.metrics.to_json(),
+                )
+            })
+            .collect()
+    };
+    let serial = render(run_cells(cells(), &opts(1)));
+    let parallel = render(run_cells(cells(), &opts(4)));
+    assert_eq!(
+        serial, parallel,
+        "--jobs 1 and --jobs 4 trace/metrics diverged"
+    );
+}
+
+/// The per-cell metrics that back `repro --metrics` come out in cell
+/// declaration order and are byte-identical across worker counts.
+#[test]
+fn suite_cell_metrics_are_deterministic_across_worker_counts() {
+    let render = |jobs| {
+        let opts = SweepOptions {
+            jobs,
+            ..SweepOptions::default()
+        };
+        let suite = run_figures_detailed(sample_specs(), &opts);
+        suite
+            .cells
+            .iter()
+            .map(|c| (c.label.clone(), c.metrics.to_json()))
+            .collect::<Vec<_>>()
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert!(!serial.is_empty());
+    let declared: Vec<String> = sample_specs()
+        .iter()
+        .flat_map(|s| s.cells.iter().map(|c| c.label.clone()))
+        .collect();
+    let got: Vec<String> = serial.iter().map(|(l, _)| l.clone()).collect();
+    assert_eq!(declared, got, "cells out of declaration order");
+    assert_eq!(serial, parallel, "--jobs 1 and --jobs 4 metrics diverged");
 }
 
 #[test]
