@@ -1,0 +1,277 @@
+//! Reproducible engine benchmark suite with a tracked JSON baseline.
+//!
+//! ```text
+//! cargo run -p idio-bench --release --bin bench                    # print stats
+//! cargo run -p idio-bench --release --bin bench -- --list
+//! cargo run -p idio-bench --release --bin bench -- event_queue cache
+//! cargo run -p idio-bench --release --bin bench -- --out BENCH_engine.json --label pre
+//! cargo run -p idio-bench --release --bin bench -- --out BENCH_engine.json --label post --append
+//! ```
+//!
+//! Three workload families, all under fixed seeds so run-to-run variance
+//! is host noise only:
+//!
+//! * `event_queue/*` — scheduler throughput on the near-monotonic insert
+//!   pattern of packet arrivals and on a mixed-horizon pattern that
+//!   stresses far-future inserts;
+//! * `cache/*` — `SetAssocCache` fill/probe/touch and a full
+//!   [`Hierarchy`] DMA-write/CPU-read loop;
+//! * `suite/quick_figures` — the complete 17-figure paper suite at
+//!   `Scale::quick()` on one worker, i.e. exactly what
+//!   `repro --quick --jobs 1` runs.
+//!
+//! With `--out`, statistics are written as one labelled snapshot in the
+//! `idio-bench/1` format (see DESIGN.md); `--append` adds the snapshot to
+//! an existing file so before/after pairs live in one document.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use idio_bench::micro::{append_snapshot, measure, render_bench_file, RunStats, Snapshot};
+use idio_bench::{experiment_spec, EXPERIMENTS};
+use idio_core::cache::addr::{CoreId, LineAddr};
+use idio_core::cache::config::HierarchyConfig;
+use idio_core::cache::hierarchy::{DmaPlacement, Hierarchy};
+use idio_core::cache::set::{SetAssocCache, WayMask};
+use idio_core::experiments::Scale;
+use idio_core::sweep::{run_figures_detailed, SweepOptions};
+use idio_engine::queue::EventQueue;
+use idio_engine::rng::SimRng;
+use idio_engine::time::SimTime;
+
+/// Fixed seed for every randomised workload; results must not depend on
+/// the host, only on the code under test.
+const SEED: u64 = 0x1D10_BE2C;
+
+/// Near-monotonic schedule/pop mix: the arrival pattern the calendar
+/// queue is tuned for. Time advances by a bounded random increment and
+/// every insert is within a short horizon of `now`.
+fn event_queue_monotonic() -> u64 {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = SimRng::seed_from(SEED);
+    let mut at = 0u64;
+    let mut acc = 0u64;
+    for i in 0..400_000u32 {
+        at += rng.next_u64() % 1_000; // up to 1ns forward per insert
+        q.schedule_at(SimTime::from_ps(at + rng.next_u64() % 100_000), i);
+        if i % 4 == 0 {
+            if let Some((t, e)) = q.pop() {
+                acc = acc.wrapping_add(t.as_ps()).wrapping_add(u64::from(e));
+            }
+        }
+    }
+    while let Some((t, e)) = q.pop() {
+        acc = acc.wrapping_add(t.as_ps()).wrapping_add(u64::from(e));
+    }
+    acc
+}
+
+/// Mixed-horizon inserts: most events land near `now`, a tail lands up to
+/// two milliseconds out (descriptor writebacks, control ticks), so the
+/// far-future path is exercised too.
+fn event_queue_mixed_horizon() -> u64 {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = SimRng::seed_from(SEED ^ 1);
+    let mut acc = 0u64;
+    for i in 0..200_000u32 {
+        let now = q.now().as_ps();
+        let horizon = if rng.next_u64().is_multiple_of(8) {
+            rng.next_u64() % 2_000_000_000 // up to 2ms out
+        } else {
+            rng.next_u64() % 200_000 // within 200ns
+        };
+        q.schedule_at(SimTime::from_ps(now + horizon), i);
+        if i % 2 == 0 {
+            if let Some((t, e)) = q.pop() {
+                acc = acc.wrapping_add(t.as_ps()).wrapping_add(u64::from(e));
+            }
+        }
+    }
+    while let Some((t, e)) = q.pop() {
+        acc = acc.wrapping_add(t.as_ps()).wrapping_add(u64::from(e));
+    }
+    acc
+}
+
+/// LLC-shaped cache under a DMA-like reuse pattern: fill twice the
+/// capacity (forcing evictions), then probe/touch a hot window.
+fn cache_fill_probe() -> u64 {
+    let mut c = SetAssocCache::new("bench-llc", 4096, 12);
+    let mut rng = SimRng::seed_from(SEED ^ 2);
+    let mask = WayMask::all(12);
+    let lines = (4096 * 12) as u64;
+    let mut acc = 0u64;
+    for i in 0..2 * lines {
+        let (victim, way) = c.insert(LineAddr::new(i), i % 3 == 0, mask);
+        acc = acc
+            .wrapping_add(way as u64)
+            .wrapping_add(victim.is_some() as u64);
+    }
+    for _ in 0..4 * lines {
+        let line = LineAddr::new(lines + rng.next_u64() % lines);
+        acc = acc.wrapping_add(c.contains(line) as u64);
+        if c.touch(line).is_some() {
+            acc = acc.wrapping_add(c.probe(line).is_some() as u64);
+        }
+    }
+    acc
+}
+
+/// The substrate loop behind every simulated DMA line: device write into
+/// the hierarchy followed by a CPU read of the same line.
+fn hierarchy_dma_loop() -> u64 {
+    let mut h = Hierarchy::new(HierarchyConfig::paper_default(2));
+    let mut acc = 0u64;
+    for i in 0..60_000u64 {
+        let line = LineAddr::new(i % 32_768);
+        h.pcie_write(line, DmaPlacement::Llc);
+        let eff = h.cpu_read(CoreId::new((i % 2) as u16), line).effects;
+        acc += u64::from(eff.dram_reads);
+    }
+    acc
+}
+
+/// The full quick figure suite on one worker — the acceptance workload.
+fn quick_suite() -> usize {
+    let specs = EXPERIMENTS
+        .iter()
+        .map(|name| experiment_spec(name, Scale::quick()).expect("known name"))
+        .collect();
+    let opts = SweepOptions {
+        jobs: 1,
+        ..SweepOptions::default()
+    };
+    let suite = run_figures_detailed(specs, &opts);
+    suite.figures.len()
+}
+
+struct Workload {
+    name: &'static str,
+    default_runs: usize,
+    run: fn() -> u64,
+}
+
+fn suite_as_u64() -> u64 {
+    quick_suite() as u64
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "event_queue/monotonic",
+        default_runs: 7,
+        run: event_queue_monotonic,
+    },
+    Workload {
+        name: "event_queue/mixed_horizon",
+        default_runs: 7,
+        run: event_queue_mixed_horizon,
+    },
+    Workload {
+        name: "cache/llc_fill_probe",
+        default_runs: 7,
+        run: cache_fill_probe,
+    },
+    Workload {
+        name: "cache/hierarchy_dma_loop",
+        default_runs: 7,
+        run: hierarchy_dma_loop,
+    },
+    Workload {
+        name: "suite/quick_figures",
+        default_runs: 3,
+        run: suite_as_u64,
+    },
+];
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut label = String::from("snapshot");
+    let mut runs_override: Option<usize> = None;
+    let mut append = false;
+    let mut filters: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" | "-o" => match args.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--label" | "-l" => match args.next() {
+                Some(l) => label = l,
+                None => {
+                    eprintln!("error: --label needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--runs" | "-r" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => runs_override = Some(n),
+                _ => {
+                    eprintln!("error: --runs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--append" => append = true,
+            "--list" => {
+                for w in WORKLOADS {
+                    println!("{} (default {} runs)", w.name, w.default_runs);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench [--out FILE] [--label L] [--runs N] [--append] [--list] \
+                     [filter...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => filters.push(other.to_string()),
+        }
+    }
+
+    let selected: Vec<&Workload> = WORKLOADS
+        .iter()
+        .filter(|w| filters.is_empty() || filters.iter().any(|f| w.name.contains(f.as_str())))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no workloads matched filter(s): {}", filters.join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    let wall = Instant::now();
+    let mut entries: Vec<RunStats> = Vec::with_capacity(selected.len());
+    for w in &selected {
+        let runs = runs_override.unwrap_or(w.default_runs);
+        // Warm-up run outside the statistics: first-touch page faults and
+        // lazy init would otherwise land on min_ms.
+        std::hint::black_box((w.run)());
+        let stats = measure(w.name, runs, w.run);
+        println!(
+            "{:<28} median {:>10.3}ms  p90 {:>10.3}ms  min {:>10.3}ms  ({} runs)",
+            stats.name, stats.median_ms, stats.p90_ms, stats.min_ms, stats.runs
+        );
+        entries.push(stats);
+    }
+    eprintln!("[{} workload(s) in {:.1?}]", entries.len(), wall.elapsed());
+
+    if let Some(path) = out {
+        let snap = Snapshot { label, entries };
+        let doc = if append {
+            append_snapshot(
+                std::fs::read_to_string(&path).ok().as_deref(),
+                "engine",
+                &snap,
+            )
+        } else {
+            render_bench_file("engine", std::slice::from_ref(&snap))
+        };
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

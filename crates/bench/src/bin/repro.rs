@@ -14,7 +14,7 @@
 
 use std::process::ExitCode;
 
-use idio_bench::json::{figure_to_json, suite_timing_to_json};
+use idio_bench::json::{cell_metrics_line, figure_to_json, suite_timing_to_json};
 use idio_bench::{experiment_spec, EXPERIMENTS};
 use idio_core::experiments::Scale;
 use idio_core::sweep::{run_figures_detailed, SweepOptions};
@@ -111,11 +111,7 @@ fn main() -> ExitCode {
         // Deterministic (byte-identical across --jobs values), so it
         // belongs on stdout with the figures.
         for cell in &suite.cells {
-            println!(
-                "{{\"cell\":\"{}\",\"metrics\":{}}}",
-                cell.label.replace('\\', "\\\\").replace('"', "\\\""),
-                cell.metrics.to_json()
-            );
+            println!("{}", cell_metrics_line(cell));
         }
     }
 

@@ -3,7 +3,7 @@
 //! plotting scripts.
 
 use idio_core::experiments::FigureResult;
-use idio_core::sweep::SuiteTiming;
+use idio_core::sweep::{CellMetrics, SuiteTiming};
 
 /// Escapes a string for JSON.
 fn escape(s: &str) -> String {
@@ -99,6 +99,19 @@ pub fn figure_to_json(fig: &FigureResult) -> String {
     out.push_str(&format!("  \"series\": {{\n{}\n  }}\n", series.join(",\n")));
     out.push('}');
     out
+}
+
+/// Renders one cell's final metrics as the NDJSON line `repro --metrics`
+/// emits, e.g. `{"cell":"fig9/100G/DDIO","metrics":{...}}`.
+///
+/// The golden harness blesses these exact lines, so the repro binary and
+/// the regression test must share this rendering.
+pub fn cell_metrics_line(cell: &CellMetrics) -> String {
+    format!(
+        "{{\"cell\":{},\"metrics\":{}}}",
+        json_string(&cell.label),
+        cell.metrics.to_json()
+    )
 }
 
 /// Renders a list of figures as a JSON array.

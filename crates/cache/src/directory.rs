@@ -9,8 +9,42 @@
 //! back-invalidate the displaced MLC lines.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::addr::{CoreId, LineAddr};
+
+/// A multiplicative hasher for line addresses (fxhash-style). The
+/// directory is probed on every DMA line and every MLC miss, and the
+/// default SipHash dominates those lookups; line numbers need no
+/// DoS resistance, only good avalanche, which one odd-constant multiply
+/// provides. The map is never iterated, so hash order can't leak into
+/// simulation results.
+#[derive(Default)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only fixed-width integer keys are ever hashed here.
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The low bits of a multiply are weak; fold the high bits down
+        // since HashMap buckets by the low bits.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type LineMap<V> = HashMap<LineAddr, V, BuildHasherDefault<LineHasher>>;
 
 /// Tracks which cores' MLCs hold each line.
 ///
@@ -29,7 +63,7 @@ use crate::addr::{CoreId, LineAddr};
 /// ```
 #[derive(Debug, Clone)]
 pub struct MlcDirectory {
-    entries: HashMap<LineAddr, u64>,
+    entries: LineMap<u64>,
     num_cores: usize,
     /// Maximum tracked lines; `None` = unbounded.
     capacity: Option<usize>,
@@ -72,7 +106,7 @@ impl MlcDirectory {
         assert!(num_cores > 0 && num_cores <= 64, "1..=64 cores supported");
         assert!(capacity != Some(0), "directory capacity must be positive");
         MlcDirectory {
-            entries: HashMap::new(),
+            entries: LineMap::default(),
             num_cores,
             capacity,
             order: std::collections::VecDeque::new(),
@@ -105,7 +139,11 @@ impl MlcDirectory {
             }
         }
         self.entries.insert(line, 1u64 << core.index());
-        self.order.push_back(line);
+        if self.capacity.is_some() {
+            // Unbounded directories never consult the FIFO; skip the
+            // bookkeeping (it would grow without limit).
+            self.order.push_back(line);
+        }
         evicted
     }
 
@@ -142,15 +180,21 @@ impl MlcDirectory {
             .map(|m| CoreId::new(m.trailing_zeros() as u16))
     }
 
-    /// All cores holding `line`.
+    /// Bitmask of cores holding `line` (bit `c` = core `c`); zero when
+    /// untracked. The allocation-free form of [`MlcDirectory::holders`]
+    /// for the per-DMA-line hot path.
+    #[inline]
+    pub fn holder_mask(&self, line: LineAddr) -> u64 {
+        self.entries.get(&line).copied().unwrap_or(0)
+    }
+
+    /// All cores holding `line`, lowest id first.
     pub fn holders(&self, line: LineAddr) -> Vec<CoreId> {
-        match self.entries.get(&line) {
-            None => Vec::new(),
-            Some(&mask) => (0..self.num_cores as u16)
-                .filter(|&c| mask >> c & 1 == 1)
-                .map(CoreId::new)
-                .collect(),
-        }
+        let mask = self.holder_mask(line);
+        (0..self.num_cores as u16)
+            .filter(|&c| mask >> c & 1 == 1)
+            .map(CoreId::new)
+            .collect()
     }
 
     /// Number of tracked lines.

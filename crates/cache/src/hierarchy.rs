@@ -272,6 +272,13 @@ impl Hierarchy {
         &self.llc
     }
 
+    /// Declares the raw-line ranges whose LLC occupancy should be counted
+    /// incrementally (see [`SetAssocCache::track_ranges`]); telemetry
+    /// reads the result via `self.llc().tracked_resident()`.
+    pub fn track_llc_ranges(&mut self, ranges: &[(u64, u64)]) {
+        self.llc.track_ranges(ranges);
+    }
+
     /// A core's MLC array (read-only).
     ///
     /// # Panics
@@ -542,7 +549,10 @@ impl Hierarchy {
         // so the core-resident data is dead and is dropped without
         // writeback (Fig. 1 steps P1-1 / P2-1).
         let mut invalidated_core = None;
-        for holder in self.dir.holders(line) {
+        let mut holders = self.dir.holder_mask(line);
+        while holders != 0 {
+            let holder = CoreId::new(holders.trailing_zeros() as u16);
+            holders &= holders - 1;
             self.remove_private(holder, line);
             self.stats.core[holder.index()].mlc_inval_by_dma.inc();
             invalidated_core = Some(holder);
@@ -715,7 +725,10 @@ impl Hierarchy {
     /// buffer).
     pub fn flush_line(&mut self, line: LineAddr) -> MemEffects {
         let mut dirty = false;
-        for holder in self.dir.holders(line) {
+        let mut holders = self.dir.holder_mask(line);
+        while holders != 0 {
+            let holder = CoreId::new(holders.trailing_zeros() as u16);
+            holders &= holders - 1;
             dirty |= self.remove_private(holder, line).unwrap_or(false);
         }
         if let Some(e) = self.llc.remove(line) {

@@ -116,12 +116,31 @@ pub struct Victim {
     pub way: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    entry: Option<LineEntry>,
+/// Iterates the set bit positions of a word, ascending.
+struct SetBits(u64);
+
+impl Iterator for SetBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let w = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(w)
+    }
 }
 
 /// A set-associative cache array with per-set LRU replacement.
+///
+/// Internally the array is flat: one tag word per slot plus per-set
+/// `valid`/`dirty` bitmasks, so a lookup is a bit-scan over at most
+/// `ways` tag compares with no pointer chasing and no `Option` padding,
+/// and an invalid-way search is a single `trailing_zeros`. This is the
+/// hottest data structure in the simulator — every DMA line, CPU access
+/// and prefetch lands here.
 ///
 /// # Examples
 ///
@@ -142,10 +161,21 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     name: &'static str,
-    sets: Vec<Vec<Slot>>,
+    num_sets: usize,
     ways: usize,
+    /// Tag (raw line number) per slot; slot index = `set * ways + way`.
+    /// Only meaningful where the set's `valid` bit is on.
+    tags: Box<[u64]>,
+    /// Per-set validity bitmask (bit `w` = way `w` holds a line).
+    valid: Box<[u64]>,
+    /// Per-set dirty bitmask (subset of `valid`).
+    dirty: Box<[u64]>,
     policy: ReplacementPolicy,
     resident: usize,
+    /// Half-open `[lo, hi)` raw-line ranges whose occupancy is counted
+    /// incrementally; see [`SetAssocCache::track_ranges`].
+    tracked: Box<[(u64, u64)]>,
+    tracked_resident: usize,
 }
 
 impl SetAssocCache {
@@ -175,10 +205,15 @@ impl SetAssocCache {
         assert!(ways > 0 && ways <= 64, "ways must be in 1..=64");
         SetAssocCache {
             name,
-            sets: vec![vec![Slot { entry: None }; ways]; num_sets],
+            num_sets,
             ways,
+            tags: vec![0; num_sets * ways].into_boxed_slice(),
+            valid: vec![0; num_sets].into_boxed_slice(),
+            dirty: vec![0; num_sets].into_boxed_slice(),
             policy: ReplacementPolicy::new(kind, num_sets, ways),
             resident: 0,
+            tracked: Box::new([]),
+            tracked_resident: 0,
         }
     }
 
@@ -229,7 +264,7 @@ impl SetAssocCache {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Ways per set.
@@ -239,7 +274,7 @@ impl SetAssocCache {
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.ways
+        self.num_sets * self.ways
     }
 
     /// Number of currently resident lines.
@@ -249,65 +284,70 @@ impl SetAssocCache {
 
     #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.get() % self.sets.len() as u64) as usize
+        (line.get() % self.num_sets as u64) as usize
+    }
+
+    /// The way holding `line` in set `idx`, if any. The single-residency
+    /// invariant (insert refreshes instead of duplicating) makes the
+    /// match unique, so scan order does not matter.
+    #[inline]
+    fn find_way(&self, idx: usize, line: LineAddr) -> Option<usize> {
+        let base = idx * self.ways;
+        let tag = line.get();
+        SetBits(self.valid[idx]).find(|&w| self.tags[base + w] == tag)
+    }
+
+    #[inline]
+    fn entry_at(&self, idx: usize, w: usize) -> LineEntry {
+        LineEntry {
+            line: LineAddr::new(self.tags[idx * self.ways + w]),
+            dirty: (self.dirty[idx] >> w) & 1 == 1,
+        }
     }
 
     /// Whether `line` is resident. Does not touch LRU state.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.probe(line).is_some()
+        self.find_way(self.set_index(line), line).is_some()
     }
 
     /// Looks up `line` without updating LRU state.
-    pub fn probe(&self, line: LineAddr) -> Option<&LineEntry> {
-        let set = &self.sets[self.set_index(line)];
-        set.iter()
-            .filter_map(|s| s.entry.as_ref())
-            .find(|e| e.line == line)
+    pub fn probe(&self, line: LineAddr) -> Option<LineEntry> {
+        let idx = self.set_index(line);
+        self.find_way(idx, line).map(|w| self.entry_at(idx, w))
     }
 
     /// Looks up `line`, updating replacement state on hit. Returns the
     /// entry.
     pub fn touch(&mut self, line: LineAddr) -> Option<LineEntry> {
         let idx = self.set_index(line);
-        for (w, slot) in self.sets[idx].iter_mut().enumerate() {
-            if let Some(e) = slot.entry {
-                if e.line == line {
-                    self.policy.on_touch(idx, w);
-                    return Some(e);
-                }
-            }
-        }
-        None
+        let w = self.find_way(idx, line)?;
+        self.policy.on_touch(idx, w);
+        Some(self.entry_at(idx, w))
     }
 
     /// Marks `line` dirty if resident; returns whether it was resident.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         let idx = self.set_index(line);
-        for slot in &mut self.sets[idx] {
-            if let Some(e) = &mut slot.entry {
-                if e.line == line {
-                    e.dirty = true;
-                    return true;
-                }
+        match self.find_way(idx, line) {
+            Some(w) => {
+                self.dirty[idx] |= 1 << w;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Removes `line` if resident, returning its entry. No writeback is
     /// implied — the caller decides what to do with a dirty victim.
     pub fn remove(&mut self, line: LineAddr) -> Option<LineEntry> {
         let idx = self.set_index(line);
-        for slot in &mut self.sets[idx] {
-            if let Some(e) = slot.entry {
-                if e.line == line {
-                    slot.entry = None;
-                    self.resident -= 1;
-                    return Some(e);
-                }
-            }
-        }
-        None
+        let w = self.find_way(idx, line)?;
+        let entry = self.entry_at(idx, w);
+        self.valid[idx] &= !(1 << w);
+        self.dirty[idx] &= !(1 << w);
+        self.resident -= 1;
+        self.untrack(entry.line);
+        Some(entry)
     }
 
     /// Allocates `line` into a way permitted by `mask`, evicting the LRU
@@ -331,44 +371,36 @@ impl SetAssocCache {
 
         // Refresh if already resident (any way, even outside the mask:
         // an in-place update does not migrate ways).
-        for (w, slot) in self.sets[idx].iter_mut().enumerate() {
-            if let Some(e) = &mut slot.entry {
-                if e.line == line {
-                    e.dirty |= dirty;
-                    self.policy.on_touch(idx, w);
-                    return (None, w);
-                }
-            }
+        if let Some(w) = self.find_way(idx, line) {
+            self.dirty[idx] |= u64::from(dirty) << w;
+            self.policy.on_touch(idx, w);
+            return (None, w);
         }
 
-        // Prefer an invalid permitted way.
-        let ways = self.ways;
-        if let Some(w) = (0..ways)
-            .filter(|&w| mask.contains(w))
-            .find(|&w| self.sets[idx][w].entry.is_none())
-        {
-            self.sets[idx][w] = Slot {
-                entry: Some(LineEntry { line, dirty }),
-            };
+        // Prefer the lowest invalid permitted way.
+        let ways_bits = WayMask::all(self.ways).0;
+        let free = !self.valid[idx] & mask.0 & ways_bits;
+        if free != 0 {
+            let w = free.trailing_zeros() as usize;
+            self.fill_slot(idx, w, line, dirty);
             self.policy.on_insert(idx, w);
             self.resident += 1;
+            self.track(line);
             return (None, w);
         }
 
         // Evict the policy's victim among the permitted ways.
         assert!(
-            !mask.is_empty() && (0..ways).any(|w| mask.contains(w)),
+            mask.0 & ways_bits != 0,
             "{}: way mask {mask} selects no way",
             self.name
         );
-        let victim_way = self.policy.victim(idx, mask, ways);
-        let old = self.sets[idx][victim_way]
-            .entry
-            .expect("all permitted ways were full");
-        self.sets[idx][victim_way] = Slot {
-            entry: Some(LineEntry { line, dirty }),
-        };
+        let victim_way = self.policy.victim(idx, mask, self.ways);
+        let old = self.entry_at(idx, victim_way);
+        self.untrack(old.line);
+        self.fill_slot(idx, victim_way, line, dirty);
         self.policy.on_insert(idx, victim_way);
+        self.track(line);
         (
             Some(Victim {
                 line: old.line,
@@ -379,36 +411,82 @@ impl SetAssocCache {
         )
     }
 
+    #[inline]
+    fn fill_slot(&mut self, idx: usize, w: usize, line: LineAddr, dirty: bool) {
+        self.tags[idx * self.ways + w] = line.get();
+        self.valid[idx] |= 1 << w;
+        self.dirty[idx] = (self.dirty[idx] & !(1 << w)) | (u64::from(dirty) << w);
+    }
+
     /// The way `line` currently occupies, if resident.
     pub fn way_of(&self, line: LineAddr) -> Option<usize> {
-        let set = &self.sets[self.set_index(line)];
-        set.iter()
-            .enumerate()
-            .find(|(_, s)| s.entry.is_some_and(|e| e.line == line))
-            .map(|(w, _)| w)
+        self.find_way(self.set_index(line), line)
     }
 
     /// Iterates over all resident lines (set-major order).
-    pub fn iter(&self) -> impl Iterator<Item = &LineEntry> {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().filter_map(|s| s.entry.as_ref()))
+    pub fn iter(&self) -> impl Iterator<Item = LineEntry> + '_ {
+        (0..self.num_sets)
+            .flat_map(move |idx| SetBits(self.valid[idx]).map(move |w| self.entry_at(idx, w)))
     }
 
     /// Removes every resident line, returning the dirty ones.
     pub fn drain_dirty(&mut self) -> Vec<LineAddr> {
-        let mut dirty = Vec::new();
-        for set in &mut self.sets {
-            for slot in set.iter_mut() {
-                if let Some(e) = slot.entry.take() {
-                    self.resident -= 1;
-                    if e.dirty {
-                        dirty.push(e.line);
-                    }
-                }
+        let mut out = Vec::new();
+        for idx in 0..self.num_sets {
+            let base = idx * self.ways;
+            for w in SetBits(self.valid[idx] & self.dirty[idx]) {
+                out.push(LineAddr::new(self.tags[base + w]));
             }
+            self.resident -= self.valid[idx].count_ones() as usize;
+            self.valid[idx] = 0;
+            self.dirty[idx] = 0;
         }
-        dirty
+        self.tracked_resident = 0;
+        out
+    }
+
+    /// Declares the half-open `[lo, hi)` raw-line ranges whose combined
+    /// residency [`SetAssocCache::tracked_resident`] reports. The count
+    /// is maintained incrementally on insert/evict/remove, replacing the
+    /// full-array occupancy scans the telemetry sampler used to do.
+    /// Replaces any previous ranges; the counter is recomputed from the
+    /// current contents.
+    pub fn track_ranges(&mut self, ranges: &[(u64, u64)]) {
+        self.tracked = ranges.to_vec().into_boxed_slice();
+        self.tracked_resident = self
+            .iter()
+            .filter(|e| {
+                let l = e.line.get();
+                ranges.iter().any(|&(lo, hi)| l >= lo && l < hi)
+            })
+            .count();
+    }
+
+    /// Number of resident lines inside the tracked ranges. Zero when no
+    /// ranges are tracked.
+    #[inline]
+    pub fn tracked_resident(&self) -> usize {
+        self.tracked_resident
+    }
+
+    #[inline]
+    fn in_tracked(&self, line: LineAddr) -> bool {
+        let l = line.get();
+        self.tracked.iter().any(|&(lo, hi)| l >= lo && l < hi)
+    }
+
+    #[inline]
+    fn track(&mut self, line: LineAddr) {
+        if !self.tracked.is_empty() && self.in_tracked(line) {
+            self.tracked_resident += 1;
+        }
+    }
+
+    #[inline]
+    fn untrack(&mut self, line: LineAddr) {
+        if !self.tracked.is_empty() && self.in_tracked(line) {
+            self.tracked_resident -= 1;
+        }
     }
 }
 
@@ -553,5 +631,71 @@ mod tests {
         let mut c = SetAssocCache::new("t", 1, 1);
         c.insert(line(0), false, WayMask::all(1));
         c.insert(line(1), false, WayMask::EMPTY);
+    }
+
+    #[test]
+    fn tracked_resident_follows_inserts_evictions_and_removals() {
+        let mut c = SetAssocCache::new("t", 1, 2);
+        let m = WayMask::all(2);
+        c.insert(line(3), false, m); // in-range before tracking starts
+        c.track_ranges(&[(0, 10)]);
+        assert_eq!(c.tracked_resident(), 1, "recomputed from current contents");
+        c.insert(line(5), false, m); // in range
+        assert_eq!(c.tracked_resident(), 2);
+        c.insert(line(21), false, m); // out of range, evicts line 3 (LRU)
+        assert_eq!(c.tracked_resident(), 1);
+        c.insert(line(5), true, m); // refresh: no change
+        assert_eq!(c.tracked_resident(), 1);
+        c.remove(line(5));
+        assert_eq!(c.tracked_resident(), 0);
+        c.insert(line(9), false, m);
+        c.drain_dirty();
+        assert_eq!(c.tracked_resident(), 0);
+    }
+
+    #[test]
+    fn tracked_resident_matches_full_scan() {
+        // The incremental counter must agree with the scan it replaced
+        // under a random workload.
+        let ranges = [(0u64, 40u64), (100, 140)];
+        let mut c = SetAssocCache::new("t", 8, 4);
+        c.track_ranges(&ranges);
+        let mut state = 0x1D10_CA5Eu64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..2_000 {
+            let l = line(rng() % 200);
+            match rng() % 4 {
+                0 => {
+                    c.remove(l);
+                }
+                1 => {
+                    c.touch(l);
+                }
+                _ => {
+                    c.insert(l, rng() % 2 == 0, WayMask::all(4));
+                }
+            }
+            let scan = c
+                .iter()
+                .filter(|e| {
+                    let l = e.line.get();
+                    ranges.iter().any(|&(lo, hi)| l >= lo && l < hi)
+                })
+                .count();
+            assert_eq!(c.tracked_resident(), scan);
+        }
+    }
+
+    #[test]
+    fn iter_reports_set_major_order_with_dirtiness() {
+        let mut c = SetAssocCache::new("t", 2, 2);
+        c.insert(line(1), true, WayMask::all(2)); // set 1
+        c.insert(line(2), false, WayMask::all(2)); // set 0
+        c.insert(line(3), false, WayMask::all(2)); // set 1
+        let all: Vec<(u64, bool)> = c.iter().map(|e| (e.line.get(), e.dirty)).collect();
+        assert_eq!(all, vec![(2, false), (1, true), (3, false)]);
     }
 }

@@ -68,6 +68,25 @@ impl BurstWindow {
     }
 }
 
+/// Mean exe time over a burst sequence: drops the first `skip` (warm-up)
+/// bursts, ignores incomplete windows (a DMA was recorded but no packet
+/// completed, so `exe_time` would read as a bogus zero-length burst), and
+/// rounds the picosecond mean to nearest instead of truncating.
+fn mean_exe_over<'a, I>(windows: I, skip: usize) -> Option<Duration>
+where
+    I: Iterator<Item = &'a BurstWindow>,
+{
+    let (mut total, mut n) = (0u64, 0u64);
+    for b in windows.skip(skip).filter(|b| b.packets > 0) {
+        total += b.exe_time().as_ps();
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    Some(Duration::from_ps((total + n / 2) / n))
+}
+
 /// Tracks per-burst windows during a run.
 #[derive(Debug, Clone)]
 pub struct BurstTracker {
@@ -122,14 +141,10 @@ impl BurstTracker {
     }
 
     /// Mean exe time over complete bursts, skipping the first `skip`
-    /// (warm-up) bursts.
+    /// (warm-up) bursts. Windows with no completed packets are excluded —
+    /// a burst whose packets are still in flight has no exe time yet.
     pub fn mean_exe_time(&self, skip: usize) -> Option<Duration> {
-        let w: Vec<_> = self.windows.values().skip(skip).collect();
-        if w.is_empty() {
-            return None;
-        }
-        let total: u64 = w.iter().map(|b| b.exe_time().as_ps()).sum();
-        Some(Duration::from_ps(total / w.len() as u64))
+        mean_exe_over(self.windows.values(), skip)
     }
 }
 
@@ -290,14 +305,10 @@ impl RunReport {
         })
     }
 
-    /// Mean burst processing time, skipping `skip` warm-up bursts.
+    /// Mean burst processing time, skipping `skip` warm-up bursts and
+    /// any window with no completed packets.
     pub fn mean_exe_time(&self, skip: usize) -> Option<Duration> {
-        let w: Vec<_> = self.bursts.iter().skip(skip).collect();
-        if w.is_empty() {
-            return None;
-        }
-        let total: u64 = w.iter().map(|b| b.exe_time().as_ps()).sum();
-        Some(Duration::from_ps(total / w.len() as u64))
+        mean_exe_over(self.bursts.iter(), skip)
     }
 
     /// Worst p99 latency across NF cores.
@@ -381,6 +392,60 @@ mod tests {
         assert_eq!(t.mean_exe_time(0), Some(Duration::from_us(75)));
         assert_eq!(t.mean_exe_time(1), Some(Duration::from_us(50)));
         assert_eq!(t.mean_exe_time(2), None);
+    }
+
+    /// Regression: a window whose packets never completed (DMA recorded,
+    /// no completion) used to be averaged in as a zero-length burst,
+    /// dragging the mean down. It must be excluded.
+    #[test]
+    fn mean_exe_ignores_incomplete_windows() {
+        let mut t = BurstTracker::new(Duration::from_ms(10));
+        t.record_dma(SimTime::ZERO, SimTime::ZERO);
+        t.record_completion(SimTime::ZERO, SimTime::from_us(100));
+        // Second burst: DMA arrives but nothing completes before the run
+        // ends. Old code averaged this in as exe_time == 0 → 50 µs mean.
+        t.record_dma(SimTime::from_ms(10), SimTime::from_ms(10));
+        assert_eq!(t.mean_exe_time(0), Some(Duration::from_us(100)));
+        // Only incomplete windows left after the warm-up skip → no mean.
+        assert_eq!(t.mean_exe_time(1), None);
+    }
+
+    /// Regression: the picosecond mean used to truncate; it must round to
+    /// nearest (1 ps + 2 ps → 1.5 ps → 2 ps, not 1 ps).
+    #[test]
+    fn mean_exe_rounds_to_nearest() {
+        let mut t = BurstTracker::new(Duration::from_ms(10));
+        t.record_dma(SimTime::ZERO, SimTime::ZERO);
+        t.record_completion(SimTime::ZERO, SimTime::from_ps(1));
+        t.record_dma(SimTime::from_ms(10), SimTime::from_ms(10));
+        t.record_completion(
+            SimTime::from_ms(10),
+            SimTime::from_ms(10) + Duration::from_ps(2),
+        );
+        assert_eq!(t.mean_exe_time(0), Some(Duration::from_ps(2)));
+    }
+
+    /// `RunReport::mean_exe_time` shares the same exclusion + rounding
+    /// rules as the tracker.
+    #[test]
+    fn report_mean_exe_matches_tracker_rules() {
+        let complete = BurstWindow {
+            index: 0,
+            first_dma: SimTime::ZERO,
+            dma_end: SimTime::from_us(1),
+            exec_end: SimTime::from_us(80),
+            packets: 4,
+        };
+        let incomplete = BurstWindow {
+            index: 1,
+            first_dma: SimTime::from_ms(10),
+            dma_end: SimTime::from_ms(10),
+            exec_end: SimTime::from_ms(10),
+            packets: 0,
+        };
+        let bursts = [complete, incomplete];
+        assert_eq!(mean_exe_over(bursts.iter(), 0), Some(Duration::from_us(80)));
+        assert_eq!(mean_exe_over(bursts.iter(), 1), None);
     }
 
     #[test]

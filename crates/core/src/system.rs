@@ -10,6 +10,7 @@
 //! the paper's figures are drawn from.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use idio_cache::addr::{Addr, CoreId, LineAddr, LINE_SIZE};
 use idio_cache::hierarchy::{DmaPlacement, Hierarchy, HitLevel, MemEffects};
@@ -45,13 +46,32 @@ use crate::report::{
 enum Event {
     /// The next packet of traffic generator `gen` arrives at the NIC.
     Arrival { gen: usize },
-    /// One inbound PCIe line write reaches the root complex.
-    DmaLine {
-        line: LineAddr,
+    /// The inbound PCIe line writes of one packet's payload, batched.
+    ///
+    /// Scheduled at the first line's arrival; the handler applies each
+    /// line at its own timestamp (`first + gap * i`), yielding via a
+    /// continuation whenever an interleaved event sorts earlier, so the
+    /// observable ordering is identical to the per-line events this
+    /// replaces — the continuation keeps `batch_seq`, the batch's
+    /// original queue sequence number, as its tie-break.
+    DmaPacket {
+        /// First buffer line; line `i` is `buf_line + i`.
+        buf_line: LineAddr,
+        /// Header-line TLP metadata; payload-line metadata is derived.
         meta: TlpMeta,
         arrival: SimTime,
         /// Per-queue packet sequence number (for CPU-paced prefetching).
         seq: u64,
+        /// Time line 0 reaches the root complex.
+        first: SimTime,
+        /// Gap between consecutive lines.
+        gap: Duration,
+        /// Total payload lines.
+        lines: u32,
+        /// Index of the next line to apply (continuation resume point).
+        next: u32,
+        /// The batch's original queue sequence number.
+        batch_seq: u64,
     },
     /// A descriptor writeback becomes visible to the polling driver.
     DescWriteback { queue: QueueId, slot: u32 },
@@ -97,7 +117,10 @@ impl Event {
     fn type_index(&self) -> usize {
         match self {
             Event::Arrival { .. } => 0,
-            Event::DmaLine { .. } => 1,
+            // The batch event keeps the per-line name: the handler bumps
+            // the count by the extra lines it applies, so the
+            // `engine.events.dma_line` metric still counts DMA lines.
+            Event::DmaPacket { .. } => 1,
             Event::DescWriteback { .. } => 2,
             Event::PrefetchIssue { .. } => 3,
             Event::CoreWake { .. } => 4,
@@ -107,6 +130,20 @@ impl Event {
             Event::SampleTick => 8,
         }
     }
+}
+
+/// The unpacked fields of an [`Event::DmaPacket`] minus the resume
+/// point — the batch identity that continuations carry forward.
+#[derive(Debug, Clone, Copy)]
+struct DmaBatch {
+    buf_line: LineAddr,
+    meta: TlpMeta,
+    arrival: SimTime,
+    seq: u64,
+    first: SimTime,
+    gap: Duration,
+    lines: u32,
+    batch_seq: u64,
 }
 
 /// A workload's packet-arrival stream: analytic generator or trace replay.
@@ -125,6 +162,33 @@ impl Iterator for ArrivalSource {
         }
     }
 }
+
+/// An NF-path event was dispatched to a core with no NF configured on it.
+///
+/// Every queue is pinned to exactly one NF core at construction, so this can
+/// only happen when the configuration is mis-wired (a workload pinned to one
+/// core while its events address another). The error names both the core and
+/// the event being handled so the mismatch is directly actionable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnconfiguredNfCore {
+    /// The core the event addressed.
+    pub core: usize,
+    /// The event being handled when the lookup failed.
+    pub event: &'static str,
+}
+
+impl fmt::Display for UnconfiguredNfCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} event dispatched to core{}, but no NF is configured there \
+             (check the workload core pinning in SystemConfig::workloads)",
+            self.event, self.core
+        )
+    }
+}
+
+impl std::error::Error for UnconfiguredNfCore {}
 
 /// Per-NF-core runtime state.
 #[derive(Debug)]
@@ -423,6 +487,10 @@ impl System {
             steer: (0, 0, 0),
             cfg,
         };
+        // The occupancy gauge counts DMA-buffer lines resident in the
+        // LLC; tracking the ranges in the array keeps that a counter
+        // read instead of a full-LLC scan every sample tick.
+        system.hier.track_llc_ranges(&system.dma_line_ranges);
         system.schedule_initial();
         system
     }
@@ -482,15 +550,62 @@ impl System {
 
     // ----- event handlers ---------------------------------------------------
 
+    /// Checked lookup of the NF state pinned to `core`, with the event being
+    /// handled attached for diagnostics. Every NF-path handler goes through
+    /// this (via [`Self::nf_state`]) instead of indexing `self.nf` directly,
+    /// so a mis-wired configuration fails with an error naming the core and
+    /// the event rather than a bare `Option::unwrap` panic.
+    fn try_nf_state(
+        &mut self,
+        core: usize,
+        event: &'static str,
+    ) -> Result<&mut NfState, UnconfiguredNfCore> {
+        self.nf
+            .get_mut(core)
+            .and_then(Option::as_mut)
+            .ok_or(UnconfiguredNfCore { core, event })
+    }
+
+    /// Infallible form of [`Self::try_nf_state`] for the event handlers,
+    /// which have no error channel to the engine loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`UnconfiguredNfCore`] diagnostic if `core` has no NF.
+    #[track_caller]
+    fn nf_state(&mut self, core: usize, event: &'static str) -> &mut NfState {
+        match self.try_nf_state(core, event) {
+            Ok(st) => st,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Event) {
         match ev {
             Event::Arrival { gen } => self.on_arrival(now, gen),
-            Event::DmaLine {
-                line,
+            Event::DmaPacket {
+                buf_line,
                 meta,
                 arrival,
                 seq,
-            } => self.on_dma_line(now, line, meta, arrival, seq),
+                first,
+                gap,
+                lines,
+                next,
+                batch_seq,
+            } => self.on_dma_packet(
+                DmaBatch {
+                    buf_line,
+                    meta,
+                    arrival,
+                    seq,
+                    first,
+                    gap,
+                    lines,
+                    batch_seq,
+                },
+                next,
+            ),
             Event::DescWriteback { queue, slot } => self.on_desc_writeback(now, queue, slot),
             Event::PrefetchIssue { core } => self.on_prefetch_issue(now, core),
             Event::CoreWake { core } => self.on_core_wake(now, core),
@@ -514,22 +629,29 @@ impl System {
         if let Some(dma) = self.nic.rx_packet(now, packet) {
             let core = dma.dest_core.index();
             let seq = {
-                let st = self.nf[core].as_mut().expect("queue pinned to NF core");
+                let st = self.nf_state(core, "Arrival");
                 st.rx_seq += 1;
                 st.rx_seq
             };
             let buf_line = dma.slot.buf.line();
-            for (i, at) in dma.payload.iter().enumerate() {
-                self.queue.schedule_at(
-                    at,
-                    Event::DmaLine {
-                        line: buf_line.offset(i as u64),
-                        meta: dma.line_meta[i],
-                        arrival: now,
-                        seq,
-                    },
-                );
-            }
+            // One batched event for the whole payload instead of one
+            // event per cache line; the handler applies the lines at
+            // their original per-line timestamps.
+            let batch_seq = self.queue.next_seq();
+            self.queue.schedule_at(
+                dma.payload.first,
+                Event::DmaPacket {
+                    buf_line,
+                    meta: dma.head_meta,
+                    arrival: now,
+                    seq,
+                    first: dma.payload.first,
+                    gap: dma.payload.gap,
+                    lines: dma.payload.lines,
+                    next: 0,
+                    batch_seq,
+                },
+            );
             self.queue.schedule_at(
                 dma.descriptor.done(),
                 Event::DescWriteback {
@@ -550,7 +672,61 @@ impl System {
         }
     }
 
-    fn on_dma_line(
+    /// Applies one batched-DMA event from payload line `next` onward.
+    ///
+    /// Each line is applied at its own timestamp `first + gap * i`
+    /// (identical DRAM queueing and burst accounting to the per-line
+    /// events this replaces). Before applying line `i`, the queue head is
+    /// compared against the line's order key `(at_i, batch_seq)`: if some
+    /// interleaved event sorts earlier, the remaining lines are parked as
+    /// a continuation behind it via
+    /// [`EventQueue::schedule_resume`](idio_engine::queue::EventQueue::schedule_resume),
+    /// which preserves `batch_seq` so FIFO tie-breaks match the old
+    /// per-line scheduling exactly.
+    fn on_dma_packet(&mut self, b: DmaBatch, next: u32) {
+        let mut applied: u64 = 0;
+        for i in next..b.lines {
+            let at = b.first + b.gap * u64::from(i);
+            if let Some(key) = self.queue.peek_key() {
+                if key < (at, b.batch_seq) {
+                    self.queue.schedule_resume(
+                        at,
+                        b.batch_seq,
+                        Event::DmaPacket {
+                            buf_line: b.buf_line,
+                            meta: b.meta,
+                            arrival: b.arrival,
+                            seq: b.seq,
+                            first: b.first,
+                            gap: b.gap,
+                            lines: b.lines,
+                            next: i,
+                            batch_seq: b.batch_seq,
+                        },
+                    );
+                    break;
+                }
+            }
+            let meta = if i == 0 {
+                b.meta
+            } else {
+                TlpMeta {
+                    is_header: false,
+                    is_burst: false,
+                    ..b.meta
+                }
+            };
+            self.apply_dma_line(at, b.buf_line.offset(u64::from(i)), meta, b.arrival, b.seq);
+            applied += 1;
+        }
+        // run() already counted this pop once; count the extra lines so
+        // `engine.events.dma_line` still equals the number of DMA lines.
+        self.ev_counts[1] += applied.saturating_sub(1);
+    }
+
+    /// The per-line DMA logic: burst accounting, steering, cache-hierarchy
+    /// write and DRAM charge, all at the line's own arrival time `now`.
+    fn apply_dma_line(
         &mut self,
         now: SimTime,
         line: LineAddr,
@@ -708,7 +884,7 @@ impl System {
 
         // Wake the pinned core if it is idle.
         let core = self.cfg.workloads[queue.index()].core.index();
-        let st = self.nf[core].as_mut().expect("queue pinned to non-NF core");
+        let st = self.nf_state(core, "DescWriteback");
         if !st.busy {
             st.busy = true;
             let poll = self.timing.poll();
@@ -718,35 +894,32 @@ impl System {
 
     fn on_core_wake(&mut self, now: SimTime, core: usize) {
         // Finish the packet whose service time just elapsed.
-        if let Some((slot, action)) = self.nf[core].as_mut().and_then(|st| st.current.take()) {
+        if let Some((slot, action)) = self.nf_state(core, "CoreWake").current.take() {
             self.finish_packet(now, core, slot, action);
         }
 
         // Refill the batch if needed.
-        let (queue, batch_size) = {
-            let st = self.nf[core].as_ref().expect("wake on non-NF core");
-            (st.queue, self.cfg.pmd.batch_size)
-        };
+        let queue = self.nf_state(core, "CoreWake").queue;
+        let batch_size = self.cfg.pmd.batch_size;
         let mut extra = Duration::ZERO;
-        if self.nf[core].as_ref().unwrap().batch.is_empty() {
+        if self.nf_state(core, "CoreWake").batch.is_empty() {
             let got = self.nic.ring_mut(queue).pop_completed(batch_size);
             if got.is_empty() {
-                self.nf[core].as_mut().unwrap().busy = false;
+                self.nf_state(core, "CoreWake").busy = false;
                 return;
             }
             extra = self.timing.batch();
-            self.nf[core].as_mut().unwrap().batch.extend(got);
+            self.nf_state(core, "CoreWake").batch.extend(got);
         }
 
         // Start the next packet.
-        let slot = self.nf[core]
-            .as_mut()
-            .unwrap()
+        let slot = self
+            .nf_state(core, "CoreWake")
             .batch
             .pop_front()
             .expect("batch refilled above");
         let (service, action) = self.execute_packet(now, core, &slot);
-        self.nf[core].as_mut().unwrap().current = Some((slot, action));
+        self.nf_state(core, "CoreWake").current = Some((slot, action));
         self.queue
             .schedule_at(now + extra + service, Event::CoreWake { core });
     }
@@ -759,7 +932,7 @@ impl System {
         core: usize,
         slot: &RxSlot,
     ) -> (Duration, PacketAction) {
-        let st = self.nf[core].as_ref().unwrap();
+        let st = self.nf_state(core, "CoreWake");
         let kind = st.kind;
         let ctx = PacketCtx {
             buf: slot.buf,
@@ -824,7 +997,7 @@ impl System {
     }
 
     fn finish_packet(&mut self, now: SimTime, core: usize, slot: RxSlot, action: PacketAction) {
-        let queue = self.nf[core].as_ref().unwrap().queue;
+        let queue = self.nf_state(core, "CoreWake").queue;
         match action {
             PacketAction::Drop => {
                 if self.cfg.policy.invalidates() {
@@ -836,7 +1009,7 @@ impl System {
             PacketAction::Tx { lines } => {
                 // Post a TX descriptor; the NIC reads the descriptor, then
                 // the packet data, then writes the completion back.
-                let st = self.nf[core].as_mut().unwrap();
+                let st = self.nf_state(core, "CoreWake");
                 let posted = st
                     .tx_ring
                     .post(slot.buf, lines, now)
@@ -858,7 +1031,7 @@ impl System {
     }
 
     fn record_completion(&mut self, now: SimTime, core: usize, slot: &RxSlot) {
-        let st = self.nf[core].as_mut().unwrap();
+        let st = self.nf_state(core, "CoreWake");
         st.latency.record(now.saturating_since(slot.arrived_at));
         st.completed += 1;
         if let Some(b) = &mut self.bursts {
@@ -888,7 +1061,7 @@ impl System {
         let core = self.cfg.workloads[queue.index()].core.index();
         // Completion descriptor writeback: an inbound PCIe write that
         // lands in the DDIO ways like any other device write.
-        let done = self.nf[core].as_mut().unwrap().tx_ring.complete();
+        let done = self.nf_state(core, "TxComplete").tx_ring.complete();
         for l in 0..(idio_nic::tx::TX_DESC_BYTES / LINE_SIZE) {
             let w = self
                 .hier
@@ -899,7 +1072,7 @@ impl System {
             self.invalidate_buffer(now, core, buf, lines);
         }
         self.nic.ring_mut(queue).free(1);
-        let st = self.nf[core].as_mut().unwrap();
+        let st = self.nf_state(core, "TxComplete");
         st.latency.record(now.saturating_since(arrival));
         st.completed += 1;
         if let Some(b) = &mut self.bursts {
@@ -1025,20 +1198,14 @@ impl System {
             h.total_self_invalidations() + h.shared.llc_self_invalidations.get(),
             MTPS,
         );
-        // The occupancy gauge scans the LLC, so sample it at a tenth of
-        // the counter-sampling rate.
+        // The occupancy gauge used to scan the LLC, so it sampled at a
+        // tenth of the counter-sampling rate; the array now maintains
+        // the count incrementally, but the cadence is kept so the
+        // sampled series stays identical.
         self.sample_ticks += 1;
         if self.sample_ticks.is_multiple_of(10) {
             let llc = self.hier.llc();
-            let dma = llc
-                .iter()
-                .filter(|e| {
-                    let l = e.line.get();
-                    self.dma_line_ranges
-                        .iter()
-                        .any(|&(lo, hi)| l >= lo && l < hi)
-                })
-                .count();
+            let dma = llc.tracked_resident();
             self.samplers
                 .dma_llc_share
                 .push(now, dma as f64 / llc.capacity_lines() as f64);
@@ -1258,6 +1425,20 @@ mod tests {
             assert!(s.p50 >= Duration::from_us_f64(1.9));
             assert!(s.p99 >= s.p50);
         }
+    }
+
+    /// Regression: an NF event dispatched to a core with no NF used to die
+    /// on a bare `unwrap`/`expect` deep in the handler; it must fail with a
+    /// diagnostic naming both the core and the event.
+    #[test]
+    #[should_panic(expected = "CoreWake event dispatched to core1, but no NF is configured there")]
+    fn nf_event_at_unconfigured_core_is_diagnosed() {
+        let mut cfg = steady_cfg(10.0, SteeringPolicy::Ddio);
+        // Pin the NFs to cores 0 and 2, leaving core 1 with no NF state.
+        cfg.workloads[1].core = CoreId::new(2);
+        let mut sys = System::new(cfg);
+        assert!(sys.nf[1].is_none(), "core 1 must be unconfigured");
+        sys.handle(SimTime::ZERO, Event::CoreWake { core: 1 });
     }
 
     #[test]

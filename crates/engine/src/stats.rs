@@ -314,11 +314,13 @@ impl LatencyRecorder {
 
     /// Exact percentile (nearest-rank method), or `None` when empty.
     ///
+    /// `p == 0` reports the minimum and `p == 100` the maximum.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `(0, 100]`.
+    /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&mut self, p: f64) -> Option<Duration> {
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         if self.samples.is_empty() {
             return None;
         }
@@ -326,8 +328,14 @@ impl LatencyRecorder {
             self.samples.sort_unstable();
             self.sorted = true;
         }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        Some(self.samples[rank.saturating_sub(1)])
+        // Nearest rank = ceil(p/100 · n), clamped into [1, n]. The clamp is
+        // explicit: p == 0 means rank 1 (the minimum), and float rounding at
+        // p == 100 must never index past the end. The previous code leaned on
+        // `saturating_sub(1)` to absorb the rank-0 case, which hid the
+        // boundary instead of defining it.
+        let n = self.samples.len();
+        let rank = (((p / 100.0) * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
     }
 }
 
@@ -438,7 +446,55 @@ mod tests {
     fn percentile_out_of_range_panics() {
         let mut r = LatencyRecorder::new();
         r.record(Duration::ZERO);
-        let _ = r.percentile(0.0);
+        let _ = r.percentile(-1.0);
+    }
+
+    #[test]
+    fn percentile_zero_is_minimum() {
+        let mut r = LatencyRecorder::new();
+        for us in [40, 10, 30] {
+            r.record(Duration::from_us(us));
+        }
+        assert_eq!(r.percentile(0.0), Some(Duration::from_us(10)));
+        assert_eq!(r.percentile(100.0), Some(Duration::from_us(40)));
+    }
+
+    /// Nearest-rank percentile against a naive reference: count how many
+    /// sorted samples the rank covers by scanning, never by arithmetic.
+    /// Exercises the extreme percentiles (0, ~1, 100) whose ranks the old
+    /// `saturating_sub` masked, across sample sizes 1..64.
+    #[test]
+    fn percentile_matches_naive_reference() {
+        fn naive(sorted: &[Duration], p: f64) -> Duration {
+            // Reference nearest-rank: the smallest sample with at least
+            // p percent of the distribution at or below it.
+            let n = sorted.len();
+            for (i, &v) in sorted.iter().enumerate() {
+                if (i + 1) as f64 * 100.0 / n as f64 >= p {
+                    return v;
+                }
+            }
+            sorted[n - 1]
+        }
+
+        crate::check::Cases::new(200).run(|g| {
+            let n = g.usize(1..64);
+            let mut r = LatencyRecorder::new();
+            let mut samples: Vec<Duration> = (0..n)
+                .map(|_| Duration::from_ps(g.u64(0..1_000_000)))
+                .collect();
+            for &s in &samples {
+                r.record(s);
+            }
+            samples.sort_unstable();
+            for p in [0.0, 0.5, 0.99, 1.0, 50.0, 99.0, 100.0] {
+                assert_eq!(
+                    r.percentile(p),
+                    Some(naive(&samples, p)),
+                    "p={p} n={n} samples={samples:?}"
+                );
+            }
+        });
     }
 
     #[test]

@@ -92,14 +92,31 @@ pub struct RxDma {
     /// Pacing of the descriptor writeback lines (after the coalescing
     /// delay).
     pub descriptor: DmaSchedule,
-    /// Per-line TLP metadata: index 0 is the header line.
-    pub line_meta: Vec<TlpMeta>,
+    /// TLP metadata of the header line (line 0). Payload-line metadata
+    /// is derived on demand via [`RxDma::line_meta`] — only the header
+    /// carries the header/burst flags, so storing one meta per line was
+    /// a per-packet allocation carrying no information.
+    pub head_meta: TlpMeta,
 }
 
 impl RxDma {
     /// Time the descriptor becomes visible to the polling driver.
     pub fn visible_at(&self) -> SimTime {
         self.descriptor.done()
+    }
+
+    /// TLP metadata of payload line `i` (line 0 is the header line).
+    #[inline]
+    pub fn line_meta(&self, i: u32) -> TlpMeta {
+        if i == 0 {
+            self.head_meta
+        } else {
+            TlpMeta {
+                is_header: false,
+                is_burst: false,
+                ..self.head_meta
+            }
+        }
     }
 }
 
@@ -136,8 +153,8 @@ pub struct NicStats {
 /// let mut nic = Nic::new(cfg, layout);
 /// let pkt = Packet::new(0, 1514, FiveTuple::default(), Dscp::BEST_EFFORT);
 /// let dma = nic.rx_packet(SimTime::ZERO, pkt).expect("ring has space");
-/// assert_eq!(dma.line_meta.len(), 24);
-/// assert!(dma.line_meta[0].is_header);
+/// assert_eq!(dma.payload.lines, 24);
+/// assert!(dma.line_meta(0).is_header);
 /// assert!(dma.visible_at() > dma.payload.done());
 /// ```
 #[derive(Debug)]
@@ -252,14 +269,12 @@ impl Nic {
 
         let lines = packet.lines();
         let payload = self.dma.schedule(now, lines);
-        let line_meta = (0..lines)
-            .map(|i| TlpMeta {
-                dest_core,
-                app_class: class.app_class,
-                is_header: i == 0,
-                is_burst: i == 0 && class.burst_started,
-            })
-            .collect();
+        let head_meta = TlpMeta {
+            dest_core,
+            app_class: class.app_class,
+            is_header: true,
+            is_burst: class.burst_started,
+        };
 
         // Descriptor writeback: coalesced, visible after the delay.
         let desc_lines = (DESC_BYTES / 64) as u32;
@@ -278,7 +293,7 @@ impl Nic {
             class,
             payload,
             descriptor,
-            line_meta,
+            head_meta,
         })
     }
 
@@ -372,10 +387,10 @@ mod tests {
     fn first_line_is_header_and_carries_burst() {
         let mut n = nic(1, 8);
         let dma = n.rx_packet(SimTime::ZERO, pkt(0, 1)).unwrap();
-        assert!(dma.line_meta[0].is_header);
-        assert!(dma.line_meta[0].is_burst, "MTU frame crosses rxBurstTHR");
-        assert!(dma.line_meta[1..]
-            .iter()
+        assert!(dma.line_meta(0).is_header);
+        assert!(dma.line_meta(0).is_burst, "MTU frame crosses rxBurstTHR");
+        assert!((1..dma.payload.lines)
+            .map(|i| dma.line_meta(i))
             .all(|m| !m.is_header && !m.is_burst));
     }
 
@@ -384,12 +399,11 @@ mod tests {
         let mut n = nic(1, 8);
         let p = Packet::new(0, 1514, FiveTuple::udp(1, 2, 3, 4), Dscp::CLASS1_DEFAULT);
         let dma = n.rx_packet(SimTime::ZERO, p).unwrap();
-        assert!(dma
-            .line_meta
-            .iter()
+        assert!((0..dma.payload.lines)
+            .map(|i| dma.line_meta(i))
             .all(|m| m.app_class == AppClass::Class1));
         // Metadata survives the Fig. 7 TLP encoding for payload lines.
-        let tlp = Nic::encode_tlp(dma.line_meta[1]).unwrap();
+        let tlp = Nic::encode_tlp(dma.line_meta(1)).unwrap();
         assert_eq!(tlp.decode().app_class, AppClass::Class1);
     }
 
