@@ -1,0 +1,128 @@
+//! Run a built-in multi-tenant scenario and print its JSON report.
+//!
+//! ```text
+//! cargo run -p idio-bench --release --bin scenario -- --list
+//! cargo run -p idio-bench --release --bin scenario -- noisy-neighbor --jobs 4
+//! ```
+//!
+//! The report is byte-identical at any `--jobs` (cell seeds derive from
+//! stable labels), so the output can be diffed against the golden copies
+//! under `tests/golden/scenario_<name>.json`.
+
+use std::process::ExitCode;
+
+use idio_core::sweep::{SweepOptions, DEFAULT_ROOT_SEED};
+use idio_scenario::{builtin, builtins, run_scenario};
+
+struct Args {
+    list: bool,
+    name: Option<String>,
+    jobs: usize,
+    seed: u64,
+    out: Option<String>,
+    progress: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            list: false,
+            name: None,
+            jobs: 1,
+            seed: DEFAULT_ROOT_SEED,
+            out: None,
+            progress: false,
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "usage: scenario [--list] [<name>] [options]\n\
+         --list             list the built-in scenarios and exit\n\
+         --jobs <n> | -j    worker threads (0 = all cores; default 1)\n\
+         --seed <n>         root seed cell seeds derive from (default {DEFAULT_ROOT_SEED:#x})\n\
+         --out <file>       write the JSON report to <file> instead of stdout\n\
+         --progress         print one line per finished cell to stderr"
+    );
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match a.as_str() {
+            "--list" => args.list = true,
+            "--jobs" | "-j" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(val("--out")?),
+            "--progress" => args.progress = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
+            name if args.name.is_none() => args.name = Some(name.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for sc in builtins() {
+            println!("{:<16} {}", sc.name, sc.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(name) = args.name else {
+        eprintln!("error: no scenario named\n");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let Some(scenario) = builtin(&name) else {
+        let known: Vec<String> = builtins().into_iter().map(|s| s.name).collect();
+        eprintln!(
+            "error: unknown scenario '{name}' (built-ins: {})",
+            known.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let opts = SweepOptions {
+        jobs: args.jobs,
+        root_seed: args.seed,
+        progress: args.progress,
+        profile_events: false,
+    };
+    let report = match run_scenario(&scenario, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = format!("{}\n", report.to_json());
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: cannot write report to '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}

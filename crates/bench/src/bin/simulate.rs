@@ -38,6 +38,7 @@ struct Args {
     all_policies: bool,
     jobs: usize,
     trace: TraceFilter,
+    trace_out: Option<String>,
 }
 
 impl Default for Args {
@@ -59,6 +60,7 @@ impl Default for Args {
             all_policies: false,
             jobs: 1,
             trace: TraceFilter::off(),
+            trace_out: None,
         }
     }
 }
@@ -83,7 +85,9 @@ fn usage() {
          --trace <filter>                                dump NDJSON trace to stdout after the report;\n\
                                                          filter is 'all' or components like 'steer,fsm'\n\
                                                          (steer fsm prefetch maint event); ignored with\n\
-                                                         --all-policies"
+                                                         --all-policies\n\
+         --trace-out <file>                              write the NDJSON trace to <file> instead of\n\
+                                                         stdout (requires --trace)"
     );
 }
 
@@ -133,6 +137,7 @@ fn parse() -> Result<Args, String> {
             }
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--trace" => args.trace = val("--trace")?.parse()?,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")?),
             "--all-policies" => args.all_policies = true,
             "--jobs" | "-j" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
@@ -156,6 +161,30 @@ fn main() -> ExitCode {
             usage();
             return ExitCode::FAILURE;
         }
+    };
+
+    // Validate the trace sink *before* the (potentially long) simulation:
+    // an unwritable path must fail cleanly up front, not after minutes of
+    // simulated time.
+    let mut trace_sink = match &args.trace_out {
+        Some(path) => {
+            if args.trace.is_off() {
+                eprintln!("error: --trace-out requires --trace");
+                return ExitCode::FAILURE;
+            }
+            if args.all_policies {
+                eprintln!("error: --trace-out cannot be combined with --all-policies");
+                return ExitCode::FAILURE;
+            }
+            match std::fs::File::create(path) {
+                Ok(f) => Some((path.clone(), f)),
+                Err(e) => {
+                    eprintln!("error: cannot create trace file '{path}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
     };
 
     let period = Duration::from_ms(5);
@@ -291,15 +320,27 @@ fn main() -> ExitCode {
         );
     }
     if !args.trace.is_off() {
-        // NDJSON trace dump: deterministic, so it goes to stdout. The
-        // summary stays on stderr to keep stdout machine-readable.
+        // NDJSON trace dump: deterministic, so it goes to stdout (or the
+        // --trace-out file). The summary stays on stderr to keep stdout
+        // machine-readable.
         eprintln!(
             "[trace: {} records kept, {} evicted (filter {})]",
             report.trace.len(),
             report.metrics.counter("trace.evicted"),
             args.trace
         );
-        print!("{}", records_to_ndjson(&report.trace));
+        let ndjson = records_to_ndjson(&report.trace);
+        match &mut trace_sink {
+            Some((path, f)) => {
+                use std::io::Write;
+                if let Err(e) = f.write_all(ndjson.as_bytes()) {
+                    eprintln!("error: cannot write trace to '{path}': {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[trace written to {path}]");
+            }
+            None => print!("{ndjson}"),
+        }
     }
     ExitCode::SUCCESS
 }

@@ -48,6 +48,49 @@ pub struct WorkloadSpec {
     pub dscp: Dscp,
 }
 
+/// One tenant of a multi-tenant run: a group of workload instances
+/// (queues/cores) fed by a *single* aggregate traffic source whose flows
+/// are spread across the group.
+///
+/// In tenant mode the per-workload [`WorkloadSpec::traffic`] is ignored:
+/// arrivals come from one [`idio_net::gen::MultiFlowGen`] per tenant (or a
+/// replayed trace), dealt round-robin over `flows` distinct five-tuples.
+/// Under [`FlowSteering::Perfect`] flow `i` is pinned to the tenant's
+/// `workloads[i % len]` queue via the flow director; under
+/// [`FlowSteering::Atr`] flows spread by RSS until the NIC learns them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Stable tenant name (report key; must be unique within a config).
+    pub name: String,
+    /// Indices into [`SystemConfig::workloads`] owned by this tenant.
+    /// A workload belongs to at most one tenant.
+    pub workloads: Vec<usize>,
+    /// Number of distinct flows (five-tuples) the tenant's load is dealt
+    /// over. Ignored when `replay` is set (the trace brings its own flows).
+    pub flows: u16,
+    /// First UDP destination port; flow `i` targets `base_port + i`.
+    /// Tenants must use disjoint port ranges so their flows stay distinct.
+    pub base_port: u16,
+    /// Aggregate arrival pattern of the whole tenant (independent of
+    /// `flows`: the flow count only changes how the load is dealt out).
+    pub traffic: TrafficPattern,
+    /// Frame size in bytes (all flows of a tenant share it).
+    pub packet_len: u16,
+    /// DSCP marking applied by the tenant's (simulated) senders.
+    pub dscp: Dscp,
+    /// Recorded arrivals replacing the analytic `traffic` pattern (see
+    /// `idio_net::trace`). Flows found in the trace are pinned first-seen
+    /// round-robin across the tenant's queues.
+    pub replay: Option<Vec<Arrival>>,
+}
+
+impl TenantSpec {
+    /// The cores this tenant's workloads run on, resolved against `cfg`.
+    pub fn cores<'a>(&'a self, cfg: &'a SystemConfig) -> impl Iterator<Item = CoreId> + 'a {
+        self.workloads.iter().map(|&wi| cfg.workloads[wi].core)
+    }
+}
+
 /// The LLCAntagonist co-runner (Sec. VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AntagonistSpec {
@@ -102,7 +145,13 @@ pub struct SystemConfig {
     pub antagonist: Option<AntagonistSpec>,
     /// Trace replays: workload index → recorded arrivals that replace the
     /// workload's analytic traffic pattern (see `idio_net::trace`).
+    /// Ignored in tenant mode (use [`TenantSpec::replay`] there).
     pub trace_replays: std::collections::BTreeMap<usize, Vec<Arrival>>,
+    /// Tenant groups. Empty = legacy mode (one flow per workload, each
+    /// workload driven by its own `traffic`); non-empty = tenant mode
+    /// (arrivals come from per-tenant multi-flow sources, spread across
+    /// each tenant's queues via the flow director / RSS).
+    pub tenants: Vec<TenantSpec>,
     /// Flow Director operating mode.
     pub steering: FlowSteering,
     /// Traffic generation horizon.
@@ -153,6 +202,7 @@ impl SystemConfig {
             workloads,
             antagonist: None,
             trace_replays: std::collections::BTreeMap::new(),
+            tenants: Vec::new(),
             steering: FlowSteering::default(),
             duration: SimTime::from_ms(10),
             drain_grace: Duration::from_ms(5),
@@ -242,12 +292,65 @@ impl SystemConfig {
                 return Err(format!("trace replay {idx} is not time-ordered"));
             }
         }
+        self.validate_tenants()?;
         self.effective_hierarchy().validate()?;
         self.dram.validate()?;
         self.dma.validate()?;
         self.pmd.validate()?;
         if self.sample_interval == Duration::ZERO {
             return Err("sample interval must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Tenant-mode invariants: every tenant owns at least one existing
+    /// workload, no workload has two tenants, names are unique, and the
+    /// synthetic flow port ranges do not collide (colliding ranges would
+    /// make two tenants share a five-tuple and merge at the flow director).
+    fn validate_tenants(&self) -> Result<(), String> {
+        let mut names = std::collections::HashSet::new();
+        let mut owned = std::collections::HashSet::new();
+        let mut port_ranges: Vec<(String, u16, u16)> = Vec::new();
+        for t in &self.tenants {
+            if t.name.is_empty() {
+                return Err("tenant with empty name".into());
+            }
+            if !names.insert(t.name.as_str()) {
+                return Err(format!("duplicate tenant name '{}'", t.name));
+            }
+            if t.workloads.is_empty() {
+                return Err(format!("tenant '{}' owns no workloads", t.name));
+            }
+            for &wi in &t.workloads {
+                if wi >= self.workloads.len() {
+                    return Err(format!("tenant '{}' references workload {wi}", t.name));
+                }
+                if !owned.insert(wi) {
+                    return Err(format!("workload {wi} belongs to two tenants"));
+                }
+            }
+            if let Some(arrivals) = &t.replay {
+                if arrivals.windows(2).any(|w| w[0].at > w[1].at) {
+                    return Err(format!("tenant '{}' replay is not time-ordered", t.name));
+                }
+            } else {
+                if t.flows == 0 {
+                    return Err(format!("tenant '{}' has zero flows", t.name));
+                }
+                let end = t
+                    .base_port
+                    .checked_add(t.flows)
+                    .ok_or_else(|| format!("tenant '{}' flow ports overflow u16", t.name))?;
+                for (other, lo, hi) in &port_ranges {
+                    if t.base_port < *hi && *lo < end {
+                        return Err(format!(
+                            "tenants '{}' and '{other}' have overlapping flow ports",
+                            t.name
+                        ));
+                    }
+                }
+                port_ranges.push((t.name.clone(), t.base_port, end));
+            }
         }
         Ok(())
     }
@@ -305,5 +408,79 @@ mod tests {
     fn policy_builder() {
         let cfg = SystemConfig::touchdrop_scenario(1, bursty()).with_policy(SteeringPolicy::Idio);
         assert_eq!(cfg.policy, SteeringPolicy::Idio);
+    }
+
+    fn tenant(name: &str, workloads: Vec<usize>, base_port: u16) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            workloads,
+            flows: 4,
+            base_port,
+            traffic: TrafficPattern::Steady { rate_gbps: 10.0 },
+            packet_len: 1514,
+            dscp: Dscp::BEST_EFFORT,
+            replay: None,
+        }
+    }
+
+    #[test]
+    fn tenant_mode_validates() {
+        let mut cfg = SystemConfig::touchdrop_scenario(4, bursty());
+        cfg.tenants = vec![tenant("a", vec![0, 1], 5000), tenant("b", vec![2, 3], 6000)];
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            cfg.tenants[1].cores(&cfg).collect::<Vec<_>>(),
+            vec![CoreId::new(2), CoreId::new(3)]
+        );
+    }
+
+    #[test]
+    fn tenant_violations_rejected() {
+        let base = SystemConfig::touchdrop_scenario(4, bursty());
+        let reject = |tenants: Vec<TenantSpec>, why: &str| {
+            let mut cfg = base.clone();
+            cfg.tenants = tenants;
+            assert!(cfg.validate().is_err(), "{why}");
+        };
+        reject(vec![tenant("", vec![0], 5000)], "empty name");
+        reject(
+            vec![tenant("a", vec![0], 5000), tenant("a", vec![1], 6000)],
+            "duplicate name",
+        );
+        reject(vec![tenant("a", vec![], 5000)], "no workloads");
+        reject(vec![tenant("a", vec![9], 5000)], "bad workload index");
+        reject(
+            vec![tenant("a", vec![0, 1], 5000), tenant("b", vec![1], 6000)],
+            "workload owned twice",
+        );
+        reject(
+            vec![tenant("a", vec![0], 5000), tenant("b", vec![1], 5003)],
+            "overlapping ports",
+        );
+        let mut zero = tenant("a", vec![0], 5000);
+        zero.flows = 0;
+        reject(vec![zero], "zero flows");
+        let mut unordered = tenant("a", vec![0], 5000);
+        unordered.replay = Some(vec![
+            Arrival {
+                at: SimTime::from_us(2),
+                packet: idio_net::packet::Packet::new(
+                    0,
+                    128,
+                    idio_net::packet::FiveTuple::udp(1, 2, 3, 4),
+                    Dscp::BEST_EFFORT,
+                ),
+            },
+            Arrival {
+                at: SimTime::from_us(1),
+                packet: idio_net::packet::Packet::new(
+                    1,
+                    128,
+                    idio_net::packet::FiveTuple::udp(1, 2, 3, 4),
+                    Dscp::BEST_EFFORT,
+                ),
+            },
+        ]);
+        reject(vec![unordered], "unordered replay");
     }
 }

@@ -18,10 +18,10 @@ use idio_cache::maintenance::{allocate_invalidatable, invalidate_range, PageTabl
 use idio_engine::queue::EventQueue;
 use idio_engine::rng::SimRng;
 use idio_engine::stats::{LatencyRecorder, RateSampler};
-use idio_engine::telemetry::{MetricsRegistry, Tracer, DEFAULT_TRACE_CAPACITY};
+use idio_engine::telemetry::{Histogram, MetricsRegistry, Tracer, DEFAULT_TRACE_CAPACITY};
 use idio_engine::time::{Duration, SimTime};
 use idio_mem::{DramModel, DramOp};
-use idio_net::gen::{Arrival, FlowSpec, TrafficGen, TrafficPattern};
+use idio_net::gen::{Arrival, FlowSpec, MultiFlowGen, TrafficGen, TrafficPattern};
 use idio_net::packet::Packet;
 use idio_nic::flow_director::QueueId;
 use idio_nic::nic::{Nic, NicConfig, RingLayout};
@@ -29,7 +29,7 @@ use idio_nic::ring::RxSlot;
 use idio_nic::tlp::TlpMeta;
 use idio_nic::tx::TxRing;
 use idio_stack::antagonist::{AntagonistConfig, LlcAntagonist};
-use idio_stack::nf::{MemOp, NfKind, PacketAction, PacketCtx};
+use idio_stack::nf::{MemOp, NfKind, PacketAction, PacketCtx, PacketWork};
 use idio_stack::timing::CoreTiming;
 
 use crate::config::{FlowSteering, SystemConfig};
@@ -146,9 +146,12 @@ struct DmaBatch {
     batch_seq: u64,
 }
 
-/// A workload's packet-arrival stream: analytic generator or trace replay.
+/// A packet-arrival stream: analytic single-flow generator (legacy
+/// one-flow-per-workload wiring), multi-flow tenant generator, or trace
+/// replay.
 enum ArrivalSource {
     Gen(Box<TrafficGen>),
+    Multi(Box<MultiFlowGen>),
     Replay(std::vec::IntoIter<Arrival>),
 }
 
@@ -158,6 +161,7 @@ impl Iterator for ArrivalSource {
     fn next(&mut self) -> Option<Arrival> {
         match self {
             ArrivalSource::Gen(g) => g.next(),
+            ArrivalSource::Multi(g) => g.next(),
             ArrivalSource::Replay(it) => it.next(),
         }
     }
@@ -200,6 +204,14 @@ struct NfState {
     batch: VecDeque<RxSlot>,
     current: Option<(RxSlot, PacketAction)>,
     latency: LatencyRecorder,
+    /// End-to-end packet latency (arrival → completion) in nanoseconds,
+    /// log2-bucketed; exported as `core{i}.pkt_latency_ns` (the scenario
+    /// report's percentile source).
+    lat_hist: Histogram,
+    /// Reusable per-packet program buffer: one NF program runs per packet,
+    /// so building it in place removes a `Vec<MemOp>` allocation from the
+    /// hot path.
+    scratch: PacketWork,
     completed: u64,
     /// Packets received on this queue (CPU-paced prefetch sequencing).
     rx_seq: u64,
@@ -287,8 +299,10 @@ pub struct System {
     ev_counts: [u64; Event::TYPES],
     /// Per-event-type handler wall-clock (only with `profile_events`).
     ev_wall: [std::time::Duration; Event::TYPES],
-    /// Steering decisions by placement: (LLC, MLC, DRAM) line counts.
-    steer: (u64, u64, u64),
+    /// Steering decisions by placement, per destination core: `[LLC, MLC,
+    /// DRAM]` line counts (summed into the global `steer.*` metrics;
+    /// exported per core as `core{i}.steer.*` for tenant attribution).
+    steer: Vec<[u64; 3]>,
 }
 
 impl System {
@@ -303,8 +317,15 @@ impl System {
         if let Err(e) = cfg.validate() {
             panic!("invalid system config: {e}");
         }
-        let num_cores = cfg.num_cores();
-        let mut hier = Hierarchy::new(cfg.effective_hierarchy());
+        // Per-core state (controller FSMs, prefetchers, NF slots, steering
+        // counters) is sized by the *hierarchy's* core count, which may
+        // exceed the workload-derived count when a config deliberately
+        // keeps spare cores (e.g. a tenant's solo run on the full mixed
+        // hierarchy); the control tick feeds one counter per hierarchy
+        // core, so the two must agree.
+        let effective_hierarchy = cfg.effective_hierarchy();
+        let num_cores = effective_hierarchy.num_cores;
+        let mut hier = Hierarchy::new(effective_hierarchy);
         let mut dram = DramModel::new(cfg.dram);
         let mut page_table = PageTable::new();
         let mut rng = SimRng::seed_from(cfg.seed);
@@ -353,36 +374,86 @@ impl System {
 
         // --- traffic generators & flow pinning --------------------------------
         let mut gens = Vec::new();
-        for (qi, w) in cfg.workloads.iter().enumerate() {
-            if let Some(arrivals) = cfg.trace_replays.get(&qi) {
-                // Replay: pin every flow appearing in the trace to this
-                // workload's queue, and clip to the traffic horizon.
-                let clipped: Vec<Arrival> = arrivals
-                    .iter()
-                    .copied()
-                    .take_while(|a| a.at < cfg.duration)
-                    .collect();
-                if cfg.steering == FlowSteering::Perfect {
-                    let mut seen = std::collections::HashSet::new();
-                    for a in &clipped {
-                        if seen.insert(a.packet.flow) {
-                            nic.flow_director_mut()
-                                .install_perfect(a.packet.flow, QueueId(qi as u16));
+        if cfg.tenants.is_empty() {
+            // Legacy wiring: one flow per workload, pinned to its queue.
+            for (qi, w) in cfg.workloads.iter().enumerate() {
+                if let Some(arrivals) = cfg.trace_replays.get(&qi) {
+                    // Replay: pin every flow appearing in the trace to this
+                    // workload's queue, and clip to the traffic horizon.
+                    let clipped: Vec<Arrival> = arrivals
+                        .iter()
+                        .copied()
+                        .take_while(|a| a.at < cfg.duration)
+                        .collect();
+                    if cfg.steering == FlowSteering::Perfect {
+                        let mut seen = std::collections::HashSet::new();
+                        for a in &clipped {
+                            if seen.insert(a.packet.flow) {
+                                nic.flow_director_mut()
+                                    .install_perfect(a.packet.flow, QueueId(qi as u16));
+                            }
                         }
                     }
+                    gens.push(ArrivalSource::Replay(clipped.into_iter()));
+                } else {
+                    let flow =
+                        FlowSpec::udp_to_port(5000 + qi as u16, w.packet_len).with_dscp(w.dscp);
+                    if cfg.steering == FlowSteering::Perfect {
+                        nic.flow_director_mut()
+                            .install_perfect(flow.tuple, QueueId(qi as u16));
+                    }
+                    gens.push(ArrivalSource::Gen(Box::new(TrafficGen::new(
+                        flow,
+                        w.traffic,
+                        cfg.duration,
+                    ))));
                 }
-                gens.push(ArrivalSource::Replay(clipped.into_iter()));
-            } else {
-                let flow = FlowSpec::udp_to_port(5000 + qi as u16, w.packet_len).with_dscp(w.dscp);
-                if cfg.steering == FlowSteering::Perfect {
-                    nic.flow_director_mut()
-                        .install_perfect(flow.tuple, QueueId(qi as u16));
+            }
+        } else {
+            // Tenant wiring: one aggregate source per tenant, its flows
+            // spread round-robin over the tenant's queues via the flow
+            // director (or left to RSS/ATR learning).
+            for t in &cfg.tenants {
+                let queues: Vec<QueueId> =
+                    t.workloads.iter().map(|&wi| QueueId(wi as u16)).collect();
+                if let Some(arrivals) = &t.replay {
+                    let clipped: Vec<Arrival> = arrivals
+                        .iter()
+                        .copied()
+                        .take_while(|a| a.at < cfg.duration)
+                        .collect();
+                    if cfg.steering == FlowSteering::Perfect {
+                        // Pin first-seen flows round-robin across the
+                        // tenant's queues.
+                        let mut seen = std::collections::HashSet::new();
+                        let mut next = 0usize;
+                        for a in &clipped {
+                            if seen.insert(a.packet.flow) {
+                                nic.flow_director_mut()
+                                    .install_perfect(a.packet.flow, queues[next % queues.len()]);
+                                next += 1;
+                            }
+                        }
+                    }
+                    gens.push(ArrivalSource::Replay(clipped.into_iter()));
+                } else {
+                    let flows: Vec<FlowSpec> = (0..t.flows)
+                        .map(|i| {
+                            FlowSpec::udp_to_port(t.base_port + i, t.packet_len).with_dscp(t.dscp)
+                        })
+                        .collect();
+                    if cfg.steering == FlowSteering::Perfect {
+                        for (i, f) in flows.iter().enumerate() {
+                            nic.flow_director_mut()
+                                .install_perfect(f.tuple, queues[i % queues.len()]);
+                        }
+                    }
+                    gens.push(ArrivalSource::Multi(Box::new(MultiFlowGen::new(
+                        flows,
+                        t.traffic,
+                        cfg.duration,
+                    ))));
                 }
-                gens.push(ArrivalSource::Gen(Box::new(TrafficGen::new(
-                    flow,
-                    w.traffic,
-                    cfg.duration,
-                ))));
             }
         }
 
@@ -404,6 +475,8 @@ impl System {
                 batch: VecDeque::new(),
                 current: None,
                 latency: LatencyRecorder::new(),
+                lat_hist: Histogram::new(),
+                scratch: PacketWork::empty(),
                 completed: 0,
                 rx_seq: 0,
                 done_seq: 0,
@@ -484,7 +557,7 @@ impl System {
             tracer,
             ev_counts: [0; Event::TYPES],
             ev_wall: [std::time::Duration::ZERO; Event::TYPES],
-            steer: (0, 0, 0),
+            steer: vec![[0; 3]; num_cores],
             cfg,
         };
         // The occupancy gauge counts DMA-buffer lines resident in the
@@ -761,19 +834,20 @@ impl System {
                 )
             });
         }
+        let dest = meta.dest_core.index();
         match placement {
             Placement::Llc => {
-                self.steer.0 += 1;
+                self.steer[dest][0] += 1;
                 let w = self.hier.pcie_write(line, DmaPlacement::Llc);
                 self.charge_dram(now, w.effects);
             }
             Placement::Dram => {
-                self.steer.2 += 1;
+                self.steer[dest][2] += 1;
                 let w = self.hier.pcie_write(line, DmaPlacement::Dram);
                 self.charge_dram(now, w.effects);
             }
             Placement::Mlc(core) => {
-                self.steer.1 += 1;
+                self.steer[dest][1] += 1;
                 let w = self.hier.pcie_write(line, DmaPlacement::Llc);
                 self.charge_dram(now, w.effects);
                 let ci = core.index();
@@ -941,7 +1015,11 @@ impl System {
             app: st.regions.app_addr(slot.slot),
             len: slot.packet.len,
         };
-        let work = kind.packet_work(&ctx);
+        // Build the program into the core's scratch buffer (taken out of
+        // the state to release the borrow, put back below): no per-packet
+        // allocation.
+        let mut work = std::mem::take(&mut st.scratch);
+        kind.packet_work_into(&ctx, &mut work);
         let core_id = CoreId::new(core as u16);
         let mut service = self.timing.per_packet();
         for op in &work.ops {
@@ -977,7 +1055,9 @@ impl System {
         if self.cfg.policy.invalidates() && work.action == PacketAction::Drop {
             service += self.timing.invalidate(ctx.frame_lines());
         }
-        (service, work.action)
+        let action = work.action;
+        self.nf_state(core, "CoreWake").scratch = work;
+        (service, action)
     }
 
     fn invalidate_buffer(&mut self, now: SimTime, core: usize, buf: Addr, lines: u32) {
@@ -1032,7 +1112,9 @@ impl System {
 
     fn record_completion(&mut self, now: SimTime, core: usize, slot: &RxSlot) {
         let st = self.nf_state(core, "CoreWake");
-        st.latency.record(now.saturating_since(slot.arrived_at));
+        let lat = now.saturating_since(slot.arrived_at);
+        st.latency.record(lat);
+        st.lat_hist.record(lat.as_ns());
         st.completed += 1;
         if let Some(b) = &mut self.bursts {
             b.record_completion(slot.arrived_at, now);
@@ -1073,7 +1155,9 @@ impl System {
         }
         self.nic.ring_mut(queue).free(1);
         let st = self.nf_state(core, "TxComplete");
-        st.latency.record(now.saturating_since(arrival));
+        let lat = now.saturating_since(arrival);
+        st.latency.record(lat);
+        st.lat_hist.record(lat.as_ns());
         st.completed += 1;
         if let Some(b) = &mut self.bursts {
             b.record_completion(arrival, now);
@@ -1283,9 +1367,12 @@ impl System {
         self.metrics.counter_set("llc.wb", totals.llc_wb);
         self.metrics.counter_set("dram.rd", totals.dram_rd);
         self.metrics.counter_set("dram.wr", totals.dram_wr);
-        self.metrics.counter_set("steer.llc", self.steer.0);
-        self.metrics.counter_set("steer.mlc", self.steer.1);
-        self.metrics.counter_set("steer.dram", self.steer.2);
+        let steer_total = self.steer.iter().fold([0u64; 3], |acc, s| {
+            [acc[0] + s[0], acc[1] + s[1], acc[2] + s[2]]
+        });
+        self.metrics.counter_set("steer.llc", steer_total[0]);
+        self.metrics.counter_set("steer.mlc", steer_total[1]);
+        self.metrics.counter_set("steer.dram", steer_total[2]);
         self.metrics
             .counter_set("packets.completed", totals.completed_packets);
         self.metrics
@@ -1293,6 +1380,34 @@ impl System {
         for (i, c) in h.core.iter().enumerate() {
             self.metrics
                 .counter_set(&format!("core{i}.mlc.wb"), c.mlc_wb.get());
+        }
+        // Per-core attribution: steering mix by destination core, queue
+        // RX load/loss, completions, and the packet-latency histograms —
+        // everything a multi-tenant report needs to slice a mixed run by
+        // the cores/queues each tenant owns.
+        for (i, s) in self.steer.iter().enumerate() {
+            self.metrics
+                .counter_set(&format!("core{i}.steer.llc"), s[0]);
+            self.metrics
+                .counter_set(&format!("core{i}.steer.mlc"), s[1]);
+            self.metrics
+                .counter_set(&format!("core{i}.steer.dram"), s[2]);
+        }
+        for (q, qs) in self.nic.queue_stats().iter().enumerate() {
+            self.metrics
+                .counter_set(&format!("queue{q}.rx.packets"), qs.rx_packets.get());
+            self.metrics
+                .counter_set(&format!("queue{q}.rx.drops"), qs.rx_drops.get());
+        }
+        for (i, st) in self.nf.iter().enumerate() {
+            if let Some(st) = st {
+                self.metrics
+                    .counter_set(&format!("core{i}.packets.completed"), st.completed);
+                if st.lat_hist.count() > 0 {
+                    self.metrics
+                        .histogram_merge(&format!("core{i}.pkt_latency_ns"), &st.lat_hist);
+                }
+            }
         }
         let (accepted, dropped, issued) = self.prefetchers.iter().fold((0, 0, 0), |acc, p| {
             let s = p.stats();
@@ -1512,6 +1627,113 @@ mod tests {
         let mut cfg = steady_cfg(10.0, SteeringPolicy::Ddio);
         cfg.trace_replays.insert(7, Vec::new());
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn latency_histograms_are_exported_per_core() {
+        let report = System::new(steady_cfg(5.0, SteeringPolicy::Ddio)).run();
+        for core in 0..2 {
+            let h = report
+                .metrics
+                .histogram(&format!("core{core}.pkt_latency_ns"))
+                .expect("both cores completed packets");
+            assert_eq!(
+                h.count(),
+                report
+                    .metrics
+                    .counter(&format!("core{core}.packets.completed")),
+                "one histogram sample per completed packet"
+            );
+            // Matches the LatencyRecorder summary to bucket precision.
+            let (_, s) = report.latency[core];
+            let p99_ns = s.p99.as_ns();
+            let est = h.percentile(99.0).unwrap();
+            assert!(
+                est >= p99_ns && est <= p99_ns.max(1) * 2,
+                "{est} vs {p99_ns}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_core_steer_sums_to_global() {
+        let report = System::new(steady_cfg(10.0, SteeringPolicy::Idio)).run();
+        let m = &report.metrics;
+        for kind in ["llc", "mlc", "dram"] {
+            let total = m.counter(&format!("steer.{kind}"));
+            let sum: u64 = (0..2)
+                .map(|i| m.counter(&format!("core{i}.steer.{kind}")))
+                .sum();
+            assert_eq!(sum, total, "steer.{kind}");
+        }
+        assert!(m.counter("steer.mlc") > 0, "IDIO steers into MLCs");
+        // Per-queue RX attribution covers the global counters.
+        let rx: u64 = (0..2)
+            .map(|q| m.counter(&format!("queue{q}.rx.packets")))
+            .sum();
+        assert_eq!(rx, report.totals.rx_packets);
+    }
+
+    fn tenant_cfg() -> SystemConfig {
+        use crate::config::TenantSpec;
+        use idio_net::packet::Dscp;
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(4, TrafficPattern::Steady { rate_gbps: 5.0 });
+        cfg.duration = SimTime::from_us(300);
+        cfg.drain_grace = Duration::from_us(200);
+        cfg.workloads[2].kind = NfKind::L2FwdPayloadDrop;
+        cfg.workloads[3].kind = NfKind::L2FwdPayloadDrop;
+        cfg.tenants = vec![
+            TenantSpec {
+                name: "lat".into(),
+                workloads: vec![0, 1],
+                flows: 6,
+                base_port: 5000,
+                traffic: TrafficPattern::Steady { rate_gbps: 8.0 },
+                packet_len: 1514,
+                dscp: Dscp::BEST_EFFORT,
+                replay: None,
+            },
+            TenantSpec {
+                name: "stream".into(),
+                workloads: vec![2, 3],
+                flows: 4,
+                base_port: 6000,
+                traffic: TrafficPattern::Steady { rate_gbps: 20.0 },
+                packet_len: 1514,
+                dscp: Dscp::CLASS1_DEFAULT,
+                replay: None,
+            },
+        ];
+        cfg
+    }
+
+    #[test]
+    fn tenant_flows_spread_across_the_tenants_queues() {
+        let report = System::new(tenant_cfg()).run();
+        let m = &report.metrics;
+        // Every queue of both tenants receives packets (6 flows over
+        // queues {0,1} and 4 flows over queues {2,3}, dealt round-robin).
+        for q in 0..4 {
+            assert!(
+                m.counter(&format!("queue{q}.rx.packets")) > 0,
+                "queue {q} starved"
+            );
+        }
+        // The tenant halves split the aggregate close to evenly: flows
+        // 0,2,4 of 6 land on queue 0 (3/6), flows 1,3,5 on queue 1.
+        let q0 = m.counter("queue0.rx.packets") as f64;
+        let q1 = m.counter("queue1.rx.packets") as f64;
+        assert!((q0 / (q0 + q1) - 0.5).abs() < 0.05, "{q0} vs {q1}");
+        assert!(report.totals.completed_packets > 0);
+    }
+
+    #[test]
+    fn tenant_runs_are_deterministic() {
+        let a = System::new(tenant_cfg()).run();
+        let b = System::new(tenant_cfg()).run();
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
     }
 
     #[test]

@@ -159,6 +159,54 @@ impl Histogram {
         }
     }
 
+    /// Merges `other` into `self`: bucket-wise sum with combined
+    /// count/sum/min/max. Used to aggregate per-core histograms into a
+    /// per-tenant one; merging is associative and commutative, so the
+    /// result does not depend on merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (`0.0..=100.0`)
+    /// by nearest rank over the log2 buckets: the smallest bucket upper
+    /// bound below which at least `ceil(p/100 * count)` observations
+    /// fall, clamped into `[min, max]`. The true percentile lies within
+    /// a factor of two below the estimate (the bucket width). Returns
+    /// `None` when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                // Upper bound of bucket i (values of bit length i).
+                let hi = match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty `(bit_length, count)` buckets in ascending order.
     pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.buckets
@@ -245,6 +293,16 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .record(value);
+    }
+
+    /// Merges a fully built histogram into histogram `name`, creating it
+    /// if absent (for folding externally maintained per-core histograms
+    /// in at export time, mirroring [`MetricsRegistry::counter_set`]).
+    pub fn histogram_merge(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
     }
 
     /// Histogram `name`, if ever recorded into.
@@ -668,6 +726,60 @@ mod tests {
         let buckets: Vec<(u32, u64)> = h.buckets().collect();
         // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 1000 → bucket 10.
         assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_matches_joint_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut joint = Histogram::new();
+        for v in [3, 9, 200] {
+            a.record(v);
+            joint.record(v);
+        }
+        for v in [0, 1, 7_000] {
+            b.record(v);
+            joint.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, joint);
+        // Merging into / from an empty histogram is the identity.
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let mut a2 = a.clone();
+        a2.merge(&Histogram::new());
+        assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn percentile_is_clamped_bucket_upper_bound() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        for v in [10, 20, 40, 600] {
+            h.record(v);
+        }
+        // Ranks 1..=4 land in buckets 4 (10), 5 (20), 6 (40), 10 (600).
+        assert_eq!(h.percentile(0.0), Some(15)); // bucket 4 hi, clamped ≥ min
+        assert_eq!(h.percentile(50.0), Some(31));
+        assert_eq!(h.percentile(75.0), Some(63));
+        assert_eq!(h.percentile(99.0), Some(600)); // bucket 10 hi clamped to max
+        assert_eq!(h.percentile(100.0), Some(600));
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.percentile(99.0), Some(0));
+    }
+
+    #[test]
+    fn registry_histogram_merge_folds_external_histograms() {
+        let mut m = MetricsRegistry::new();
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(9);
+        m.histogram_merge("core0.lat", &h);
+        m.histogram_merge("core0.lat", &h);
+        assert_eq!(m.histogram("core0.lat").unwrap().count(), 4);
     }
 
     #[test]

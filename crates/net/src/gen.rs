@@ -229,6 +229,80 @@ impl Iterator for TrafficGen {
     }
 }
 
+/// A deterministic multi-flow generator: one aggregate arrival pattern
+/// dealt round-robin across a set of flows.
+///
+/// The timing of the merged stream is *exactly* that of a single
+/// [`TrafficGen`] driven by `pattern` (so a tenant's aggregate offered
+/// load is independent of its flow count); only the five-tuple and DSCP
+/// rotate per packet. This is how a multi-tenant scenario spreads one
+/// tenant's load across many queues: each flow is pinned to a queue via
+/// the flow director (or hashed there by RSS), so consecutive packets
+/// fan out over the tenant's cores.
+///
+/// Packet ids stay monotonic across the merged stream.
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::time::SimTime;
+/// use idio_net::gen::{FlowSpec, MultiFlowGen, TrafficPattern};
+///
+/// let flows: Vec<_> = (0..3).map(|i| FlowSpec::udp_to_port(6000 + i, 1514)).collect();
+/// let mut g = MultiFlowGen::new(flows, TrafficPattern::Steady { rate_gbps: 10.0 }, SimTime::from_us(50));
+/// let a = g.next().unwrap();
+/// let b = g.next().unwrap();
+/// assert_ne!(a.packet.flow, b.packet.flow);
+/// assert_eq!(b.packet.id, a.packet.id + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiFlowGen {
+    inner: TrafficGen,
+    flows: Vec<FlowSpec>,
+    next_flow: usize,
+}
+
+impl MultiFlowGen {
+    /// Creates a generator dealing `pattern` arrivals over `flows` until
+    /// `until` (exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is empty or the flows disagree on frame length
+    /// (the aggregate pattern's wire timing is per-frame).
+    pub fn new(flows: Vec<FlowSpec>, pattern: TrafficPattern, until: SimTime) -> Self {
+        assert!(!flows.is_empty(), "a tenant needs at least one flow");
+        assert!(
+            flows.iter().all(|f| f.packet_len == flows[0].packet_len),
+            "flows of one generator must share a frame length"
+        );
+        MultiFlowGen {
+            inner: TrafficGen::new(flows[0], pattern, until),
+            flows,
+            next_flow: 0,
+        }
+    }
+
+    /// The flow specifications this generator rotates through.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+}
+
+impl Iterator for MultiFlowGen {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let a = self.inner.next()?;
+        let spec = self.flows[self.next_flow];
+        self.next_flow = (self.next_flow + 1) % self.flows.len();
+        Some(Arrival {
+            at: a.at,
+            packet: Packet::new(a.packet.id, spec.packet_len, spec.tuple, spec.dscp),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +424,38 @@ mod tests {
         );
         let times: Vec<_> = g.map(|a| a.at).collect();
         assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn multi_flow_keeps_aggregate_timing_and_rotates_flows() {
+        let until = SimTime::from_us(60);
+        let pattern = TrafficPattern::Steady { rate_gbps: 25.0 };
+        let single: Vec<_> = TrafficGen::new(flow(), pattern, until).collect();
+        let flows: Vec<_> = (0..3)
+            .map(|i| FlowSpec::udp_to_port(6000 + i, 1514).with_dscp(Dscp::CLASS1_DEFAULT))
+            .collect();
+        let multi: Vec<_> = MultiFlowGen::new(flows.clone(), pattern, until).collect();
+        assert_eq!(multi.len(), single.len(), "same aggregate offered load");
+        for (i, (s, m)) in single.iter().zip(&multi).enumerate() {
+            assert_eq!(m.at, s.at, "arrival {i} keeps the aggregate schedule");
+            assert_eq!(m.packet.id, i as u64, "ids monotonic across flows");
+            assert_eq!(m.packet.flow, flows[i % 3].tuple, "round-robin dealing");
+            assert_eq!(m.packet.dscp, Dscp::CLASS1_DEFAULT);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a frame length")]
+    fn multi_flow_rejects_mixed_frame_lengths() {
+        let flows = vec![
+            FlowSpec::udp_to_port(6000, 1514),
+            FlowSpec::udp_to_port(6001, 256),
+        ];
+        let _ = MultiFlowGen::new(
+            flows,
+            TrafficPattern::Steady { rate_gbps: 10.0 },
+            SimTime::from_us(10),
+        );
     }
 
     #[test]

@@ -135,6 +135,17 @@ pub struct NicStats {
     pub desc_writebacks: Counter,
 }
 
+/// Per-queue receive counters (the device-level breakdown of
+/// [`NicStats::rx_packets`] / [`NicStats::rx_drops`], needed to attribute
+/// load and loss to the tenant that owns each queue).
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    /// Packets successfully queued on this queue.
+    pub rx_packets: Counter,
+    /// Packets dropped because this queue's ring was full.
+    pub rx_drops: Counter,
+}
+
 /// The NIC model.
 ///
 /// # Examples
@@ -165,6 +176,7 @@ pub struct Nic {
     classifier: IdioClassifier,
     dma: DmaEngine,
     stats: NicStats,
+    queue_stats: Vec<QueueStats>,
     num_cores: usize,
 }
 
@@ -199,6 +211,9 @@ impl Nic {
             FlowDirector::new(cfg.queue_core.len() as u16, cfg.filter_table_entries);
         let classifier = IdioClassifier::new(cfg.classifier.clone(), num_cores);
         let dma = DmaEngine::new(cfg.dma);
+        let queue_stats = (0..cfg.queue_core.len())
+            .map(|_| QueueStats::default())
+            .collect();
         Nic {
             cfg,
             rings,
@@ -206,6 +221,7 @@ impl Nic {
             classifier,
             dma,
             stats: NicStats::default(),
+            queue_stats,
             num_cores,
         }
     }
@@ -218,6 +234,11 @@ impl Nic {
     /// NIC counters.
     pub fn stats(&self) -> &NicStats {
         &self.stats
+    }
+
+    /// Per-queue receive counters, indexed by queue.
+    pub fn queue_stats(&self) -> &[QueueStats] {
+        &self.queue_stats
     }
 
     /// The Flow Director (to install EP filters or drive ATR learning).
@@ -261,11 +282,13 @@ impl Nic {
             Ok(s) => s,
             Err(RingFullError) => {
                 self.stats.rx_drops.inc();
+                self.queue_stats[queue.index()].rx_drops.inc();
                 return None;
             }
         };
         self.stats.rx_packets.inc();
         self.stats.rx_bytes.add(u64::from(packet.len));
+        self.queue_stats[queue.index()].rx_packets.inc();
 
         let lines = packet.lines();
         let payload = self.dma.schedule(now, lines);
@@ -369,6 +392,18 @@ mod tests {
         assert!(n.rx_packet(SimTime::ZERO, pkt(2, 1)).is_none());
         assert_eq!(n.stats().rx_drops.get(), 1);
         assert_eq!(n.stats().rx_packets.get(), 2);
+        assert_eq!(n.queue_stats()[0].rx_packets.get(), 2);
+        assert_eq!(n.queue_stats()[0].rx_drops.get(), 1);
+    }
+
+    #[test]
+    fn queue_stats_attribute_per_queue() {
+        let mut n = nic(2, 8);
+        let flow = FiveTuple::udp(1, 2, 1000, 7);
+        n.flow_director_mut().install_perfect(flow, QueueId(1));
+        let _ = n.rx_packet(SimTime::ZERO, Packet::new(0, 1514, flow, Dscp::BEST_EFFORT));
+        assert_eq!(n.queue_stats()[1].rx_packets.get(), 1);
+        assert_eq!(n.queue_stats()[0].rx_packets.get(), 0);
     }
 
     #[test]

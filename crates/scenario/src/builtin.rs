@@ -1,0 +1,249 @@
+//! The built-in scenarios: curated mixed workloads exercising the
+//! steering policies under multi-tenant pressure.
+//!
+//! Each built-in is golden-tested (byte-stable JSON report), so their
+//! parameters are part of the repo's regression surface — change them
+//! deliberately and re-bless.
+
+use idio_core::config::FlowSteering;
+use idio_core::net::gen::{Arrival, BurstSpec, FlowSpec, MultiFlowGen, TrafficPattern};
+use idio_core::net::packet::Dscp;
+use idio_core::net::trace::{read_trace, write_trace};
+use idio_core::policy::SteeringPolicy;
+use idio_core::stack::nf::NfKind;
+use idio_engine::time::{Duration, SimTime};
+
+use crate::spec::{Scenario, TenantDef};
+
+/// Traffic horizon shared by the built-ins (short enough for debug-mode
+/// golden tests, long enough for thousands of packets per tenant).
+const HORIZON: SimTime = SimTime::from_us(400);
+
+/// Drain grace shared by the built-ins.
+const GRACE: Duration = Duration::from_us(300);
+
+/// Names of the built-in scenarios, in listing order.
+pub fn builtin_names() -> [&'static str; 4] {
+    ["noisy-neighbor", "incast", "mixed-rate", "trace-replay"]
+}
+
+/// All built-in scenarios, in listing order.
+pub fn builtins() -> Vec<Scenario> {
+    builtin_names()
+        .iter()
+        .map(|n| builtin(n).expect("listed name"))
+        .collect()
+}
+
+/// Looks up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    match name {
+        "noisy-neighbor" => Some(noisy_neighbor()),
+        "incast" => Some(incast()),
+        "mixed-rate" => Some(mixed_rate()),
+        "trace-replay" => Some(trace_replay()),
+        _ => None,
+    }
+}
+
+/// A latency-sensitive tenant sharing the LLC with a bandwidth hog —
+/// the Sec. VI antagonist question asked at the tenant level.
+fn noisy_neighbor() -> Scenario {
+    Scenario {
+        name: "noisy-neighbor".into(),
+        description: "Poisson latency-sensitive tenant vs. a steady bulk-bandwidth hog".into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            TenantDef::new(
+                "latency",
+                NfKind::TouchDrop,
+                vec![0, 1],
+                8,
+                5000,
+                TrafficPattern::Poisson {
+                    rate_gbps: 6.0,
+                    seed: 0x1D10,
+                },
+                512,
+            ),
+            TenantDef::new(
+                "bulk",
+                NfKind::TouchDrop,
+                vec![2, 3],
+                4,
+                6000,
+                TrafficPattern::Steady { rate_gbps: 30.0 },
+                1514,
+            ),
+        ],
+    }
+}
+
+/// Many short flows fanning into two cores in synchronized bursts (the
+/// classic incast pattern), over a steady background tenant, under plain
+/// DDIO — the regime where DMA bloating shows up.
+fn incast() -> Scenario {
+    Scenario {
+        name: "incast".into(),
+        description: "32 short bursty flows fanning into two cores over a steady background".into(),
+        policy: SteeringPolicy::Ddio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            TenantDef::new(
+                "incast",
+                NfKind::TouchDrop,
+                vec![0, 1],
+                32,
+                5000,
+                TrafficPattern::Bursty(BurstSpec::for_ring(256, 256, 40.0, Duration::from_us(100))),
+                256,
+            ),
+            TenantDef::new(
+                "background",
+                NfKind::TouchDrop,
+                vec![2],
+                2,
+                7000,
+                TrafficPattern::Steady { rate_gbps: 10.0 },
+                1514,
+            ),
+        ],
+    }
+}
+
+/// Three tenants at very different rates and NF classes, including a
+/// class-1 payload-drop tenant whose payloads IDIO sends direct to DRAM.
+fn mixed_rate() -> Scenario {
+    Scenario {
+        name: "mixed-rate".into(),
+        description: "slow copy-mode, mid forwarding and fast class-1 tenants under IDIO".into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            TenantDef::new(
+                "slow",
+                NfKind::TouchDropCopy,
+                vec![0],
+                2,
+                5000,
+                TrafficPattern::Steady { rate_gbps: 4.0 },
+                1024,
+            ),
+            TenantDef::new(
+                "mid",
+                NfKind::L2Fwd,
+                vec![1],
+                4,
+                6000,
+                TrafficPattern::Steady { rate_gbps: 12.0 },
+                1514,
+            ),
+            TenantDef::new(
+                "fast",
+                NfKind::L2FwdPayloadDrop,
+                vec![2, 3],
+                8,
+                7000,
+                TrafficPattern::Steady { rate_gbps: 30.0 },
+                1514,
+            )
+            .with_dscp(Dscp::CLASS1_DEFAULT),
+        ],
+    }
+}
+
+/// The arrivals of the trace-replay tenant: a multi-flow Poisson stream
+/// recorded to the line-oriented trace format and parsed back, so the
+/// scenario exercises the real writer/reader pair end to end (times are
+/// nanosecond-quantised by the format, exactly as an external capture
+/// would be).
+fn replayed_arrivals() -> Vec<Arrival> {
+    let flows: Vec<FlowSpec> = (0..4)
+        .map(|i| FlowSpec::udp_to_port(5000 + i, 1024))
+        .collect();
+    let gen = MultiFlowGen::new(
+        flows,
+        TrafficPattern::Poisson {
+            rate_gbps: 10.0,
+            seed: 0x7ACE,
+        },
+        HORIZON,
+    );
+    let recorded: Vec<Arrival> = gen.collect();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &recorded).expect("in-memory trace write cannot fail");
+    read_trace(buf.as_slice()).expect("recorded trace parses back")
+}
+
+/// A tenant replaying a recorded multi-flow trace next to a live
+/// synthetic tenant; the trace's flows are pinned first-seen round-robin
+/// across the replay tenant's queues.
+fn trace_replay() -> Scenario {
+    Scenario {
+        name: "trace-replay".into(),
+        description: "recorded multi-flow trace replayed next to a live forwarding tenant".into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            TenantDef::new(
+                "replay",
+                NfKind::TouchDrop,
+                vec![0, 1],
+                4,
+                5000,
+                TrafficPattern::Poisson {
+                    rate_gbps: 10.0,
+                    seed: 0x7ACE,
+                },
+                1024,
+            )
+            .with_replay(replayed_arrivals()),
+            TenantDef::new(
+                "live",
+                NfKind::L2Fwd,
+                vec![2],
+                2,
+                7000,
+                TrafficPattern::Steady { rate_gbps: 8.0 },
+                1514,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_validates() {
+        for name in builtin_names() {
+            let sc = builtin(name).expect("lookup");
+            assert_eq!(sc.name, name);
+            assert!(!sc.description.is_empty());
+            sc.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert_eq!(builtins().len(), builtin_names().len());
+        assert!(builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn replay_trace_round_trips_through_the_parser() {
+        let arrivals = replayed_arrivals();
+        assert!(arrivals.len() > 100, "enough packets to be interesting");
+        // Times are ns-quantised and non-decreasing; flows rotate.
+        assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+        let ports: std::collections::BTreeSet<u16> =
+            arrivals.iter().map(|a| a.packet.flow.dst_port).collect();
+        assert_eq!(ports.len(), 4, "all four flows present in the trace");
+    }
+}

@@ -1,0 +1,46 @@
+//! # idio-scenario
+//!
+//! Declarative multi-tenant scenarios on top of the full-system
+//! simulator: a [`Scenario`] names a set of [`TenantDef`]s — each binding
+//! a traffic source, an application class (DSCP), a network function and
+//! a group of cores — and the runner executes the mixed workload plus one
+//! *solo* run per tenant on the [`idio_core::sweep`] worker pool,
+//! emitting a per-tenant [`report::ScenarioReport`]:
+//!
+//! * throughput, drop rate and packet-latency percentiles (from the
+//!   per-core `core{i}.pkt_latency_ns` histograms),
+//! * the steering mix (DRAM/LLC/MLC line counts) and MLC writebacks
+//!   attributed to the tenant's cores,
+//! * a cross-tenant *interference* summary: the tenant's latency when it
+//!   runs alone vs. inside the mix (Sec. VI's noisy-neighbour question,
+//!   asked of every tenant).
+//!
+//! Flows are spread across each tenant's cores via the flow director
+//! (perfect filters by default, RSS/ATR optionally) rather than the
+//! legacy one-flow-per-core wiring, and reports are byte-identical at any
+//! `--jobs` because every cell's seed derives from its stable label.
+//!
+//! # Quick start
+//!
+//! ```
+//! use idio_core::sweep::SweepOptions;
+//! use idio_scenario::{builtin, run_scenario};
+//!
+//! let scenario = builtin("mixed-rate").expect("built-in");
+//! let report = run_scenario(&scenario, &SweepOptions::serial()).unwrap();
+//! assert_eq!(report.tenants.len(), 3);
+//! assert!(report.to_json().starts_with('{'));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod report;
+pub mod run;
+pub mod spec;
+
+pub use builtin::{builtin, builtin_names, builtins};
+pub use report::{Interference, LatencyStats, ScenarioReport, SteerMix, TenantReport};
+pub use run::run_scenario;
+pub use spec::{Scenario, TenantDef};

@@ -1,0 +1,308 @@
+//! Per-tenant scenario reports and their deterministic JSON rendering.
+//!
+//! Everything in a [`ScenarioReport`] is a pure function of the scenario
+//! and the sweep's root seed — no wall-clock, no thread identity — so the
+//! rendering is byte-identical at any worker count and can be golden-
+//! tested exactly like the paper figures.
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Packet-latency summary of one tenant in one run (nanoseconds), taken
+/// from the merged `core{i}.pkt_latency_ns` histograms of the tenant's
+/// cores. Percentiles are the log2-bucket upper-bound estimates of
+/// [`idio_engine::telemetry::Histogram::percentile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Completed packets the summary covers.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+    /// Worst observed latency (exact).
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            self.count,
+            json_f64(self.mean_ns),
+            self.p50_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// Where a tenant's inbound DMA lines were placed (the steering mix).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SteerMix {
+    /// Lines write-allocated into the shared LLC (DDIO path).
+    pub llc: u64,
+    /// Lines steered into the tenant cores' MLCs.
+    pub mlc: u64,
+    /// Lines sent directly to DRAM.
+    pub dram: u64,
+}
+
+impl SteerMix {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"llc\": {}, \"mlc\": {}, \"dram\": {}}}",
+            self.llc, self.mlc, self.dram
+        )
+    }
+}
+
+/// Solo-vs-mixed latency comparison for one tenant: what sharing the
+/// machine with the other tenants cost it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interference {
+    /// Mixed p50 minus solo p50 (negative = faster in the mix).
+    pub p50_delta_ns: i64,
+    /// Mixed p99 minus solo p99.
+    pub p99_delta_ns: i64,
+    /// Mixed p99 over solo p99 (1.0 = no interference); `NaN` renders as
+    /// `null` when the solo p99 was zero.
+    pub p99_ratio: f64,
+}
+
+impl Interference {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"p50_delta_ns\": {}, \"p99_delta_ns\": {}, \"p99_ratio\": {}}}",
+            self.p50_delta_ns,
+            self.p99_delta_ns,
+            json_f64(self.p99_ratio)
+        )
+    }
+}
+
+/// Everything the scenario runner measured about one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Display name of the tenant's network function.
+    pub nf: &'static str,
+    /// The cores the tenant owns.
+    pub cores: Vec<u16>,
+    /// Packets the NIC delivered into the tenant's rings (mixed run).
+    pub rx_packets: u64,
+    /// Packets dropped at the tenant's full rings (mixed run).
+    pub rx_drops: u64,
+    /// `rx_drops / (rx_packets + rx_drops)`, 0 when idle.
+    pub drop_rate: f64,
+    /// Packets the tenant's NFs fully processed (mixed run).
+    pub completed: u64,
+    /// Delivered goodput over the traffic horizon, in Gbit/s.
+    pub throughput_gbps: f64,
+    /// MLC writebacks of the tenant's cores (mixed run) — the quantity
+    /// IDIO's FSM throttles on.
+    pub mlc_wb: u64,
+    /// Steering mix of DMA lines destined to the tenant's cores.
+    pub steer: SteerMix,
+    /// Latency summary in the mixed run (`None` if nothing completed).
+    pub latency: Option<LatencyStats>,
+    /// Latency summary of the tenant's solo run.
+    pub solo_latency: Option<LatencyStats>,
+    /// Solo-vs-mixed comparison (`None` unless both runs completed
+    /// packets).
+    pub interference: Option<Interference>,
+}
+
+impl TenantReport {
+    fn to_json(&self, indent: &str) -> String {
+        let pad = format!("{indent}  ");
+        let cores: Vec<String> = self.cores.iter().map(|c| c.to_string()).collect();
+        let opt = |v: &Option<String>| v.clone().unwrap_or_else(|| "null".into());
+        let latency = opt(&self.latency.map(LatencyStats::to_json));
+        let solo = opt(&self.solo_latency.map(LatencyStats::to_json));
+        let interference = opt(&self.interference.map(Interference::to_json));
+        format!(
+            "{{\n\
+             {pad}\"name\": {},\n\
+             {pad}\"nf\": {},\n\
+             {pad}\"cores\": [{}],\n\
+             {pad}\"rx_packets\": {},\n\
+             {pad}\"rx_drops\": {},\n\
+             {pad}\"drop_rate\": {},\n\
+             {pad}\"completed\": {},\n\
+             {pad}\"throughput_gbps\": {},\n\
+             {pad}\"mlc_wb\": {},\n\
+             {pad}\"steer\": {},\n\
+             {pad}\"latency\": {latency},\n\
+             {pad}\"solo_latency\": {solo},\n\
+             {pad}\"interference\": {interference}\n\
+             {indent}}}",
+            json_string(&self.name),
+            json_string(self.nf),
+            cores.join(", "),
+            self.rx_packets,
+            self.rx_drops,
+            json_f64(self.drop_rate),
+            self.completed,
+            json_f64(self.throughput_gbps),
+            self.mlc_wb,
+            self.steer.to_json(),
+        )
+    }
+}
+
+/// The complete result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// Label of the steering policy the run used.
+    pub policy: &'static str,
+    /// Root seed every cell seed was derived from.
+    pub root_seed: u64,
+    /// Traffic horizon in nanoseconds.
+    pub duration_ns: u64,
+    /// Mixed-run aggregates: packets delivered by the NIC.
+    pub rx_packets: u64,
+    /// Mixed-run aggregates: packets dropped at full rings.
+    pub rx_drops: u64,
+    /// Mixed-run aggregates: packets fully processed.
+    pub completed: u64,
+    /// Per-tenant reports, in declaration order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ScenarioReport {
+    /// Renders the report as deterministic, human-reviewable JSON (stable
+    /// key order, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let tenants: Vec<String> = self.tenants.iter().map(|t| t.to_json("    ")).collect();
+        format!(
+            "{{\n\
+             \x20 \"scenario\": {},\n\
+             \x20 \"description\": {},\n\
+             \x20 \"policy\": {},\n\
+             \x20 \"root_seed\": {},\n\
+             \x20 \"duration_ns\": {},\n\
+             \x20 \"totals\": {{\"rx_packets\": {}, \"rx_drops\": {}, \"completed\": {}}},\n\
+             \x20 \"tenants\": [\n    {}\n  ]\n\
+             }}",
+            json_string(&self.scenario),
+            json_string(&self.description),
+            json_string(self.policy),
+            self.root_seed,
+            self.duration_ns,
+            self.rx_packets,
+            self.rx_drops,
+            self.completed,
+            tenants.join(",\n    "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant() -> TenantReport {
+        TenantReport {
+            name: "t0".into(),
+            nf: "TouchDrop",
+            cores: vec![0, 1],
+            rx_packets: 100,
+            rx_drops: 4,
+            drop_rate: 4.0 / 104.0,
+            completed: 100,
+            throughput_gbps: 9.5,
+            mlc_wb: 42,
+            steer: SteerMix {
+                llc: 10,
+                mlc: 20,
+                dram: 30,
+            },
+            latency: Some(LatencyStats {
+                count: 100,
+                mean_ns: 1500.0,
+                p50_ns: 1023,
+                p90_ns: 2047,
+                p99_ns: 4095,
+                max_ns: 5000,
+            }),
+            solo_latency: None,
+            interference: None,
+        }
+    }
+
+    #[test]
+    fn json_has_stable_shape_and_null_for_missing_summaries() {
+        let r = ScenarioReport {
+            scenario: "demo".into(),
+            description: "a demo".into(),
+            policy: "IDIO",
+            root_seed: 0xD10,
+            duration_ns: 400_000,
+            rx_packets: 100,
+            rx_drops: 4,
+            completed: 100,
+            tenants: vec![tenant()],
+        };
+        let json = r.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"scenario\": \"demo\""));
+        assert!(json.contains("\"steer\": {\"llc\": 10, \"mlc\": 20, \"dram\": 30}"));
+        assert!(json.contains("\"solo_latency\": null"));
+        assert!(json.contains("\"interference\": null"));
+        assert!(json.contains("\"p99_ns\": 4095"));
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn non_finite_ratio_renders_as_null() {
+        let i = Interference {
+            p50_delta_ns: 0,
+            p99_delta_ns: 0,
+            p99_ratio: f64::NAN,
+        };
+        assert!(i.to_json().contains("\"p99_ratio\": null"));
+    }
+}

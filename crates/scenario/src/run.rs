@@ -1,0 +1,228 @@
+//! The scenario runner: mixed + solo cells on the sweep worker pool.
+//!
+//! A scenario with `N` tenants expands to `N + 1` [`SweepCell`]s — one
+//! mixed run labelled `scenario/<name>/mixed` and one solo run per tenant
+//! labelled `scenario/<name>/solo/<tenant>` — executed by
+//! [`idio_core::sweep::run_cells`]. Labels are stable, so every cell's
+//! seed (and therefore the whole report) is independent of the worker
+//! count.
+
+use idio_core::report::RunReport;
+use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
+use idio_engine::telemetry::Histogram;
+
+use crate::report::{Interference, LatencyStats, ScenarioReport, SteerMix, TenantReport};
+use crate::spec::Scenario;
+
+/// Merges the `core{i}.pkt_latency_ns` histograms of `cores` out of a
+/// run's final metrics snapshot.
+fn merged_latency(report: &RunReport, cores: &[u16]) -> Option<LatencyStats> {
+    let mut h = Histogram::new();
+    for &c in cores {
+        if let Some(hc) = report.metrics.histogram(&format!("core{c}.pkt_latency_ns")) {
+            h.merge(hc);
+        }
+    }
+    if h.count() == 0 {
+        return None;
+    }
+    Some(LatencyStats {
+        count: h.count(),
+        mean_ns: h.mean(),
+        p50_ns: h.percentile(50.0).expect("non-empty"),
+        p90_ns: h.percentile(90.0).expect("non-empty"),
+        p99_ns: h.percentile(99.0).expect("non-empty"),
+        max_ns: h.max(),
+    })
+}
+
+fn sum_counters(report: &RunReport, names: impl Iterator<Item = String>) -> u64 {
+    names.map(|n| report.metrics.counter(&n)).sum()
+}
+
+/// Runs `scenario` under `opts` and assembles the per-tenant report.
+///
+/// The result is a pure function of `(scenario, opts.root_seed)`:
+/// byte-identical JSON at any `opts.jobs`.
+///
+/// # Errors
+///
+/// Returns the validation message when the scenario is malformed; the
+/// simulation itself cannot fail.
+pub fn run_scenario(scenario: &Scenario, opts: &SweepOptions) -> Result<ScenarioReport, String> {
+    scenario.validate()?;
+
+    let mut cells = vec![SweepCell::new(
+        format!("scenario/{}/mixed", scenario.name),
+        scenario.mixed_config(),
+    )];
+    for (i, t) in scenario.tenants.iter().enumerate() {
+        cells.push(SweepCell::new(
+            format!("scenario/{}/solo/{}", scenario.name, t.name),
+            scenario.solo_config(i),
+        ));
+    }
+    let outcomes = run_cells(cells, opts);
+    let mixed = &outcomes[0].report;
+    let duration_s = scenario.duration.as_ns() as f64 * 1e-9;
+
+    // Queue index == workload index (one ring per NF instance), so a
+    // tenant's queues in the mixed run are its workload indices there.
+    let mut next_workload = 0usize;
+    let mut tenants = Vec::with_capacity(scenario.tenants.len());
+    for (i, t) in scenario.tenants.iter().enumerate() {
+        let queues: Vec<usize> = (next_workload..next_workload + t.cores.len()).collect();
+        next_workload += t.cores.len();
+
+        let rx_packets = sum_counters(mixed, queues.iter().map(|q| format!("queue{q}.rx.packets")));
+        let rx_drops = sum_counters(mixed, queues.iter().map(|q| format!("queue{q}.rx.drops")));
+        let offered = rx_packets + rx_drops;
+        let completed = sum_counters(
+            mixed,
+            t.cores.iter().map(|c| format!("core{c}.packets.completed")),
+        );
+        let steer = SteerMix {
+            llc: sum_counters(mixed, t.cores.iter().map(|c| format!("core{c}.steer.llc"))),
+            mlc: sum_counters(mixed, t.cores.iter().map(|c| format!("core{c}.steer.mlc"))),
+            dram: sum_counters(mixed, t.cores.iter().map(|c| format!("core{c}.steer.dram"))),
+        };
+        let mlc_wb = t
+            .cores
+            .iter()
+            .map(|&c| mixed.hierarchy.core[c as usize].mlc_wb.get())
+            .sum();
+
+        let latency = merged_latency(mixed, &t.cores);
+        let solo_latency = merged_latency(&outcomes[i + 1].report, &t.cores);
+        let interference = match (latency, solo_latency) {
+            (Some(m), Some(s)) => Some(Interference {
+                p50_delta_ns: m.p50_ns as i64 - s.p50_ns as i64,
+                p99_delta_ns: m.p99_ns as i64 - s.p99_ns as i64,
+                p99_ratio: if s.p99_ns > 0 {
+                    m.p99_ns as f64 / s.p99_ns as f64
+                } else {
+                    f64::NAN
+                },
+            }),
+            _ => None,
+        };
+
+        tenants.push(TenantReport {
+            name: t.name.clone(),
+            nf: t.nf.name(),
+            cores: t.cores.clone(),
+            rx_packets,
+            rx_drops,
+            drop_rate: if offered == 0 {
+                0.0
+            } else {
+                rx_drops as f64 / offered as f64
+            },
+            completed,
+            throughput_gbps: completed as f64 * f64::from(t.packet_len) * 8.0 / duration_s / 1e9,
+            mlc_wb,
+            steer,
+            latency,
+            solo_latency,
+            interference,
+        });
+    }
+
+    Ok(ScenarioReport {
+        scenario: scenario.name.clone(),
+        description: scenario.description.clone(),
+        policy: scenario.policy.label(),
+        root_seed: opts.root_seed,
+        duration_ns: scenario.duration.as_ns(),
+        rx_packets: mixed.totals.rx_packets,
+        rx_drops: mixed.totals.rx_drops,
+        completed: mixed.totals.completed_packets,
+        tenants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idio_core::config::FlowSteering;
+    use idio_core::net::gen::TrafficPattern;
+    use idio_core::policy::SteeringPolicy;
+    use idio_core::stack::nf::NfKind;
+    use idio_engine::time::{Duration, SimTime};
+
+    use crate::spec::TenantDef;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            description: "runner test".into(),
+            policy: SteeringPolicy::Idio,
+            steering: FlowSteering::Perfect,
+            duration: SimTime::from_us(200),
+            drain_grace: Duration::from_us(200),
+            tenants: vec![
+                TenantDef::new(
+                    "a",
+                    NfKind::TouchDrop,
+                    vec![0, 1],
+                    4,
+                    5000,
+                    TrafficPattern::Steady { rate_gbps: 10.0 },
+                    1514,
+                ),
+                TenantDef::new(
+                    "b",
+                    NfKind::TouchDrop,
+                    vec![2],
+                    2,
+                    6000,
+                    TrafficPattern::Steady { rate_gbps: 8.0 },
+                    512,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn tenant_attribution_adds_up_to_run_totals() {
+        let r = run_scenario(&tiny(), &SweepOptions::serial()).unwrap();
+        assert_eq!(r.tenants.len(), 2);
+        let rx: u64 = r.tenants.iter().map(|t| t.rx_packets).sum();
+        let done: u64 = r.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(rx, r.rx_packets, "per-queue rx folds cover every queue");
+        assert_eq!(done, r.completed, "per-core completions cover every core");
+        for t in &r.tenants {
+            assert!(t.completed > 0, "tenant '{}' made progress", t.name);
+            assert!(t.throughput_gbps > 0.0);
+            let lat = t.latency.expect("completed packets have latency");
+            assert_eq!(lat.count, t.completed);
+            assert!(lat.p50_ns <= lat.p90_ns && lat.p90_ns <= lat.p99_ns);
+            assert!(lat.p99_ns <= lat.max_ns.next_power_of_two().max(1) * 2);
+            let steer_total = t.steer.llc + t.steer.mlc + t.steer.dram;
+            assert!(steer_total > 0, "tenant '{}' received DMA lines", t.name);
+            t.interference.expect("both runs completed packets");
+            t.solo_latency.expect("solo run completed packets");
+        }
+    }
+
+    #[test]
+    fn report_is_independent_of_worker_count() {
+        let serial = run_scenario(&tiny(), &SweepOptions::serial()).unwrap();
+        let parallel = run_scenario(
+            &tiny(),
+            &SweepOptions {
+                jobs: 4,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected_before_running() {
+        let mut sc = tiny();
+        sc.tenants[1].cores = vec![0];
+        assert!(run_scenario(&sc, &SweepOptions::serial()).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Scenario and tenant specifications, and their mapping onto
+//! [`SystemConfig`].
+//!
+//! A [`Scenario`] is pure data: it can be validated, listed, and turned
+//! into system configurations without running anything. The mapping
+//! produces one *mixed* configuration (all tenants together) and one
+//! *solo* configuration per tenant (the tenant alone on its own cores,
+//! same cache hierarchy), which is what makes the interference report an
+//! apples-to-apples comparison.
+
+use idio_core::cache::addr::CoreId;
+use idio_core::config::{FlowSteering, SystemConfig, TenantSpec, WorkloadSpec};
+use idio_core::net::gen::{Arrival, TrafficPattern};
+use idio_core::net::packet::Dscp;
+use idio_core::policy::SteeringPolicy;
+use idio_core::stack::nf::NfKind;
+use idio_engine::time::{Duration, SimTime};
+
+/// One tenant of a scenario: a traffic source bound to an NF class and a
+/// group of cores.
+#[derive(Debug, Clone)]
+pub struct TenantDef {
+    /// Stable tenant name (unique within the scenario; report key).
+    pub name: String,
+    /// The network function every one of the tenant's cores runs.
+    pub nf: NfKind,
+    /// The cores (and therefore NIC queues) the tenant owns.
+    pub cores: Vec<u16>,
+    /// Distinct five-tuples the tenant's aggregate load is dealt over;
+    /// the flow director spreads them round-robin across the cores.
+    /// Ignored when `replay` is set (the trace brings its own flows).
+    pub flows: u16,
+    /// First UDP destination port of the synthetic flows (`base_port + i`
+    /// for flow `i`); tenants must use disjoint ranges.
+    pub base_port: u16,
+    /// Aggregate arrival pattern of the whole tenant.
+    pub traffic: TrafficPattern,
+    /// Frame length in bytes (all of the tenant's flows share it).
+    pub packet_len: u16,
+    /// DSCP marking — the application-class signal the NIC classifier
+    /// reads (class 1 payloads go direct to DRAM under IDIO).
+    pub dscp: Dscp,
+    /// Recorded arrivals replayed instead of the analytic `traffic`
+    /// pattern (see [`idio_core::net::trace`]).
+    pub replay: Option<Vec<Arrival>>,
+}
+
+impl TenantDef {
+    /// A synthetic-traffic tenant with best-effort DSCP.
+    pub fn new(
+        name: impl Into<String>,
+        nf: NfKind,
+        cores: Vec<u16>,
+        flows: u16,
+        base_port: u16,
+        traffic: TrafficPattern,
+        packet_len: u16,
+    ) -> Self {
+        TenantDef {
+            name: name.into(),
+            nf,
+            cores,
+            flows,
+            base_port,
+            traffic,
+            packet_len,
+            dscp: Dscp::BEST_EFFORT,
+            replay: None,
+        }
+    }
+
+    /// Returns the tenant with a different DSCP marking.
+    pub fn with_dscp(mut self, dscp: Dscp) -> Self {
+        self.dscp = dscp;
+        self
+    }
+
+    /// Returns the tenant replaying `arrivals` instead of its analytic
+    /// traffic pattern.
+    pub fn with_replay(mut self, arrivals: Vec<Arrival>) -> Self {
+        self.replay = Some(arrivals);
+        self
+    }
+}
+
+/// A named, declarative mixed-workload run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (label prefix of every cell it spawns).
+    pub name: String,
+    /// One-line human description (shown by `scenario --list`).
+    pub description: String,
+    /// The steering policy the run is evaluated under.
+    pub policy: SteeringPolicy,
+    /// Flow Director operating mode.
+    pub steering: FlowSteering,
+    /// Traffic generation horizon.
+    pub duration: SimTime,
+    /// Extra drain time after traffic stops.
+    pub drain_grace: Duration,
+    /// The tenants, in declaration (report) order.
+    pub tenants: Vec<TenantDef>,
+}
+
+impl Scenario {
+    /// Number of cores the scenario requires (highest owned core + 1).
+    pub fn num_cores(&self) -> usize {
+        self.tenants
+            .iter()
+            .flat_map(|t| t.cores.iter())
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Table I defaults sized for this scenario, with no workloads yet.
+    fn base_config(&self) -> SystemConfig {
+        let placeholder = self
+            .tenants
+            .first()
+            .map(|t| t.traffic)
+            .unwrap_or(TrafficPattern::Steady { rate_gbps: 1.0 });
+        let mut cfg = SystemConfig::touchdrop_scenario(self.num_cores(), placeholder);
+        cfg.policy = self.policy;
+        cfg.steering = self.steering;
+        cfg.duration = self.duration;
+        cfg.drain_grace = self.drain_grace;
+        cfg.workloads.clear();
+        cfg
+    }
+
+    fn push_tenant(cfg: &mut SystemConfig, t: &TenantDef) {
+        let first = cfg.workloads.len();
+        for &c in &t.cores {
+            cfg.workloads.push(WorkloadSpec {
+                core: CoreId::new(c),
+                kind: t.nf,
+                traffic: t.traffic,
+                packet_len: t.packet_len,
+                dscp: t.dscp,
+            });
+        }
+        cfg.tenants.push(TenantSpec {
+            name: t.name.clone(),
+            workloads: (first..cfg.workloads.len()).collect(),
+            flows: t.flows,
+            base_port: t.base_port,
+            traffic: t.traffic,
+            packet_len: t.packet_len,
+            dscp: t.dscp,
+            replay: t.replay.clone(),
+        });
+    }
+
+    /// The mixed configuration: all tenants running together.
+    pub fn mixed_config(&self) -> SystemConfig {
+        let mut cfg = self.base_config();
+        for t in &self.tenants {
+            Scenario::push_tenant(&mut cfg, t);
+        }
+        cfg
+    }
+
+    /// The solo configuration of tenant `i`: only its workloads, on their
+    /// original cores, with the *same* core count and cache hierarchy as
+    /// the mixed run — so solo vs. mixed latency isolates contention, not
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn solo_config(&self, i: usize) -> SystemConfig {
+        let mut cfg = self.base_config();
+        Scenario::push_tenant(&mut cfg, &self.tenants[i]);
+        // Keep the hierarchy sized for the full scenario even though only
+        // one tenant's cores are active.
+        cfg.hierarchy.num_cores = self.num_cores();
+        cfg
+    }
+
+    /// Validates the scenario: a non-empty name, at least one tenant, no
+    /// core owned twice, and every derived configuration (mixed and each
+    /// solo) valid under [`SystemConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario with empty name".into());
+        }
+        if self.tenants.is_empty() {
+            return Err(format!("scenario '{}' has no tenants", self.name));
+        }
+        let mut owned = std::collections::HashSet::new();
+        for t in &self.tenants {
+            if t.cores.is_empty() {
+                return Err(format!("tenant '{}' owns no cores", t.name));
+            }
+            for &c in &t.cores {
+                if !owned.insert(c) {
+                    return Err(format!("core {c} is owned by two tenants"));
+                }
+            }
+        }
+        self.mixed_config()
+            .validate()
+            .map_err(|e| format!("scenario '{}' (mixed): {e}", self.name))?;
+        for (i, t) in self.tenants.iter().enumerate() {
+            self.solo_config(i)
+                .validate()
+                .map_err(|e| format!("scenario '{}' (solo '{}'): {e}", self.name, t.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenants() -> Scenario {
+        Scenario {
+            name: "test".into(),
+            description: "two tenants".into(),
+            policy: SteeringPolicy::Idio,
+            steering: FlowSteering::Perfect,
+            duration: SimTime::from_us(100),
+            drain_grace: Duration::from_us(100),
+            tenants: vec![
+                TenantDef::new(
+                    "a",
+                    NfKind::TouchDrop,
+                    vec![0, 1],
+                    6,
+                    5000,
+                    TrafficPattern::Steady { rate_gbps: 10.0 },
+                    1514,
+                ),
+                TenantDef::new(
+                    "b",
+                    NfKind::L2FwdPayloadDrop,
+                    vec![2],
+                    3,
+                    6000,
+                    TrafficPattern::Steady { rate_gbps: 20.0 },
+                    1024,
+                )
+                .with_dscp(Dscp::CLASS1_DEFAULT),
+            ],
+        }
+    }
+
+    #[test]
+    fn mixed_config_maps_tenants_to_contiguous_workloads() {
+        let sc = two_tenants();
+        let cfg = sc.mixed_config();
+        assert!(sc.validate().is_ok());
+        assert_eq!(cfg.workloads.len(), 3);
+        assert_eq!(cfg.tenants.len(), 2);
+        assert_eq!(cfg.tenants[0].workloads, vec![0, 1]);
+        assert_eq!(cfg.tenants[1].workloads, vec![2]);
+        assert_eq!(cfg.workloads[2].kind, NfKind::L2FwdPayloadDrop);
+        assert_eq!(cfg.workloads[2].dscp, Dscp::CLASS1_DEFAULT);
+        assert_eq!(cfg.num_cores(), 3);
+    }
+
+    #[test]
+    fn solo_config_keeps_original_cores_and_hierarchy_size() {
+        let sc = two_tenants();
+        let cfg = sc.solo_config(1);
+        assert_eq!(cfg.workloads.len(), 1);
+        assert_eq!(cfg.workloads[0].core, CoreId::new(2));
+        assert_eq!(cfg.tenants[0].workloads, vec![0]);
+        // Same core count as the mixed run: contention-only comparison.
+        assert_eq!(cfg.hierarchy.num_cores, 3);
+    }
+
+    #[test]
+    fn double_owned_core_rejected() {
+        let mut sc = two_tenants();
+        sc.tenants[1].cores = vec![1];
+        assert!(sc.validate().unwrap_err().contains("owned by two tenants"));
+    }
+
+    #[test]
+    fn overlapping_ports_rejected_via_config_validation() {
+        let mut sc = two_tenants();
+        sc.tenants[1].base_port = 5002;
+        assert!(sc.validate().unwrap_err().contains("overlapping"));
+    }
+}

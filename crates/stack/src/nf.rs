@@ -65,6 +65,23 @@ pub struct PacketWork {
     pub action: PacketAction,
 }
 
+impl PacketWork {
+    /// An empty program, the starting point for a reusable scratch buffer
+    /// (see [`NfKind::packet_work_into`]).
+    pub fn empty() -> Self {
+        PacketWork {
+            ops: Vec::new(),
+            action: PacketAction::Drop,
+        }
+    }
+}
+
+impl Default for PacketWork {
+    fn default() -> Self {
+        PacketWork::empty()
+    }
+}
+
 /// Addresses of the structures belonging to one received packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketCtx {
@@ -132,21 +149,33 @@ impl NfKind {
 
     /// Builds the per-packet program for a packet at `ctx`.
     ///
+    /// Allocates a fresh [`PacketWork`]; hot paths that run one program
+    /// per packet should keep a scratch buffer and use
+    /// [`NfKind::packet_work_into`] instead.
+    pub fn packet_work(self, ctx: &PacketCtx) -> PacketWork {
+        let mut work = PacketWork::empty();
+        self.packet_work_into(ctx, &mut work);
+        work
+    }
+
+    /// Builds the per-packet program for a packet at `ctx` into `work`,
+    /// reusing its `ops` allocation (the buffer is cleared first).
+    ///
     /// Every NF starts by reading the descriptor (2 lines) and writing the
     /// mbuf metadata (2 lines) — the PMD's receive-side bookkeeping.
-    pub fn packet_work(self, ctx: &PacketCtx) -> PacketWork {
+    pub fn packet_work_into(self, ctx: &PacketCtx, work: &mut PacketWork) {
         let desc_lines = (crate::DESC_BYTES_FOR_WORK / 64) as u32;
         let meta_lines = (MBUF_META_BYTES / 64) as u32;
-        let mut ops = vec![
-            MemOp::Read {
-                addr: ctx.desc,
-                lines: desc_lines,
-            },
-            MemOp::Write {
-                addr: ctx.meta,
-                lines: meta_lines,
-            },
-        ];
+        let ops = &mut work.ops;
+        ops.clear();
+        ops.push(MemOp::Read {
+            addr: ctx.desc,
+            lines: desc_lines,
+        });
+        ops.push(MemOp::Write {
+            addr: ctx.meta,
+            lines: meta_lines,
+        });
         let action = match self {
             NfKind::TouchDrop => {
                 // Touch the entire frame, header included.
@@ -215,7 +244,7 @@ impl NfKind {
                 PacketAction::Drop
             }
         };
-        PacketWork { ops, action }
+        work.action = action;
     }
 }
 
@@ -289,6 +318,20 @@ mod tests {
         let w = NfKind::L2FwdPayloadDrop.packet_work(&ctx(1514));
         assert_eq!(w.action, PacketAction::Drop);
         assert!(!NfKind::L2FwdPayloadDrop.frees_on_tx());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_build_and_keeps_capacity() {
+        let mut scratch = PacketWork::empty();
+        // A TouchDropCopy program (5 ops) followed by an L2Fwd program
+        // (4 ops) must leave the scratch identical to a fresh build, with
+        // no stale tail ops, and must not reallocate on the second fill.
+        NfKind::TouchDropCopy.packet_work_into(&ctx(1514), &mut scratch);
+        assert_eq!(scratch, NfKind::TouchDropCopy.packet_work(&ctx(1514)));
+        let cap = scratch.ops.capacity();
+        NfKind::L2Fwd.packet_work_into(&ctx(1024), &mut scratch);
+        assert_eq!(scratch, NfKind::L2Fwd.packet_work(&ctx(1024)));
+        assert_eq!(scratch.ops.capacity(), cap, "reuse, not reallocation");
     }
 
     #[test]

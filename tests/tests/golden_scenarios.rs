@@ -1,0 +1,64 @@
+//! Golden harness for the built-in scenario reports.
+//!
+//! Runs every built-in scenario of `idio-scenario` (on 4 workers — the
+//! reports are `--jobs`-independent by construction) and diffs the JSON
+//! rendering against the blessed copies under
+//! `tests/golden/scenario_<name>.json`. Any diff is a behaviour change
+//! that must be either fixed or explicitly re-blessed:
+//!
+//! ```text
+//! IDIO_BLESS=1 cargo test -p idio-integration-tests --test golden_scenarios
+//! ```
+//!
+//! The same files back the CI smoke step, which runs the `scenario`
+//! binary and byte-compares its output against the golden.
+
+use std::path::PathBuf;
+
+use idio_core::sweep::SweepOptions;
+use idio_scenario::{builtins, run_scenario};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("IDIO_BLESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn builtin_scenarios_match_blessed_goldens() {
+    let opts = SweepOptions {
+        jobs: 4,
+        ..SweepOptions::default()
+    };
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for scenario in builtins() {
+        let report = run_scenario(&scenario, &opts).expect("built-in scenarios are valid");
+        let rendered = format!("{}\n", report.to_json());
+        let path = dir.join(format!("scenario_{}.json", scenario.name));
+        if blessing() {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == rendered => {}
+            Ok(expected) => failures.push(format!(
+                "{}: report diverged from golden.\n--- golden\n{expected}\n--- current\n{rendered}",
+                scenario.name
+            )),
+            Err(e) => failures.push(format!(
+                "{}: missing golden at {} ({e}); run with IDIO_BLESS=1 to create it",
+                scenario.name,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scenario golden mismatches (IDIO_BLESS=1 re-blesses after intentional changes):\n{}",
+        failures.join("\n")
+    );
+}

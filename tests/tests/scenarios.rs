@@ -1,0 +1,58 @@
+//! Cross-crate integration tests of the scenario subsystem.
+
+use idio_core::sweep::SweepOptions;
+use idio_scenario::{builtin, run_scenario};
+
+/// The tentpole determinism guarantee: a scenario report is a pure
+/// function of `(scenario, root_seed)` — byte-identical JSON at any
+/// worker count.
+#[test]
+fn scenario_report_is_byte_identical_across_jobs() {
+    let run = |jobs: usize| {
+        let scenario = builtin("noisy-neighbor").expect("built-in");
+        run_scenario(
+            &scenario,
+            &SweepOptions {
+                jobs,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("valid scenario")
+        .to_json()
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "jobs=4 must match jobs=1");
+    assert_eq!(serial, run(8), "jobs=8 must match jobs=1");
+}
+
+/// The interference report tells a causal story: the bulk tenant's load
+/// cannot make the latency tenant *faster*, and every tenant completes
+/// packets in both runs so the comparison is populated.
+#[test]
+fn noisy_neighbor_interference_is_populated() {
+    let scenario = builtin("noisy-neighbor").expect("built-in");
+    let report = run_scenario(&scenario, &SweepOptions::serial()).expect("valid scenario");
+    assert_eq!(report.tenants.len(), 2);
+    for t in &report.tenants {
+        assert!(t.completed > 0, "tenant '{}' completed packets", t.name);
+        let i = t
+            .interference
+            .unwrap_or_else(|| panic!("tenant '{}' has an interference summary", t.name));
+        assert!(i.p99_ratio.is_finite());
+    }
+}
+
+/// The trace-replay scenario feeds the system through the real trace
+/// parser; the replayed tenant must deliver packets on every one of its
+/// queues (first-seen round-robin flow pinning).
+#[test]
+fn trace_replay_spreads_flows_across_queues() {
+    let scenario = builtin("trace-replay").expect("built-in");
+    let report = run_scenario(&scenario, &SweepOptions::serial()).expect("valid scenario");
+    let replay = &report.tenants[0];
+    assert_eq!(replay.name, "replay");
+    assert!(replay.rx_packets > 0);
+    assert_eq!(replay.cores.len(), 2);
+    let lat = replay.latency.expect("replayed packets completed");
+    assert!(lat.count > 0);
+}
