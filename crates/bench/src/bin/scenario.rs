@@ -124,5 +124,16 @@ fn main() -> ExitCode {
         }
         None => print!("{rendered}"),
     }
+    // SLO gate: a scenario whose tenants declared objectives fails the
+    // invocation (after the report is written) when any bound is violated,
+    // so CI can assert service levels with a plain exit-code check.
+    let violations = report.slo_violations();
+    if !violations.is_empty() {
+        eprintln!("SLO violations:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use idio_core::config::SystemConfig;
 use idio_core::net::gen::{BurstSpec, TrafficPattern};
 use idio_core::net::packet::Dscp;
-use idio_core::policy::SteeringPolicy;
+use idio_core::policy::{PolicySpec, SteeringPolicy};
 use idio_core::stack::nf::NfKind;
 use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
 use idio_core::system::System;
@@ -23,6 +23,7 @@ use idio_engine::time::{Duration, SimTime};
 
 struct Args {
     policy: SteeringPolicy,
+    queue_policies: Vec<(usize, SteeringPolicy)>,
     nf: NfKind,
     rate_gbps: f64,
     bursty: bool,
@@ -45,6 +46,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             policy: SteeringPolicy::Idio,
+            queue_policies: Vec::new(),
             nf: NfKind::TouchDrop,
             rate_gbps: 25.0,
             bursty: true,
@@ -68,7 +70,9 @@ impl Default for Args {
 fn usage() {
     println!(
         "usage: simulate [options]\n\
-         --policy ddio|invalidate|prefetch|static|idio   (default idio)\n\
+         --policy ddio|invalidate|prefetch|static|idio|iat (default idio)\n\
+         --queue-policy <q>=<policy>                     per-queue override of --policy\n\
+                                                         (repeatable; queue q runs <policy>)\n\
          --nf touchdrop|l2fwd|payload-drop|copy|deepfwd  (default touchdrop)\n\
          --rate <gbps>                                   (default 25)\n\
          --bursty | --steady | --poisson                 (default bursty)\n\
@@ -98,14 +102,21 @@ fn parse() -> Result<Args, String> {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match a.as_str() {
             "--policy" => {
-                args.policy = match val("--policy")?.to_lowercase().as_str() {
-                    "ddio" => SteeringPolicy::Ddio,
-                    "invalidate" => SteeringPolicy::InvalidateOnly,
-                    "prefetch" => SteeringPolicy::PrefetchOnly,
-                    "static" => SteeringPolicy::StaticIdio,
-                    "idio" => SteeringPolicy::Idio,
-                    other => return Err(format!("unknown policy '{other}'")),
-                }
+                let name = val("--policy")?;
+                args.policy = SteeringPolicy::from_name(&name)
+                    .ok_or_else(|| format!("unknown policy '{name}'"))?;
+            }
+            "--queue-policy" => {
+                let spec = val("--queue-policy")?;
+                let (q, name) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--queue-policy expects <q>=<policy>, got '{spec}'"))?;
+                let q: usize = q
+                    .parse()
+                    .map_err(|e| format!("bad queue index '{q}': {e}"))?;
+                let p = SteeringPolicy::from_name(name)
+                    .ok_or_else(|| format!("unknown policy '{name}'"))?;
+                args.queue_policies.push((q, p));
             }
             "--nf" => {
                 args.nf = match val("--nf")?.to_lowercase().as_str() {
@@ -223,6 +234,21 @@ fn main() -> ExitCode {
     }
     cfg.trace = args.trace.clone();
     cfg = cfg.with_policy(args.policy);
+    for &(q, p) in &args.queue_policies {
+        if q >= cfg.workloads.len() {
+            eprintln!(
+                "error: --queue-policy {q}={} names a nonexistent queue (have {})",
+                p.label().to_lowercase(),
+                cfg.workloads.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        cfg.queue_policies.insert(q, PolicySpec::Preset(p));
+    }
+    if args.all_policies && !args.queue_policies.is_empty() {
+        eprintln!("error: --queue-policy cannot be combined with --all-policies");
+        return ExitCode::FAILURE;
+    }
     if args.antagonist {
         cfg = cfg.with_antagonist();
     }

@@ -15,7 +15,7 @@ use idio_stack::pmd::PmdConfig;
 use idio_stack::timing::TimingConfig;
 
 use crate::controller::IdioConfig;
-use crate::policy::SteeringPolicy;
+use crate::policy::{PolicySpec, PolicyTable, SteeringPolicy};
 use crate::prefetcher::PrefetcherConfig;
 
 /// How flows are steered to queues (Sec. II-C's two Flow Director
@@ -82,6 +82,10 @@ pub struct TenantSpec {
     /// `idio_net::trace`). Flows found in the trace are pinned first-seen
     /// round-robin across the tenant's queues.
     pub replay: Option<Vec<Arrival>>,
+    /// Steering-policy override for every queue this tenant owns. `None`
+    /// inherits [`SystemConfig::policy`]; a per-queue entry in
+    /// [`SystemConfig::queue_policies`] overrides this in turn.
+    pub policy: Option<PolicySpec>,
 }
 
 impl TenantSpec {
@@ -131,8 +135,15 @@ pub struct SystemConfig {
     pub classifier: ClassifierConfig,
     /// PCIe/DMA settings.
     pub dma: DmaConfig,
-    /// The placement policy under test.
+    /// The system-default placement policy — the bottom layer of the
+    /// policy table. [`TenantSpec::policy`] and
+    /// [`SystemConfig::queue_policies`] override it per tenant / per
+    /// queue; [`SystemConfig::policy_table`] resolves the layering.
     pub policy: SteeringPolicy,
+    /// Per-queue policy overrides (queue index = workload index), the top
+    /// layer of the policy table: an entry here wins over both the owning
+    /// tenant's [`TenantSpec::policy`] and the system default.
+    pub queue_policies: std::collections::BTreeMap<usize, PolicySpec>,
     /// IDIO controller settings.
     pub idio: IdioConfig,
     /// MLC prefetcher settings.
@@ -196,6 +207,7 @@ impl SystemConfig {
             classifier: ClassifierConfig::paper_default(),
             dma: DmaConfig::default(),
             policy: SteeringPolicy::Ddio,
+            queue_policies: std::collections::BTreeMap::new(),
             idio: IdioConfig::paper_default(),
             prefetcher: PrefetcherConfig::default(),
             invalidate_scope: InvalidateScope::IncludeLlc,
@@ -213,10 +225,42 @@ impl SystemConfig {
         }
     }
 
-    /// Returns the config with a different policy.
+    /// Returns the config with a different system-default policy.
     pub fn with_policy(mut self, policy: SteeringPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Returns the config with a per-queue policy override (queue index =
+    /// workload index).
+    pub fn with_queue_policy(mut self, queue: usize, policy: impl Into<PolicySpec>) -> Self {
+        self.queue_policies.insert(queue, policy.into());
+        self
+    }
+
+    /// Resolves the layered policy configuration (system default →
+    /// per-tenant override → per-queue override) into the dense
+    /// [`PolicyTable`] the hot path indexes. A preset-only configuration
+    /// with no overrides resolves to a single-domain table whose behavior
+    /// is exactly the old global enum's.
+    pub fn policy_table(&self) -> PolicyTable {
+        let default = PolicySpec::Preset(self.policy);
+        let mut per_queue = vec![default; self.workloads.len()];
+        for t in &self.tenants {
+            if let Some(p) = t.policy {
+                for &wi in &t.workloads {
+                    if let Some(slot) = per_queue.get_mut(wi) {
+                        *slot = p;
+                    }
+                }
+            }
+        }
+        for (&q, &p) in &self.queue_policies {
+            if let Some(slot) = per_queue.get_mut(q) {
+                *slot = p;
+            }
+        }
+        PolicyTable::new(default, &per_queue)
     }
 
     /// Adds the antagonist on the next free core, shrinking that core's MLC
@@ -290,6 +334,11 @@ impl SystemConfig {
             }
             if arrivals.windows(2).any(|w| w[0].at > w[1].at) {
                 return Err(format!("trace replay {idx} is not time-ordered"));
+            }
+        }
+        for &q in self.queue_policies.keys() {
+            if q >= self.workloads.len() {
+                return Err(format!("policy override for nonexistent queue {q}"));
             }
         }
         self.validate_tenants()?;
@@ -420,6 +469,7 @@ mod tests {
             packet_len: 1514,
             dscp: Dscp::BEST_EFFORT,
             replay: None,
+            policy: None,
         }
     }
 
@@ -432,6 +482,40 @@ mod tests {
             cfg.tenants[1].cores(&cfg).collect::<Vec<_>>(),
             vec![CoreId::new(2), CoreId::new(3)]
         );
+    }
+
+    #[test]
+    fn policy_layers_resolve_queue_over_tenant_over_default() {
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(4, bursty()).with_policy(SteeringPolicy::Idio);
+        cfg.tenants = vec![tenant("a", vec![0, 1], 5000), tenant("b", vec![2, 3], 6000)];
+        cfg.tenants[1].policy = Some(PolicySpec::Preset(SteeringPolicy::Ddio));
+        cfg = cfg.with_queue_policy(3, SteeringPolicy::IatDynamic);
+        assert!(cfg.validate().is_ok());
+        let t = cfg.policy_table();
+        assert_eq!(t.num_domains(), 3);
+        // Queues 0/1 inherit the default, 2 takes the tenant override, 3
+        // the queue override on top of it.
+        assert_eq!(t.queue_domains(), &[0, 0, 1, 2]);
+        assert_eq!(t.spec(0), PolicySpec::Preset(SteeringPolicy::Idio));
+        assert_eq!(t.spec(1), PolicySpec::Preset(SteeringPolicy::Ddio));
+        assert_eq!(t.spec(2), PolicySpec::Preset(SteeringPolicy::IatDynamic));
+    }
+
+    #[test]
+    fn preset_only_config_resolves_to_one_domain() {
+        let cfg = SystemConfig::touchdrop_scenario(3, bursty()).with_policy(SteeringPolicy::Idio);
+        let t = cfg.policy_table();
+        assert_eq!(t.num_domains(), 1);
+        assert_eq!(t.queue_domains(), &[0, 0, 0]);
+        assert_eq!(t.caps(0), SteeringPolicy::Idio.caps());
+    }
+
+    #[test]
+    fn queue_policy_for_unknown_queue_rejected() {
+        let cfg = SystemConfig::touchdrop_scenario(2, bursty())
+            .with_queue_policy(7, SteeringPolicy::Ddio);
+        assert!(cfg.validate().unwrap_err().contains("nonexistent queue 7"));
     }
 
     #[test]

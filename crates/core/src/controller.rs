@@ -13,7 +13,7 @@ use idio_engine::time::Duration;
 use idio_nic::tlp::{AppClass, TlpMeta};
 
 use crate::fsm::{MlcStatus, PrefetchFsm};
-use crate::policy::{PrefetchMode, SteeringPolicy};
+use crate::policy::{PolicyCaps, PrefetchMode};
 
 /// Controller configuration (Sec. V-B and VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,9 +195,14 @@ impl IdioController {
     }
 
     /// **Data plane** (Alg. 1 lines 1–11): steering decision for one DMA
-    /// write, given the active policy.
-    pub fn steer(&mut self, policy: SteeringPolicy, meta: TlpMeta) -> Placement {
-        let mode = policy.prefetch_mode();
+    /// write, given the capabilities of the queue's resolved policy.
+    ///
+    /// Accepts either a [`PolicyCaps`] (the hot path hands in the caps
+    /// resolved for the packet's queue) or a [`crate::policy::SteeringPolicy`]
+    /// preset, which converts to its capability set.
+    pub fn steer(&mut self, policy: impl Into<PolicyCaps>, meta: TlpMeta) -> Placement {
+        let caps: PolicyCaps = policy.into();
+        let mode = caps.prefetch;
         if mode == PrefetchMode::Off {
             // DDIO / Invalidate configs: everything to the LLC. (Class-1
             // direct DRAM requires the IDIO data path too.)
@@ -211,7 +216,7 @@ impl IdioController {
         if meta.is_header {
             return Placement::Mlc(core);
         }
-        if meta.app_class == AppClass::Class1 && policy.direct_dram() {
+        if meta.app_class == AppClass::Class1 && caps.direct_dram {
             return Placement::Dram;
         }
         let steer_mlc = match mode {
@@ -257,6 +262,7 @@ impl IdioController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SteeringPolicy;
 
     const C0: CoreId = CoreId::new(0);
 

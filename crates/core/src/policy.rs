@@ -107,6 +107,230 @@ impl SteeringPolicy {
             SteeringPolicy::IatDynamic => "IAT",
         }
     }
+
+    /// Parses a CLI policy name (the lowercase spellings the `simulate`
+    /// binary has always accepted, plus `iat`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ddio" => Some(SteeringPolicy::Ddio),
+            "invalidate" => Some(SteeringPolicy::InvalidateOnly),
+            "prefetch" => Some(SteeringPolicy::PrefetchOnly),
+            "static" => Some(SteeringPolicy::StaticIdio),
+            "idio" => Some(SteeringPolicy::Idio),
+            "iat" => Some(SteeringPolicy::IatDynamic),
+            _ => None,
+        }
+    }
+
+    /// The capability set this preset resolves to. The named policies are
+    /// pure presets over [`PolicyCaps`]: every behavioral question the hot
+    /// path asks goes through the caps, never back through the enum.
+    pub fn caps(self) -> PolicyCaps {
+        PolicyCaps {
+            invalidate: self.invalidates(),
+            prefetch: self.prefetch_mode(),
+            direct_dram: self.direct_dram(),
+            tune_ddio_ways: self.tunes_ddio_ways(),
+        }
+    }
+}
+
+/// The orthogonal capabilities a steering policy resolves to — what the
+/// data and control planes actually consult. The six named
+/// [`SteeringPolicy`] values are presets over this struct; a custom
+/// combination can express configurations the paper never named (e.g.
+/// invalidation plus static MLC steering without direct DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolicyCaps {
+    /// The software stack self-invalidates consumed buffers (mechanism 1).
+    pub invalidate: bool,
+    /// How payload MLC steering is decided (mechanism 2).
+    pub prefetch: PrefetchMode,
+    /// Class-1 payloads bypass the hierarchy (mechanism 3).
+    pub direct_dram: bool,
+    /// The LLC's DDIO way count is re-tuned at runtime (IAT-style).
+    pub tune_ddio_ways: bool,
+}
+
+impl PolicyCaps {
+    /// Whether headers are steered to the destination MLC (any
+    /// prefetch-capable capability set).
+    pub fn prefetches_headers(self) -> bool {
+        self.prefetch != PrefetchMode::Off
+    }
+}
+
+impl From<SteeringPolicy> for PolicyCaps {
+    fn from(p: SteeringPolicy) -> Self {
+        p.caps()
+    }
+}
+
+/// A policy selection in the layered table: a named preset or an explicit
+/// capability set. Preset-only configurations resolve to exactly the
+/// behavior the global enum produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicySpec {
+    /// One of the paper's named policies.
+    Preset(SteeringPolicy),
+    /// An explicit capability combination.
+    Custom(PolicyCaps),
+}
+
+impl PolicySpec {
+    /// The capability set this spec resolves to.
+    pub fn caps(&self) -> PolicyCaps {
+        match *self {
+            PolicySpec::Preset(p) => p.caps(),
+            PolicySpec::Custom(c) => c,
+        }
+    }
+
+    /// Display label: the preset's figure label, or a deterministic
+    /// rendering of the custom capability set.
+    pub fn label(&self) -> String {
+        match *self {
+            PolicySpec::Preset(p) => p.label().to_string(),
+            PolicySpec::Custom(c) => {
+                let pf = match c.prefetch {
+                    PrefetchMode::Off => "off",
+                    PrefetchMode::Always => "always",
+                    PrefetchMode::Dynamic => "dynamic",
+                };
+                format!(
+                    "custom(inval={},prefetch={pf},dram={},tune={})",
+                    u8::from(c.invalidate),
+                    u8::from(c.direct_dram),
+                    u8::from(c.tune_ddio_ways),
+                )
+            }
+        }
+    }
+}
+
+impl From<SteeringPolicy> for PolicySpec {
+    fn from(p: SteeringPolicy) -> Self {
+        PolicySpec::Preset(p)
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The layered policy configuration resolved into dense per-queue arrays.
+///
+/// Resolution happens once (at `System::new` time): the system default,
+/// per-tenant overrides and per-queue overrides collapse into a set of
+/// *policy domains* — the distinct capability sets active in the run —
+/// plus a queue → domain index. The hot path then does exactly one array
+/// index per DMA line instead of a layered lookup.
+///
+/// Domain 0 is always the system default, even when every queue overrides
+/// it (the control plane's way tuner and the report's headline label both
+/// key off it). Further domains are interned in ascending queue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyTable {
+    domains: Vec<PolicySpec>,
+    domain_caps: Vec<PolicyCaps>,
+    queue_domain: Vec<u16>,
+}
+
+impl PolicyTable {
+    /// Resolves `per_queue` effective specs (one per receive queue, already
+    /// layered: queue override > tenant override > `default`) into interned
+    /// domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct domains appear (impossible
+    /// in practice: domains are bounded by the queue count).
+    pub fn new(default: PolicySpec, per_queue: &[PolicySpec]) -> Self {
+        let mut domains = vec![default];
+        let mut queue_domain = Vec::with_capacity(per_queue.len());
+        for spec in per_queue {
+            let id = match domains.iter().position(|d| d == spec) {
+                Some(i) => i,
+                None => {
+                    domains.push(*spec);
+                    domains.len() - 1
+                }
+            };
+            queue_domain.push(u16::try_from(id).expect("domain count fits u16"));
+        }
+        let domain_caps = domains.iter().map(|d| d.caps()).collect();
+        PolicyTable {
+            domains,
+            domain_caps,
+            queue_domain,
+        }
+    }
+
+    /// A table where every queue runs the system default (legacy global
+    /// behavior).
+    pub fn uniform(default: PolicySpec, queues: usize) -> Self {
+        PolicyTable {
+            domains: vec![default],
+            domain_caps: vec![default.caps()],
+            queue_domain: vec![0; queues],
+        }
+    }
+
+    /// Number of distinct policy domains (≥ 1; domain 0 is the default).
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of receive queues the table covers.
+    pub fn num_queues(&self) -> usize {
+        self.queue_domain.len()
+    }
+
+    /// The spec of `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range.
+    pub fn spec(&self, domain: u16) -> PolicySpec {
+        self.domains[usize::from(domain)]
+    }
+
+    /// The resolved capability set of `domain` — the hot path's one index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range.
+    #[inline]
+    pub fn caps(&self, domain: u16) -> PolicyCaps {
+        self.domain_caps[usize::from(domain)]
+    }
+
+    /// All domain capability sets, indexed by domain id.
+    pub fn domain_caps(&self) -> &[PolicyCaps] {
+        &self.domain_caps
+    }
+
+    /// The domain `queue` resolved to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    #[inline]
+    pub fn queue_domain(&self, queue: usize) -> u16 {
+        self.queue_domain[queue]
+    }
+
+    /// The per-queue domain array (what the NIC config carries).
+    pub fn queue_domains(&self) -> &[u16] {
+        &self.queue_domain
+    }
+
+    /// Whether any domain (default or override) wants the DDIO way tuner.
+    pub fn any_tunes_ddio_ways(&self) -> bool {
+        self.domain_caps.iter().any(|c| c.tune_ddio_ways)
+    }
 }
 
 impl fmt::Display for SteeringPolicy {
@@ -139,6 +363,65 @@ mod tests {
         assert!(!SteeringPolicy::PrefetchOnly.direct_dram());
         assert!(SteeringPolicy::StaticIdio.direct_dram());
         assert!(SteeringPolicy::Idio.direct_dram());
+    }
+
+    #[test]
+    fn caps_mirror_the_enum_methods() {
+        for p in SteeringPolicy::EXTENDED {
+            let c = p.caps();
+            assert_eq!(c.invalidate, p.invalidates(), "{p}");
+            assert_eq!(c.prefetch, p.prefetch_mode(), "{p}");
+            assert_eq!(c.direct_dram, p.direct_dram(), "{p}");
+            assert_eq!(c.tune_ddio_ways, p.tunes_ddio_ways(), "{p}");
+            assert_eq!(c.prefetches_headers(), p.prefetches_headers(), "{p}");
+            assert_eq!(PolicyCaps::from(p), c);
+        }
+    }
+
+    #[test]
+    fn spec_labels_and_parsing() {
+        for p in SteeringPolicy::EXTENDED {
+            assert_eq!(PolicySpec::Preset(p).label(), p.label());
+            let name = p.label().to_lowercase();
+            let name = match p {
+                SteeringPolicy::InvalidateOnly => "invalidate".to_string(),
+                SteeringPolicy::StaticIdio => "static".to_string(),
+                _ => name,
+            };
+            assert_eq!(SteeringPolicy::from_name(&name), Some(p), "{name}");
+        }
+        assert_eq!(SteeringPolicy::from_name("bogus"), None);
+        let custom = PolicySpec::Custom(PolicyCaps {
+            invalidate: true,
+            prefetch: PrefetchMode::Always,
+            direct_dram: false,
+            tune_ddio_ways: true,
+        });
+        assert_eq!(
+            custom.label(),
+            "custom(inval=1,prefetch=always,dram=0,tune=1)"
+        );
+        assert_eq!(format!("{custom}"), custom.label());
+    }
+
+    #[test]
+    fn table_interns_domains_in_queue_order() {
+        let ddio = PolicySpec::Preset(SteeringPolicy::Ddio);
+        let idio = PolicySpec::Preset(SteeringPolicy::Idio);
+        let iat = PolicySpec::Preset(SteeringPolicy::IatDynamic);
+        let t = PolicyTable::new(idio, &[idio, ddio, iat, ddio]);
+        assert_eq!(t.num_domains(), 3, "default + two overrides");
+        assert_eq!(t.num_queues(), 4);
+        assert_eq!(t.queue_domains(), &[0, 1, 2, 1]);
+        assert_eq!(t.spec(0), idio);
+        assert_eq!(t.spec(1), ddio);
+        assert_eq!(t.caps(2), SteeringPolicy::IatDynamic.caps());
+        assert!(t.any_tunes_ddio_ways());
+        // A preset override identical to the default folds into domain 0.
+        let u = PolicyTable::new(idio, &[idio, idio]);
+        assert_eq!(u.num_domains(), 1);
+        assert_eq!(u, PolicyTable::uniform(idio, 2));
+        assert!(!u.any_tunes_ddio_ways());
     }
 
     #[test]

@@ -108,6 +108,11 @@ impl BurstTracker {
         }
     }
 
+    /// The burst period the tracker windows arrivals by.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
     fn index(&self, arrival: SimTime) -> u64 {
         arrival.as_ps() / self.period.as_ps()
     }

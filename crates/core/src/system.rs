@@ -36,6 +36,7 @@ use crate::config::{FlowSteering, SystemConfig};
 use crate::controller::{IdioController, Placement};
 use crate::fsm::MlcStatus;
 use crate::layout::{AddressMap, QueueRegions};
+use crate::policy::{PolicyCaps, PolicyTable};
 use crate::prefetcher::MlcPrefetcher;
 use crate::report::{
     BurstTracker, EventTypeProfile, LatencySummary, RunReport, RunTotals, Timelines,
@@ -72,6 +73,8 @@ enum Event {
         next: u32,
         /// The batch's original queue sequence number.
         batch_seq: u64,
+        /// Resolved steering-policy domain of the packet's queue.
+        domain: u16,
     },
     /// A descriptor writeback becomes visible to the polling driver.
     DescWriteback { queue: QueueId, slot: u32 },
@@ -144,6 +147,7 @@ struct DmaBatch {
     gap: Duration,
     lines: u32,
     batch_seq: u64,
+    domain: u16,
 }
 
 /// A packet-arrival stream: analytic single-flow generator (legacy
@@ -284,13 +288,23 @@ pub struct System {
     pending_arrival: Vec<Option<Packet>>,
     samplers: Samplers,
     bursts: Option<BurstTracker>,
+    /// Per-core burst trackers (exported as `core<i>.burst_exe_ns`).
+    core_bursts: Vec<BurstTracker>,
     hard_stop: SimTime,
     /// Line-address ranges of all DMA buffer pools (bloat classification).
     dma_line_ranges: Vec<(u64, u64)>,
     /// Sample ticks seen (the occupancy gauge samples every 10th tick).
     sample_ticks: u64,
-    /// IAT way-tuner state: (control ticks, LLC-WB snapshot, quiet streak).
-    iat: (u64, u64, u32),
+    /// Resolved layered policy table: system default → per-tenant →
+    /// per-queue, interned into dense policy domains (see
+    /// [`SystemConfig::policy_table`]). The hot path indexes it by the
+    /// domain id the NIC stamped into the packet's DMA plan.
+    policy: PolicyTable,
+    /// IAT way-tuner state, one slot per policy domain: (control ticks,
+    /// LLC-WB snapshot, quiet streak). Only domains whose caps tune the
+    /// DDIO ways ever advance their slot, so an IAT tenant's tuner state
+    /// is isolated from coexisting non-IAT tenants.
+    iat: Vec<(u64, u64, u32)>,
     /// Run-level metrics registry (exported via [`RunReport::metrics`]).
     metrics: MetricsRegistry,
     /// Bounded event tracer (filter from [`SystemConfig::trace`]).
@@ -343,6 +357,11 @@ impl System {
             regions.push(q);
         }
         let queue_cores: Vec<CoreId> = cfg.workloads.iter().map(|w| w.core).collect();
+        // Resolve the policy layers (system default → per-tenant →
+        // per-queue) once, into a dense per-queue domain array. The NIC
+        // stamps each packet's domain into its DMA plan; the hot path
+        // does a single index into the table.
+        let policy = cfg.policy_table();
         let mut nic = if cfg.workloads.is_empty() {
             // Antagonist-only runs still need a (dormant) NIC.
             let q = map.alloc_queue(cfg.ring_size);
@@ -353,6 +372,7 @@ impl System {
                     classifier: cfg.classifier.clone(),
                     dma: cfg.dma,
                     filter_table_entries: idio_nic::flow_director::DEFAULT_FILTER_TABLE_ENTRIES,
+                    queue_policy_domain: vec![0],
                 },
                 vec![RingLayout {
                     buf_base: q.buf_base,
@@ -367,6 +387,7 @@ impl System {
                     classifier: cfg.classifier.clone(),
                     dma: cfg.dma,
                     filter_table_entries: idio_nic::flow_director::DEFAULT_FILTER_TABLE_ENTRIES,
+                    queue_policy_domain: policy.queue_domains().to_vec(),
                 },
                 layouts,
             )
@@ -520,6 +541,12 @@ impl System {
             TrafficPattern::Bursty(spec) => Some(BurstTracker::new(spec.period)),
             TrafficPattern::Steady { .. } | TrafficPattern::Poisson { .. } => None,
         });
+        let core_bursts = match &bursts {
+            Some(b) => (0..num_cores)
+                .map(|_| BurstTracker::new(b.period()))
+                .collect(),
+            None => Vec::new(),
+        };
         let hard_stop = cfg.duration + cfg.drain_grace;
 
         let dma_line_ranges = regions
@@ -549,10 +576,12 @@ impl System {
             antagonist,
             samplers,
             bursts,
+            core_bursts,
             hard_stop,
             dma_line_ranges,
             sample_ticks: 0,
-            iat: (0, 0, 0),
+            iat: vec![(0, 0, 0); policy.num_domains()],
+            policy,
             metrics: MetricsRegistry::new(),
             tracer,
             ev_counts: [0; Event::TYPES],
@@ -666,6 +695,7 @@ impl System {
                 lines,
                 next,
                 batch_seq,
+                domain,
             } => self.on_dma_packet(
                 DmaBatch {
                     buf_line,
@@ -676,6 +706,7 @@ impl System {
                     gap,
                     lines,
                     batch_seq,
+                    domain,
                 },
                 next,
             ),
@@ -723,6 +754,7 @@ impl System {
                     lines: dma.payload.lines,
                     next: 0,
                     batch_seq,
+                    domain: dma.policy_domain,
                 },
             );
             self.queue.schedule_at(
@@ -734,6 +766,12 @@ impl System {
             );
         }
         self.arm_next_arrival(gen);
+    }
+
+    /// Resolved policy capabilities of `queue` (one table index).
+    #[inline]
+    fn queue_caps(&self, queue: QueueId) -> PolicyCaps {
+        self.policy.caps(self.policy.queue_domain(queue.index()))
     }
 
     fn charge_dram(&mut self, now: SimTime, fx: MemEffects) {
@@ -775,6 +813,7 @@ impl System {
                             lines: b.lines,
                             next: i,
                             batch_seq: b.batch_seq,
+                            domain: b.domain,
                         },
                     );
                     break;
@@ -789,7 +828,14 @@ impl System {
                     ..b.meta
                 }
             };
-            self.apply_dma_line(at, b.buf_line.offset(u64::from(i)), meta, b.arrival, b.seq);
+            self.apply_dma_line(
+                at,
+                b.buf_line.offset(u64::from(i)),
+                meta,
+                b.arrival,
+                b.seq,
+                b.domain,
+            );
             applied += 1;
         }
         // run() already counted this pop once; count the extra lines so
@@ -806,9 +852,13 @@ impl System {
         meta: TlpMeta,
         arrival: SimTime,
         seq: u64,
+        domain: u16,
     ) {
         if let Some(b) = &mut self.bursts {
             b.record_dma(arrival, now);
+        }
+        if !self.core_bursts.is_empty() {
+            self.core_bursts[meta.dest_core.index()].record_dma(arrival, now);
         }
         // A burst flag can flip the destination core's FSM inside steer();
         // observe the before/after status only when someone is watching.
@@ -817,7 +867,7 @@ impl System {
         } else {
             None
         };
-        let placement = self.ctrl.steer(self.cfg.policy, meta);
+        let placement = self.ctrl.steer(self.policy.caps(domain), meta);
         if let Some(before) = fsm_before {
             let after = self.ctrl.status(meta.dest_core);
             if after != before {
@@ -1008,6 +1058,7 @@ impl System {
     ) -> (Duration, PacketAction) {
         let st = self.nf_state(core, "CoreWake");
         let kind = st.kind;
+        let queue = st.queue;
         let ctx = PacketCtx {
             buf: slot.buf,
             desc: slot.desc,
@@ -1052,7 +1103,7 @@ impl System {
         }
         // The self-invalidate instructions run as part of the packet's
         // service when the buffer is freed inline (drop path).
-        if self.cfg.policy.invalidates() && work.action == PacketAction::Drop {
+        if self.queue_caps(queue).invalidate && work.action == PacketAction::Drop {
             service += self.timing.invalidate(ctx.frame_lines());
         }
         let action = work.action;
@@ -1080,7 +1131,7 @@ impl System {
         let queue = self.nf_state(core, "CoreWake").queue;
         match action {
             PacketAction::Drop => {
-                if self.cfg.policy.invalidates() {
+                if self.queue_caps(queue).invalidate {
                     self.invalidate_buffer(now, core, slot.buf, slot.packet.lines());
                 }
                 self.nic.ring_mut(queue).free(1);
@@ -1119,6 +1170,9 @@ impl System {
         if let Some(b) = &mut self.bursts {
             b.record_completion(slot.arrived_at, now);
         }
+        if !self.core_bursts.is_empty() {
+            self.core_bursts[core].record_completion(slot.arrived_at, now);
+        }
         self.advance_cpu_pointer(now, core);
     }
 
@@ -1150,7 +1204,7 @@ impl System {
                 .pcie_write(done.desc.line().offset(l), DmaPlacement::Llc);
             self.charge_dram(now, w.effects);
         }
-        if self.cfg.policy.invalidates() {
+        if self.queue_caps(queue).invalidate {
             self.invalidate_buffer(now, core, buf, lines);
         }
         self.nic.ring_mut(queue).free(1);
@@ -1161,6 +1215,9 @@ impl System {
         st.completed += 1;
         if let Some(b) = &mut self.bursts {
             b.record_completion(arrival, now);
+        }
+        if !self.core_bursts.is_empty() {
+            self.core_bursts[core].record_completion(arrival, now);
         }
         self.advance_cpu_pointer(now, core);
     }
@@ -1218,35 +1275,44 @@ impl System {
                 }
             }
         }
-        if self.cfg.policy.tunes_ddio_ways() {
+        if self.policy.any_tunes_ddio_ways() {
             // IAT-style tuner: every 25 control intervals (25 us), grow
             // the DDIO partition while inbound data is leaking to DRAM;
             // shrink it back one way at a time only after a sustained
             // quiet period (hysteresis, as IAT's monitoring loop does).
-            self.iat.0 += 1;
-            if self.iat.0.is_multiple_of(25) {
-                let wb = self.hier.stats().shared.llc_wb.get();
-                let delta = wb - self.iat.1;
-                self.iat.1 = wb;
-                let ways = self.hier.ddio_ways();
-                // Dynamic DDIO policies re-allocate a bounded slice of the
-                // LLC to I/O (growing further only squeezes the ways the
-                // consumed data bloats into).
-                let max_ways = 4.min(self.hier.config().llc.ways - 2);
-                if delta > 25 {
-                    self.iat.2 = 0;
-                    if ways < max_ways {
-                        self.hier.set_ddio_ways(ways + 1);
+            // One tuner state per policy domain whose caps ask for it, so
+            // an IAT tenant's hysteresis is not perturbed by domains that
+            // never tune.
+            for d in 0..self.iat.len() {
+                if !self.policy.caps(d as u16).tune_ddio_ways {
+                    continue;
+                }
+                let iat = &mut self.iat[d];
+                iat.0 += 1;
+                if iat.0.is_multiple_of(25) {
+                    let wb = self.hier.stats().shared.llc_wb.get();
+                    let delta = wb - iat.1;
+                    iat.1 = wb;
+                    let ways = self.hier.ddio_ways();
+                    // Dynamic DDIO policies re-allocate a bounded slice of the
+                    // LLC to I/O (growing further only squeezes the ways the
+                    // consumed data bloats into).
+                    let max_ways = 4.min(self.hier.config().llc.ways - 2);
+                    if delta > 25 {
+                        iat.2 = 0;
+                        if ways < max_ways {
+                            self.hier.set_ddio_ways(ways + 1);
+                        }
+                    } else if delta == 0 {
+                        iat.2 += 1;
+                        // ~1 ms of silence before giving a way back.
+                        if iat.2 >= 40 && ways > 2 {
+                            self.hier.set_ddio_ways(ways - 1);
+                            iat.2 = 0;
+                        }
+                    } else {
+                        iat.2 = 0;
                     }
-                } else if delta == 0 {
-                    self.iat.2 += 1;
-                    // ~1 ms of silence before giving a way back.
-                    if self.iat.2 >= 40 && ways > 2 {
-                        self.hier.set_ddio_ways(ways - 1);
-                        self.iat.2 = 0;
-                    }
-                } else {
-                    self.iat.2 = 0;
                 }
             }
         }
@@ -1407,6 +1473,21 @@ impl System {
                     self.metrics
                         .histogram_merge(&format!("core{i}.pkt_latency_ns"), &st.lat_hist);
                 }
+            }
+        }
+        // Per-core burst execution times (bursty traffic only): the log2
+        // distribution of per-window exe times, one histogram per core
+        // that completed at least one burst.
+        for (i, b) in self.core_bursts.iter().enumerate() {
+            let mut hist = Histogram::new();
+            for w in b.windows() {
+                if w.packets > 0 {
+                    hist.record(w.exe_time().as_ns());
+                }
+            }
+            if hist.count() > 0 {
+                self.metrics
+                    .histogram_merge(&format!("core{i}.burst_exe_ns"), &hist);
             }
         }
         let (accepted, dropped, issued) = self.prefetchers.iter().fold((0, 0, 0), |acc, p| {
@@ -1693,6 +1774,7 @@ mod tests {
                 packet_len: 1514,
                 dscp: Dscp::BEST_EFFORT,
                 replay: None,
+                policy: None,
             },
             TenantSpec {
                 name: "stream".into(),
@@ -1703,6 +1785,7 @@ mod tests {
                 packet_len: 1514,
                 dscp: Dscp::CLASS1_DEFAULT,
                 replay: None,
+                policy: None,
             },
         ];
         cfg

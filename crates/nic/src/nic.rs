@@ -43,6 +43,12 @@ pub struct NicConfig {
     pub dma: DmaConfig,
     /// Flow Director filter-table entries.
     pub filter_table_entries: usize,
+    /// Steering-policy domain of each queue, parallel to `queue_core`.
+    /// Domains are opaque ids resolved by the host: the NIC only stamps
+    /// them into each packet's DMA plan so the receive path can look up
+    /// the queue's policy without a per-line table walk. Empty means
+    /// every queue is in domain 0 (the system default policy).
+    pub queue_policy_domain: Vec<u16>,
 }
 
 impl NicConfig {
@@ -55,6 +61,7 @@ impl NicConfig {
             classifier: ClassifierConfig::paper_default(),
             dma: DmaConfig::default(),
             filter_table_entries: DEFAULT_FILTER_TABLE_ENTRIES,
+            queue_policy_domain: Vec::new(),
         }
     }
 
@@ -70,6 +77,15 @@ impl NicConfig {
         }
         if self.ring_size == 0 {
             return Err("ring size must be positive".into());
+        }
+        if !self.queue_policy_domain.is_empty()
+            && self.queue_policy_domain.len() != self.queue_core.len()
+        {
+            return Err(format!(
+                "queue_policy_domain has {} entries for {} queues",
+                self.queue_policy_domain.len(),
+                self.queue_core.len()
+            ));
         }
         self.dma.validate()
     }
@@ -97,6 +113,9 @@ pub struct RxDma {
     /// carries the header/burst flags, so storing one meta per line was
     /// a per-packet allocation carrying no information.
     pub head_meta: TlpMeta,
+    /// Steering-policy domain of the queue the packet landed on (from
+    /// [`NicConfig::queue_policy_domain`]; 0 when unconfigured).
+    pub policy_domain: u16,
 }
 
 impl RxDma {
@@ -309,6 +328,13 @@ impl Nic {
         };
         self.stats.desc_writebacks.inc();
 
+        let policy_domain = self
+            .cfg
+            .queue_policy_domain
+            .get(queue.index())
+            .copied()
+            .unwrap_or(0);
+
         Some(RxDma {
             slot,
             queue,
@@ -317,6 +343,7 @@ impl Nic {
             payload,
             descriptor,
             head_meta,
+            policy_domain,
         })
     }
 
@@ -404,6 +431,43 @@ mod tests {
         let _ = n.rx_packet(SimTime::ZERO, Packet::new(0, 1514, flow, Dscp::BEST_EFFORT));
         assert_eq!(n.queue_stats()[1].rx_packets.get(), 1);
         assert_eq!(n.queue_stats()[0].rx_packets.get(), 0);
+    }
+
+    #[test]
+    fn policy_domain_is_stamped_per_queue() {
+        let core_ids = [CoreId::new(0), CoreId::new(1)];
+        let mut cfg = NicConfig::per_core_queues(&core_ids);
+        cfg.ring_size = 8;
+        cfg.queue_policy_domain = vec![0, 3];
+        let layouts = (0..2u64)
+            .map(|i| RingLayout {
+                buf_base: Addr::new(0x100_0000 + i * 0x40_0000),
+                desc_base: Addr::new(0x800_0000 + i * 0x10_0000),
+            })
+            .collect();
+        let mut n = Nic::new(cfg, layouts);
+        let flow = FiveTuple::udp(1, 2, 1000, 7);
+        n.flow_director_mut().install_perfect(flow, QueueId(1));
+        let dma = n
+            .rx_packet(SimTime::ZERO, Packet::new(0, 1514, flow, Dscp::BEST_EFFORT))
+            .unwrap();
+        assert_eq!(dma.policy_domain, 3);
+        // Unconfigured (empty) map means everything is domain 0.
+        let mut plain = nic(1, 8);
+        assert_eq!(
+            plain
+                .rx_packet(SimTime::ZERO, pkt(0, 1))
+                .unwrap()
+                .policy_domain,
+            0
+        );
+    }
+
+    #[test]
+    fn mismatched_policy_domain_length_rejected() {
+        let mut cfg = NicConfig::per_core_queues(&[CoreId::new(0), CoreId::new(1)]);
+        cfg.queue_policy_domain = vec![0];
+        assert!(cfg.validate().unwrap_err().contains("queue_policy_domain"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use idio_core::policy::SteeringPolicy;
 use idio_core::stack::nf::NfKind;
 use idio_engine::time::{Duration, SimTime};
 
-use crate::spec::{Scenario, TenantDef};
+use crate::spec::{Scenario, SloSpec, TenantDef};
 
 /// Traffic horizon shared by the built-ins (short enough for debug-mode
 /// golden tests, long enough for thousands of packets per tenant).
@@ -23,8 +23,14 @@ const HORIZON: SimTime = SimTime::from_us(400);
 const GRACE: Duration = Duration::from_us(300);
 
 /// Names of the built-in scenarios, in listing order.
-pub fn builtin_names() -> [&'static str; 4] {
-    ["noisy-neighbor", "incast", "mixed-rate", "trace-replay"]
+pub fn builtin_names() -> [&'static str; 5] {
+    [
+        "noisy-neighbor",
+        "incast",
+        "mixed-rate",
+        "trace-replay",
+        "llc-duel",
+    ]
 }
 
 /// All built-in scenarios, in listing order.
@@ -42,6 +48,7 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "incast" => Some(incast()),
         "mixed-rate" => Some(mixed_rate()),
         "trace-replay" => Some(trace_replay()),
+        "llc-duel" => Some(llc_duel()),
         _ => None,
     }
 }
@@ -216,6 +223,57 @@ fn trace_replay() -> Scenario {
                 TrafficPattern::Steady { rate_gbps: 8.0 },
                 1514,
             ),
+        ],
+    }
+}
+
+/// A mixed-policy duel over the LLC's DDIO ways: an IDIO-steered
+/// latency-sensitive victim against a bandwidth attacker pinned to plain
+/// DDIO via a per-tenant policy override — the two tenants run *in the
+/// same mixed cell* under different steering policies, which only the
+/// layered policy table can express. The victim additionally carries SLO
+/// bounds asserted against the mixed run.
+fn llc_duel() -> Scenario {
+    Scenario {
+        name: "llc-duel".into(),
+        description: "IDIO victim vs. DDIO-pinned attacker fighting over the DDIO ways".into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            TenantDef::new(
+                "victim",
+                NfKind::TouchDrop,
+                vec![0, 1],
+                8,
+                5000,
+                TrafficPattern::Poisson {
+                    rate_gbps: 6.0,
+                    seed: 0xD0E1,
+                },
+                512,
+            )
+            // Same preset as the scenario default: behaviorally a no-op,
+            // but it labels the victim's policy in the report next to the
+            // attacker's.
+            .with_policy(SteeringPolicy::Idio)
+            .with_slo(SloSpec {
+                max_p99_ns: Some(2_000_000),
+                max_drop_rate: Some(0.01),
+            }),
+            TenantDef::new(
+                "attacker",
+                NfKind::TouchDrop,
+                vec![2, 3],
+                4,
+                6000,
+                TrafficPattern::Steady { rate_gbps: 30.0 },
+                1514,
+            )
+            // The override that makes it a duel: the attacker's queues
+            // run classic DDIO while the victim's run IDIO.
+            .with_policy(SteeringPolicy::Ddio),
         ],
     }
 }

@@ -41,6 +41,6 @@ pub mod run;
 pub mod spec;
 
 pub use builtin::{builtin, builtin_names, builtins};
-pub use report::{Interference, LatencyStats, ScenarioReport, SteerMix, TenantReport};
+pub use report::{Interference, LatencyStats, ScenarioReport, SloOutcome, SteerMix, TenantReport};
 pub use run::run_scenario;
-pub use spec::{Scenario, TenantDef};
+pub use spec::{Scenario, SloSpec, TenantDef};

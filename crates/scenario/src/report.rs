@@ -116,6 +116,44 @@ impl Interference {
     }
 }
 
+/// The evaluation of one tenant's [`crate::spec::SloSpec`] against the
+/// mixed run: the bounds, what was actually measured, and the violations
+/// (empty = the tenant met its objectives).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// The p99 bound, if one was set.
+    pub max_p99_ns: Option<u64>,
+    /// The drop-rate bound, if one was set.
+    pub max_drop_rate: Option<f64>,
+    /// The tenant's measured mixed-run p99 (`None` if nothing completed).
+    pub actual_p99_ns: Option<u64>,
+    /// The tenant's measured mixed-run drop rate.
+    pub actual_drop_rate: f64,
+    /// Human-readable description of each violated bound.
+    pub violations: Vec<String>,
+}
+
+impl SloOutcome {
+    /// Whether the tenant met every bound.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn to_json(&self) -> String {
+        let opt_u64 = |v: Option<u64>| v.map_or("null".into(), |x| x.to_string());
+        let violations: Vec<String> = self.violations.iter().map(|v| json_string(v)).collect();
+        format!(
+            "{{\"pass\": {}, \"max_p99_ns\": {}, \"max_drop_rate\": {}, \"actual_p99_ns\": {}, \"actual_drop_rate\": {}, \"violations\": [{}]}}",
+            self.pass(),
+            opt_u64(self.max_p99_ns),
+            self.max_drop_rate.map_or("null".into(), json_f64),
+            opt_u64(self.actual_p99_ns),
+            json_f64(self.actual_drop_rate),
+            violations.join(", ")
+        )
+    }
+}
+
 /// Everything the scenario runner measured about one tenant.
 #[derive(Debug, Clone)]
 pub struct TenantReport {
@@ -147,6 +185,13 @@ pub struct TenantReport {
     /// Solo-vs-mixed comparison (`None` unless both runs completed
     /// packets).
     pub interference: Option<Interference>,
+    /// Label of the tenant's steering-policy override, when it has one
+    /// (`None` = inherits the scenario policy; omitted from the JSON so
+    /// override-free reports render exactly as before).
+    pub policy: Option<String>,
+    /// SLO evaluation, when the tenant declared bounds (omitted from the
+    /// JSON otherwise).
+    pub slo: Option<SloOutcome>,
 }
 
 impl TenantReport {
@@ -157,6 +202,16 @@ impl TenantReport {
         let latency = opt(&self.latency.map(LatencyStats::to_json));
         let solo = opt(&self.solo_latency.map(LatencyStats::to_json));
         let interference = opt(&self.interference.map(Interference::to_json));
+        // The policy and slo keys are only rendered when present, so
+        // reports of scenarios that use neither are byte-identical to the
+        // pre-policy-engine format (and its blessed goldens).
+        let mut extra = String::new();
+        if let Some(p) = &self.policy {
+            extra.push_str(&format!(",\n{pad}\"policy\": {}", json_string(p)));
+        }
+        if let Some(s) = &self.slo {
+            extra.push_str(&format!(",\n{pad}\"slo\": {}", s.to_json()));
+        }
         format!(
             "{{\n\
              {pad}\"name\": {},\n\
@@ -171,7 +226,7 @@ impl TenantReport {
              {pad}\"steer\": {},\n\
              {pad}\"latency\": {latency},\n\
              {pad}\"solo_latency\": {solo},\n\
-             {pad}\"interference\": {interference}\n\
+             {pad}\"interference\": {interference}{extra}\n\
              {indent}}}",
             json_string(&self.name),
             json_string(self.nf),
@@ -211,6 +266,21 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
+    /// Every SLO violation across all tenants, prefixed with the tenant
+    /// name — empty when every bounded tenant met its objectives. The
+    /// `scenario` CLI exits non-zero when this is non-empty.
+    pub fn slo_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.tenants {
+            if let Some(slo) = &t.slo {
+                for v in &slo.violations {
+                    out.push(format!("tenant '{}': {v}", t.name));
+                }
+            }
+        }
+        out
+    }
+
     /// Renders the report as deterministic, human-reviewable JSON (stable
     /// key order, no trailing newline).
     pub fn to_json(&self) -> String {
@@ -268,6 +338,8 @@ mod tests {
             }),
             solo_latency: None,
             interference: None,
+            policy: None,
+            slo: None,
         }
     }
 
@@ -294,6 +366,56 @@ mod tests {
         assert!(json.contains("\"p99_ns\": 4095"));
         // Deterministic: rendering twice is byte-identical.
         assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn policy_and_slo_render_only_when_present() {
+        let plain = tenant().to_json("");
+        assert!(!plain.contains("\"policy\""));
+        assert!(!plain.contains("\"slo\""));
+
+        let mut t = tenant();
+        t.policy = Some("DDIO".into());
+        t.slo = Some(SloOutcome {
+            max_p99_ns: Some(10_000),
+            max_drop_rate: None,
+            actual_p99_ns: Some(4095),
+            actual_drop_rate: 0.0,
+            violations: Vec::new(),
+        });
+        let json = t.to_json("");
+        assert!(json.contains("\"policy\": \"DDIO\""));
+        assert!(json.contains("\"slo\": {\"pass\": true"));
+        assert!(json.contains("\"max_p99_ns\": 10000"));
+        assert!(json.contains("\"max_drop_rate\": null"));
+        assert!(json.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn slo_violations_are_collected_per_tenant() {
+        let mut t = tenant();
+        t.slo = Some(SloOutcome {
+            max_p99_ns: Some(1000),
+            max_drop_rate: Some(0.01),
+            actual_p99_ns: Some(4095),
+            actual_drop_rate: 0.5,
+            violations: vec!["p99 too high".into(), "drop rate too high".into()],
+        });
+        let r = ScenarioReport {
+            scenario: "demo".into(),
+            description: "a demo".into(),
+            policy: "IDIO",
+            root_seed: 1,
+            duration_ns: 1,
+            rx_packets: 0,
+            rx_drops: 0,
+            completed: 0,
+            tenants: vec![tenant(), t],
+        };
+        let v = r.slo_violations();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].contains("tenant 't0'"));
+        assert!(r.to_json().contains("\"pass\": false"));
     }
 
     #[test]

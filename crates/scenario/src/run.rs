@@ -11,7 +11,9 @@ use idio_core::report::RunReport;
 use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
 use idio_engine::telemetry::Histogram;
 
-use crate::report::{Interference, LatencyStats, ScenarioReport, SteerMix, TenantReport};
+use crate::report::{
+    Interference, LatencyStats, ScenarioReport, SloOutcome, SteerMix, TenantReport,
+};
 use crate::spec::Scenario;
 
 /// Merges the `core{i}.pkt_latency_ns` histograms of `cores` out of a
@@ -107,17 +109,49 @@ pub fn run_scenario(scenario: &Scenario, opts: &SweepOptions) -> Result<Scenario
             _ => None,
         };
 
+        let drop_rate = if offered == 0 {
+            0.0
+        } else {
+            rx_drops as f64 / offered as f64
+        };
+        // SLO bounds are asserted against the *mixed* run — the whole
+        // point of an objective is surviving the neighbors.
+        let slo = t.slo.filter(|s| s.is_bounded()).map(|s| {
+            let actual_p99_ns = latency.map(|l| l.p99_ns);
+            let mut violations = Vec::new();
+            if let Some(bound) = s.max_p99_ns {
+                match actual_p99_ns {
+                    Some(p99) if p99 > bound => {
+                        violations.push(format!("mixed p99 {p99}ns exceeds bound {bound}ns"));
+                    }
+                    None => violations
+                        .push(format!("no completed packets to check p99 bound {bound}ns")),
+                    _ => {}
+                }
+            }
+            if let Some(bound) = s.max_drop_rate {
+                if drop_rate > bound {
+                    violations.push(format!(
+                        "mixed drop rate {drop_rate:.6} exceeds bound {bound:.6}"
+                    ));
+                }
+            }
+            SloOutcome {
+                max_p99_ns: s.max_p99_ns,
+                max_drop_rate: s.max_drop_rate,
+                actual_p99_ns,
+                actual_drop_rate: drop_rate,
+                violations,
+            }
+        });
+
         tenants.push(TenantReport {
             name: t.name.clone(),
             nf: t.nf.name(),
             cores: t.cores.clone(),
             rx_packets,
             rx_drops,
-            drop_rate: if offered == 0 {
-                0.0
-            } else {
-                rx_drops as f64 / offered as f64
-            },
+            drop_rate,
             completed,
             throughput_gbps: completed as f64 * f64::from(t.packet_len) * 8.0 / duration_s / 1e9,
             mlc_wb,
@@ -125,6 +159,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &SweepOptions) -> Result<Scenario
             latency,
             solo_latency,
             interference,
+            policy: t.policy.map(|p| p.label()),
+            slo,
         });
     }
 

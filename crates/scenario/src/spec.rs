@@ -12,9 +12,30 @@ use idio_core::cache::addr::CoreId;
 use idio_core::config::{FlowSteering, SystemConfig, TenantSpec, WorkloadSpec};
 use idio_core::net::gen::{Arrival, TrafficPattern};
 use idio_core::net::packet::Dscp;
-use idio_core::policy::SteeringPolicy;
+use idio_core::policy::{PolicySpec, SteeringPolicy};
 use idio_core::stack::nf::NfKind;
 use idio_engine::time::{Duration, SimTime};
+
+/// Per-tenant service-level objectives, asserted against the *mixed* run.
+///
+/// Bounds are optional; a tenant with no `SloSpec` (or with all bounds
+/// `None`) is never flagged. Violations appear in the tenant's report and
+/// make the `scenario` CLI exit non-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloSpec {
+    /// Upper bound on the tenant's mixed-run p99 packet latency (ns).
+    pub max_p99_ns: Option<u64>,
+    /// Upper bound on the tenant's mixed-run drop rate (fraction of
+    /// offered packets dropped at full rings).
+    pub max_drop_rate: Option<f64>,
+}
+
+impl SloSpec {
+    /// Whether any bound is actually set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_p99_ns.is_some() || self.max_drop_rate.is_some()
+    }
+}
 
 /// One tenant of a scenario: a traffic source bound to an NF class and a
 /// group of cores.
@@ -43,6 +64,13 @@ pub struct TenantDef {
     /// Recorded arrivals replayed instead of the analytic `traffic`
     /// pattern (see [`idio_core::net::trace`]).
     pub replay: Option<Vec<Arrival>>,
+    /// Steering-policy override for the tenant's queues. `None` inherits
+    /// the scenario-level [`Scenario::policy`]; a preset override equal to
+    /// the scenario policy is behaviorally identical to inheriting it but
+    /// labels the tenant explicitly in the report.
+    pub policy: Option<PolicySpec>,
+    /// Optional service-level objectives checked against the mixed run.
+    pub slo: Option<SloSpec>,
 }
 
 impl TenantDef {
@@ -66,6 +94,8 @@ impl TenantDef {
             packet_len,
             dscp: Dscp::BEST_EFFORT,
             replay: None,
+            policy: None,
+            slo: None,
         }
     }
 
@@ -79,6 +109,19 @@ impl TenantDef {
     /// traffic pattern.
     pub fn with_replay(mut self, arrivals: Vec<Arrival>) -> Self {
         self.replay = Some(arrivals);
+        self
+    }
+
+    /// Returns the tenant pinned to its own steering policy instead of
+    /// inheriting the scenario-level one.
+    pub fn with_policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.policy = Some(policy.into());
+        self
+    }
+
+    /// Returns the tenant with service-level objectives attached.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
         self
     }
 }
@@ -149,6 +192,7 @@ impl Scenario {
             packet_len: t.packet_len,
             dscp: t.dscp,
             replay: t.replay.clone(),
+            policy: t.policy,
         });
     }
 
