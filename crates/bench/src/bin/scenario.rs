@@ -1,9 +1,16 @@
-//! Run a built-in multi-tenant scenario and print its JSON report.
+//! Run, check, or list multi-tenant scenarios — built-in or from files.
 //!
 //! ```text
-//! cargo run -p idio-bench --release --bin scenario -- --list
-//! cargo run -p idio-bench --release --bin scenario -- noisy-neighbor --jobs 4
+//! cargo run -p idio-bench --release --bin scenario -- list
+//! cargo run -p idio-bench --release --bin scenario -- run noisy-neighbor --jobs 4
+//! cargo run -p idio-bench --release --bin scenario -- run examples/scenarios/llc-duel.toml
+//! cargo run -p idio-bench --release --bin scenario -- check examples/scenarios/datacenter-200.toml
 //! ```
+//!
+//! The legacy spellings (`scenario --list`, `scenario <builtin>`) keep
+//! working. A positional that names an existing file (or ends in `.toml`)
+//! is parsed as a scenario file; anything else is looked up among the
+//! built-ins.
 //!
 //! The report is byte-identical at any `--jobs` (cell seeds derive from
 //! stable labels), so the output can be diffed against the golden copies
@@ -12,10 +19,16 @@
 use std::process::ExitCode;
 
 use idio_core::sweep::{SweepOptions, DEFAULT_ROOT_SEED};
-use idio_scenario::{builtin, builtins, run_scenario};
+use idio_scenario::{builtin, builtins, load_path, run_scenario, Scenario};
+
+enum Command {
+    Run,
+    Check,
+    List,
+}
 
 struct Args {
-    list: bool,
+    command: Command,
     name: Option<String>,
     jobs: usize,
     seed: u64,
@@ -26,7 +39,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Args {
-            list: false,
+            command: Command::Run,
             name: None,
             jobs: 1,
             seed: DEFAULT_ROOT_SEED,
@@ -38,8 +51,11 @@ impl Default for Args {
 
 fn usage() {
     println!(
-        "usage: scenario [--list] [<name>] [options]\n\
-         --list             list the built-in scenarios and exit\n\
+        "usage: scenario [run|check|list] [<name-or-file.toml>] [options]\n\
+         run <what>         run a scenario and print its JSON report (default)\n\
+         check <file>       parse and validate a scenario file, run nothing\n\
+         list               list the built-in scenarios and exit\n\
+         --list             alias of the list subcommand\n\
          --jobs <n> | -j    worker threads (0 = all cores; default 1)\n\
          --seed <n>         root seed cell seeds derive from (default {DEFAULT_ROOT_SEED:#x})\n\
          --out <file>       write the JSON report to <file> instead of stdout\n\
@@ -49,11 +65,15 @@ fn usage() {
 
 fn parse() -> Result<Args, String> {
     let mut args = Args::default();
+    let mut saw_command = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match a.as_str() {
-            "--list" => args.list = true,
+            "--list" => {
+                args.command = Command::List;
+                saw_command = true;
+            }
             "--jobs" | "-j" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--out" => args.out = Some(val("--out")?),
@@ -63,11 +83,43 @@ fn parse() -> Result<Args, String> {
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
-            name if args.name.is_none() => args.name = Some(name.to_string()),
+            cmd if !saw_command && matches!(cmd, "run" | "check" | "list") => {
+                args.command = match cmd {
+                    "run" => Command::Run,
+                    "check" => Command::Check,
+                    _ => Command::List,
+                };
+                saw_command = true;
+            }
+            name if args.name.is_none() => {
+                // Legacy spelling: a bare name implies `run <name>`.
+                saw_command = true;
+                args.name = Some(name.to_string());
+            }
             extra => return Err(format!("unexpected argument '{extra}'")),
         }
     }
     Ok(args)
+}
+
+/// Whether a positional argument refers to a scenario file rather than a
+/// built-in name.
+fn is_file(name: &str) -> bool {
+    name.ends_with(".toml") || std::path::Path::new(name).is_file()
+}
+
+/// Resolves a positional to a scenario: file path or built-in name.
+fn resolve(name: &str) -> Result<Scenario, String> {
+    if is_file(name) {
+        return load_path(name).map_err(|e| e.at_path(name));
+    }
+    builtin(name).ok_or_else(|| {
+        let known: Vec<String> = builtins().into_iter().map(|s| s.name).collect();
+        format!(
+            "unknown scenario '{name}' (built-ins: {}; or pass a .toml file)",
+            known.join(", ")
+        )
+    })
 }
 
 fn main() -> ExitCode {
@@ -80,7 +132,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.list {
+    if matches!(args.command, Command::List) {
         for sc in builtins() {
             println!("{:<16} {}", sc.name, sc.description);
         }
@@ -92,14 +144,28 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let Some(scenario) = builtin(&name) else {
-        let known: Vec<String> = builtins().into_iter().map(|s| s.name).collect();
-        eprintln!(
-            "error: unknown scenario '{name}' (built-ins: {})",
-            known.join(", ")
-        );
-        return ExitCode::FAILURE;
+    let scenario = match resolve(&name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
+
+    if matches!(args.command, Command::Check) {
+        if let Err(e) = scenario.validate() {
+            eprintln!("error: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "ok: {}: {} tenants, {} cells, {} cores",
+            scenario.name,
+            scenario.tenants.len(),
+            scenario.tenants.len() + 1,
+            scenario.num_cores()
+        );
+        return ExitCode::SUCCESS;
+    }
 
     let opts = SweepOptions {
         jobs: args.jobs,

@@ -46,6 +46,138 @@ impl Hasher for LineHasher {
 
 type LineMap<V> = HashMap<LineAddr, V, BuildHasherDefault<LineHasher>>;
 
+/// A set of core ids, sized at directory construction.
+///
+/// Systems up to 64 cores — every paper configuration — use a single
+/// inline word with no allocation, keeping the per-DMA-line directory
+/// probe as cheap as the raw `u64` mask it replaces. Wider systems (the
+/// generated datacenter scenarios run 200+ cores) spill to one boxed
+/// word per 64 cores.
+///
+/// # Examples
+///
+/// ```
+/// use idio_cache::addr::CoreId;
+/// use idio_cache::directory::CoreSet;
+///
+/// let mut set = CoreSet::new(200);
+/// set.insert(CoreId::new(7));
+/// set.insert(CoreId::new(130));
+/// assert!(set.contains(CoreId::new(130)));
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![CoreId::new(7), CoreId::new(130)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSet(SetRepr);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SetRepr {
+    /// ≤ 64 cores: a plain bitmask.
+    Inline(u64),
+    /// > 64 cores: bit `c` lives in word `c / 64`.
+    Spilled(Box<[u64]>),
+}
+
+impl CoreSet {
+    /// Creates an empty set able to hold cores `0..num_cores`.
+    pub fn new(num_cores: usize) -> Self {
+        if num_cores <= 64 {
+            CoreSet(SetRepr::Inline(0))
+        } else {
+            CoreSet(SetRepr::Spilled(vec![0u64; num_cores.div_ceil(64)].into()))
+        }
+    }
+
+    fn words(&self) -> &[u64] {
+        match &self.0 {
+            SetRepr::Inline(w) => std::slice::from_ref(w),
+            SetRepr::Spilled(ws) => ws,
+        }
+    }
+
+    fn word_mut(&mut self, core: CoreId) -> &mut u64 {
+        match &mut self.0 {
+            SetRepr::Inline(w) => {
+                debug_assert!(core.index() < 64);
+                w
+            }
+            SetRepr::Spilled(ws) => &mut ws[core.index() / 64],
+        }
+    }
+
+    /// Adds `core` to the set.
+    #[inline]
+    pub fn insert(&mut self, core: CoreId) {
+        *self.word_mut(core) |= 1u64 << (core.index() % 64);
+    }
+
+    /// Removes `core` from the set.
+    #[inline]
+    pub fn remove(&mut self, core: CoreId) {
+        *self.word_mut(core) &= !(1u64 << (core.index() % 64));
+    }
+
+    /// Whether `core` is in the set.
+    #[inline]
+    pub fn contains(&self, core: CoreId) -> bool {
+        let w = self.words();
+        w.get(core.index() / 64)
+            .is_some_and(|word| word >> (core.index() % 64) & 1 == 1)
+    }
+
+    /// Whether the set holds no cores.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// The lowest-numbered core in the set, if any.
+    pub fn first(&self) -> Option<CoreId> {
+        self.iter().next()
+    }
+
+    /// The cores in the set, lowest id first.
+    pub fn iter(&self) -> CoreSetIter<'_> {
+        let words = self.words();
+        CoreSetIter {
+            rest: &words[1..],
+            current: words[0],
+            base: 0,
+        }
+    }
+}
+
+/// Iterator over the cores of a [`CoreSet`], lowest id first.
+pub struct CoreSetIter<'a> {
+    rest: &'a [u64],
+    current: u64,
+    base: u32,
+}
+
+impl Iterator for CoreSetIter<'_> {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        while self.current == 0 {
+            let (&next, rest) = self.rest.split_first()?;
+            self.current = next;
+            self.rest = rest;
+            self.base += 64;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(CoreId::new((self.base + bit) as u16))
+    }
+}
+
+impl<'a> IntoIterator for &'a CoreSet {
+    type Item = CoreId;
+    type IntoIter = CoreSetIter<'a>;
+
+    fn into_iter(self) -> CoreSetIter<'a> {
+        self.iter()
+    }
+}
+
 /// Tracks which cores' MLCs hold each line.
 ///
 /// # Examples
@@ -63,7 +195,7 @@ type LineMap<V> = HashMap<LineAddr, V, BuildHasherDefault<LineHasher>>;
 /// ```
 #[derive(Debug, Clone)]
 pub struct MlcDirectory {
-    entries: LineMap<u64>,
+    entries: LineMap<CoreSet>,
     num_cores: usize,
     /// Maximum tracked lines; `None` = unbounded.
     capacity: Option<usize>,
@@ -74,12 +206,12 @@ pub struct MlcDirectory {
 
 /// A directory entry displaced by a capacity conflict. The hierarchy must
 /// back-invalidate the named cores' copies of the line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectoryEviction {
     /// The line whose tracking entry was evicted.
     pub line: LineAddr,
-    /// Bitmask of cores holding the line.
-    pub holders: u64,
+    /// The cores holding the line.
+    pub holders: CoreSet,
 }
 
 impl MlcDirectory {
@@ -87,7 +219,7 @@ impl MlcDirectory {
     ///
     /// # Panics
     ///
-    /// Panics if `num_cores` is zero or exceeds 64.
+    /// Panics if `num_cores` is zero or exceeds the `u16` core-id space.
     pub fn new(num_cores: usize) -> Self {
         Self::with_capacity(num_cores, None)
     }
@@ -100,10 +232,13 @@ impl MlcDirectory {
     ///
     /// # Panics
     ///
-    /// Panics if `num_cores` is zero or exceeds 64, or if `capacity` is
-    /// `Some(0)`.
+    /// Panics if `num_cores` is zero or exceeds the `u16` core-id space,
+    /// or if `capacity` is `Some(0)`.
     pub fn with_capacity(num_cores: usize, capacity: Option<usize>) -> Self {
-        assert!(num_cores > 0 && num_cores <= 64, "1..=64 cores supported");
+        assert!(
+            num_cores > 0 && num_cores <= usize::from(u16::MAX) + 1,
+            "1..=65536 cores supported"
+        );
         assert!(capacity != Some(0), "directory capacity must be positive");
         MlcDirectory {
             entries: LineMap::default(),
@@ -119,8 +254,8 @@ impl MlcDirectory {
     #[must_use = "a directory eviction requires back-invalidating MLC copies"]
     pub fn add(&mut self, line: LineAddr, core: CoreId) -> Option<DirectoryEviction> {
         debug_assert!(core.index() < self.num_cores);
-        if let Some(mask) = self.entries.get_mut(&line) {
-            *mask |= 1u64 << core.index();
+        if let Some(set) = self.entries.get_mut(&line) {
+            set.insert(core);
             return None;
         }
         // New entry: make room first if bounded.
@@ -138,7 +273,9 @@ impl MlcDirectory {
                 // Stale queue entry (line already removed); keep popping.
             }
         }
-        self.entries.insert(line, 1u64 << core.index());
+        let mut set = CoreSet::new(self.num_cores);
+        set.insert(core);
+        self.entries.insert(line, set);
         if self.capacity.is_some() {
             // Unbounded directories never consult the FIFO; skip the
             // bookkeeping (it would grow without limit).
@@ -149,9 +286,9 @@ impl MlcDirectory {
 
     /// Records that `core`'s MLC no longer holds `line`.
     pub fn remove(&mut self, line: LineAddr, core: CoreId) {
-        if let Some(mask) = self.entries.get_mut(&line) {
-            *mask &= !(1u64 << core.index());
-            if *mask == 0 {
+        if let Some(set) = self.entries.get_mut(&line) {
+            set.remove(core);
+            if set.is_empty() {
                 self.entries.remove(&line);
             }
         }
@@ -164,9 +301,7 @@ impl MlcDirectory {
 
     /// Whether `core`'s MLC holds `line` according to the directory.
     pub fn holds(&self, line: LineAddr, core: CoreId) -> bool {
-        self.entries
-            .get(&line)
-            .is_some_and(|m| m >> core.index() & 1 == 1)
+        self.entries.get(&line).is_some_and(|s| s.contains(core))
     }
 
     /// The lowest-numbered core holding `line`, if any.
@@ -175,26 +310,21 @@ impl MlcDirectory {
     /// single holder is the common case; when multiple cores hold a line the
     /// lowest id is returned deterministically.
     pub fn holder(&self, line: LineAddr) -> Option<CoreId> {
-        self.entries
-            .get(&line)
-            .map(|m| CoreId::new(m.trailing_zeros() as u16))
+        self.entries.get(&line).and_then(CoreSet::first)
     }
 
-    /// Bitmask of cores holding `line` (bit `c` = core `c`); zero when
-    /// untracked. The allocation-free form of [`MlcDirectory::holders`]
-    /// for the per-DMA-line hot path.
+    /// The set of cores holding `line`; `None` when untracked. The
+    /// borrow-only form of [`MlcDirectory::holders`] for the per-DMA-line
+    /// hot path.
     #[inline]
-    pub fn holder_mask(&self, line: LineAddr) -> u64 {
-        self.entries.get(&line).copied().unwrap_or(0)
+    pub fn holder_set(&self, line: LineAddr) -> Option<&CoreSet> {
+        self.entries.get(&line)
     }
 
     /// All cores holding `line`, lowest id first.
     pub fn holders(&self, line: LineAddr) -> Vec<CoreId> {
-        let mask = self.holder_mask(line);
-        (0..self.num_cores as u16)
-            .filter(|&c| mask >> c & 1 == 1)
-            .map(CoreId::new)
-            .collect()
+        self.holder_set(line)
+            .map_or_else(Vec::new, |s| s.iter().collect())
     }
 
     /// Number of tracked lines.
@@ -263,5 +393,44 @@ mod tests {
     #[should_panic(expected = "cores")]
     fn zero_cores_rejected() {
         let _ = MlcDirectory::new(0);
+    }
+
+    #[test]
+    fn core_set_spills_past_64_cores() {
+        let mut s = CoreSet::new(200);
+        assert!(s.is_empty());
+        for c in [0u16, 63, 64, 65, 128, 199] {
+            s.insert(CoreId::new(c));
+        }
+        assert!(s.contains(CoreId::new(64)));
+        assert!(!s.contains(CoreId::new(66)));
+        assert_eq!(s.first(), Some(CoreId::new(0)));
+        assert_eq!(
+            s.iter().map(CoreId::index).collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 128, 199]
+        );
+        s.remove(CoreId::new(0));
+        s.remove(CoreId::new(64));
+        assert_eq!(s.first(), Some(CoreId::new(63)));
+        for c in [63u16, 65, 128, 199] {
+            s.remove(CoreId::new(c));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn directory_tracks_wide_systems() {
+        // 200 cores — the generated datacenter scenarios — exceed one
+        // bitmask word; the directory must keep exact holder sets.
+        let mut d = MlcDirectory::new(200);
+        let _ = d.add(line(1), CoreId::new(5));
+        let _ = d.add(line(1), CoreId::new(150));
+        assert!(d.holds(line(1), CoreId::new(150)));
+        assert_eq!(d.holder(line(1)), Some(CoreId::new(5)));
+        assert_eq!(d.holders(line(1)), vec![CoreId::new(5), CoreId::new(150)]);
+        d.remove(line(1), CoreId::new(5));
+        assert_eq!(d.holder(line(1)), Some(CoreId::new(150)));
+        d.remove(line(1), CoreId::new(150));
+        assert!(!d.is_cached(line(1)));
     }
 }

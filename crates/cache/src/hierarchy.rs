@@ -338,23 +338,21 @@ impl Hierarchy {
         let mut fx = MemEffects::default();
         if let Some(ev) = self.dir.add(line, core) {
             self.stats.shared.dir_back_invalidations.inc();
-            for c in 0..self.cfg.num_cores {
-                if ev.holders >> c & 1 == 1 {
-                    let hi = c;
-                    let mut dirty = false;
-                    if let Some(l1) = self.cores[hi].l1d.remove(ev.line) {
-                        dirty |= l1.dirty;
-                    }
-                    if let Some(mlc) = self.cores[hi].mlc.remove(ev.line) {
-                        dirty |= mlc.dirty;
-                    }
-                    // The directory entry itself is already gone.
-                    self.stats.core[hi].mlc_wb.inc();
-                    if dirty {
-                        self.stats.core[hi].mlc_wb_dirty.inc();
-                    }
-                    fx.merge(self.fill_llc(ev.line, dirty));
+            for holder in &ev.holders {
+                let hi = holder.index();
+                let mut dirty = false;
+                if let Some(l1) = self.cores[hi].l1d.remove(ev.line) {
+                    dirty |= l1.dirty;
                 }
+                if let Some(mlc) = self.cores[hi].mlc.remove(ev.line) {
+                    dirty |= mlc.dirty;
+                }
+                // The directory entry itself is already gone.
+                self.stats.core[hi].mlc_wb.inc();
+                if dirty {
+                    self.stats.core[hi].mlc_wb_dirty.inc();
+                }
+                fx.merge(self.fill_llc(ev.line, dirty));
             }
         }
         fx
@@ -549,13 +547,12 @@ impl Hierarchy {
         // so the core-resident data is dead and is dropped without
         // writeback (Fig. 1 steps P1-1 / P2-1).
         let mut invalidated_core = None;
-        let mut holders = self.dir.holder_mask(line);
-        while holders != 0 {
-            let holder = CoreId::new(holders.trailing_zeros() as u16);
-            holders &= holders - 1;
-            self.remove_private(holder, line);
-            self.stats.core[holder.index()].mlc_inval_by_dma.inc();
-            invalidated_core = Some(holder);
+        if let Some(holders) = self.dir.holder_set(line).cloned() {
+            for holder in &holders {
+                self.remove_private(holder, line);
+                self.stats.core[holder.index()].mlc_inval_by_dma.inc();
+                invalidated_core = Some(holder);
+            }
         }
 
         match placement {
@@ -725,11 +722,10 @@ impl Hierarchy {
     /// buffer).
     pub fn flush_line(&mut self, line: LineAddr) -> MemEffects {
         let mut dirty = false;
-        let mut holders = self.dir.holder_mask(line);
-        while holders != 0 {
-            let holder = CoreId::new(holders.trailing_zeros() as u16);
-            holders &= holders - 1;
-            dirty |= self.remove_private(holder, line).unwrap_or(false);
+        if let Some(holders) = self.dir.holder_set(line).cloned() {
+            for holder in &holders {
+                dirty |= self.remove_private(holder, line).unwrap_or(false);
+            }
         }
         if let Some(e) = self.llc.remove(line) {
             dirty |= e.dirty;

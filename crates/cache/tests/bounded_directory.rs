@@ -31,7 +31,7 @@ fn bounded_directory_evicts_fifo() {
     assert!(d.add(LineAddr::new(3), C0).is_none());
     let ev = d.add(LineAddr::new(4), C0).expect("capacity eviction");
     assert_eq!(ev.line, LineAddr::new(1));
-    assert_eq!(ev.holders, 0b01);
+    assert_eq!(ev.holders.iter().collect::<Vec<_>>(), vec![C0]);
     assert_eq!(d.len(), 3);
     assert!(!d.is_cached(LineAddr::new(1)));
     assert!(d.is_cached(LineAddr::new(4)));

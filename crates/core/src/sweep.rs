@@ -238,12 +238,32 @@ where
 /// `derive_seed(root_seed, label)` before the run, making the outcome a
 /// pure function of `(cell, root_seed)` — independent of `jobs`.
 pub fn run_cells(cells: Vec<SweepCell>, opts: &SweepOptions) -> Vec<CellOutcome> {
+    run_cells_map(cells, opts, |_, outcome| outcome)
+}
+
+/// [`run_cells`] with a per-cell fold applied *on the worker thread*: the
+/// full [`CellOutcome`] (report, metrics, histograms) is reduced to `O`
+/// the moment the cell finishes and dropped before the next cell is
+/// claimed, so a sweep of `N` cells holds at most `jobs` full reports in
+/// memory at once plus `N` folded values — the sharded-aggregation path
+/// large scenario sweeps use to stay O(tenants) instead of
+/// O(cells × histograms).
+///
+/// `f` receives the cell's declaration index and its outcome; the folded
+/// values are returned in declaration order, so the result is exactly
+/// `run_cells(...)` mapped through `f` — byte-identical at any
+/// [`SweepOptions::jobs`].
+pub fn run_cells_map<O, F>(cells: Vec<SweepCell>, opts: &SweepOptions, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize, CellOutcome) -> O + Sync,
+{
     let total = cells.len();
     let done = AtomicUsize::new(0);
     let progress = opts.progress;
     let profile_events = opts.profile_events;
     let root = opts.root_seed;
-    parallel_map(cells, opts.effective_jobs(), move |_, cell| {
+    parallel_map(cells, opts.effective_jobs(), move |i, cell| {
         let SweepCell { label, mut cfg } = cell;
         let seed = derive_seed(root, &label);
         cfg.seed = seed;
@@ -257,12 +277,15 @@ pub fn run_cells(cells: Vec<SweepCell>, opts: &SweepOptions) -> Vec<CellOutcome>
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             eprintln!("[{k}/{total}] {label} ({wall:.1?})");
         }
-        CellOutcome {
-            label,
-            seed,
-            report,
-            wall,
-        }
+        f(
+            i,
+            CellOutcome {
+                label,
+                seed,
+                report,
+                wall,
+            },
+        )
     })
 }
 
@@ -486,6 +509,33 @@ mod tests {
             assert_eq!(s.label, p.label);
             assert_eq!(s.seed, p.seed);
             assert_eq!(s.report.totals, p.report.totals);
+        }
+    }
+
+    #[test]
+    fn run_cells_map_folds_on_workers_in_declaration_order() {
+        let mk = || {
+            (0..6)
+                .map(|i| SweepCell::new(format!("cell{i}"), tiny_cfg()))
+                .collect::<Vec<_>>()
+        };
+        // The folded value keeps only a tiny summary; compare against the
+        // unfolded path to prove the fold sees the same outcomes.
+        let full = run_cells(mk(), &SweepOptions::serial());
+        let folded = run_cells_map(
+            mk(),
+            &SweepOptions {
+                jobs: 4,
+                ..SweepOptions::default()
+            },
+            |i, o| (i, o.label.clone(), o.seed, o.report.totals.rx_packets),
+        );
+        assert_eq!(full.len(), folded.len());
+        for (i, (fi, label, seed, rx)) in folded.iter().enumerate() {
+            assert_eq!(i, *fi);
+            assert_eq!(&full[i].label, label);
+            assert_eq!(full[i].seed, *seed);
+            assert_eq!(full[i].report.totals.rx_packets, *rx);
         }
     }
 

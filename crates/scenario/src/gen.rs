@@ -1,0 +1,452 @@
+//! ScenarioGen: datacenter-scale scenario synthesis from a compact spec.
+//!
+//! The checked-in scenarios are hand-written and small (2–4 tenants); the
+//! consolidation experiments the paper motivates (Sec. VII: many tenants
+//! sharing one server's LLC and DDIO ways) need *hundreds* of tenants,
+//! which nobody should write by hand. A [`GenSpec`] — a dozen knobs in a
+//! `[generate]` table — expands deterministically into a full
+//! [`Scenario`]: heavy-tailed per-tenant rates, a mix of application
+//! classes, and an optional fraction of "attacker" tenants pinned to
+//! cache-hostile policy overrides (which also stresses the policy-table
+//! interning path with many distinct per-tenant [`PolicySpec`]s).
+//!
+//! Expansion is a pure function of `(spec, scenario header)`:
+//!
+//! * every random draw comes from [`SimRng`] streams seeded with
+//!   [`derive_seed`] under stable labels (`scenariogen/<name>` for the
+//!   rank shuffle, `scenariogen/<name>/t<i>` for tenant `i`), so adding
+//!   or removing tenants never perturbs the others;
+//! * tenants own disjoint contiguous core and port ranges by
+//!   construction, so the expanded scenario passes
+//!   [`Scenario::validate`] whenever the resource spaces fit.
+
+use idio_core::net::gen::TrafficPattern;
+use idio_core::net::packet::Dscp;
+use idio_core::policy::{PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
+use idio_core::stack::nf::NfKind;
+use idio_engine::rng::{derive_seed, SimRng};
+
+use crate::spec::{Scenario, SloSpec, TenantDef};
+
+/// How the aggregate offered load is split across tenants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateDist {
+    /// Every tenant offers the same rate.
+    Uniform,
+    /// Zipf-distributed rates: the tenant of rank `k` (1-based, assigned
+    /// by a seeded shuffle) gets weight `1 / k^s` — the classic
+    /// heavy-tailed datacenter tenant mix.
+    Zipf {
+        /// The Zipf exponent (`s = 1.1` is the common datacenter fit).
+        s: f64,
+    },
+}
+
+/// The application classes ScenarioGen draws tenants from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppClass {
+    /// Latency-sensitive key-value-store front end: small frames, Poisson
+    /// arrivals, touch-and-drop processing, optionally SLO-bounded.
+    Kvs,
+    /// A network-function chain: mid-size frames forwarded (L2 or
+    /// deep-inspect) at a steady rate.
+    NfChain,
+    /// Bulk transfer: MTU frames at a steady rate, marked application
+    /// class 1 (long use distance — direct-to-DRAM under IDIO).
+    Bulk,
+}
+
+impl AppClass {
+    /// The file spelling (`app_classes = ["kvs", ...]`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppClass::Kvs => "kvs",
+            AppClass::NfChain => "nf-chain",
+            AppClass::Bulk => "bulk",
+        }
+    }
+
+    /// Parses a file spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "kvs" => Some(AppClass::Kvs),
+            "nf-chain" => Some(AppClass::NfChain),
+            "bulk" => Some(AppClass::Bulk),
+            _ => None,
+        }
+    }
+}
+
+/// The distinct policy overrides attacker tenants cycle through — cache-
+/// hostile or otherwise non-default placements, several of them custom
+/// capability sets so a large expansion exercises policy-domain interning
+/// beyond the named presets.
+const ATTACKER_POLICIES: [PolicySpec; 6] = [
+    PolicySpec::Preset(SteeringPolicy::Ddio),
+    PolicySpec::Preset(SteeringPolicy::IatDynamic),
+    PolicySpec::Custom(PolicyCaps {
+        invalidate: true,
+        prefetch: PrefetchMode::Always,
+        direct_dram: false,
+        tune_ddio_ways: false,
+    }),
+    PolicySpec::Custom(PolicyCaps {
+        invalidate: false,
+        prefetch: PrefetchMode::Always,
+        direct_dram: true,
+        tune_ddio_ways: false,
+    }),
+    PolicySpec::Custom(PolicyCaps {
+        invalidate: true,
+        prefetch: PrefetchMode::Off,
+        direct_dram: true,
+        tune_ddio_ways: false,
+    }),
+    PolicySpec::Custom(PolicyCaps {
+        invalidate: false,
+        prefetch: PrefetchMode::Off,
+        direct_dram: false,
+        tune_ddio_ways: true,
+    }),
+];
+
+/// Tenants below this mean rate may complete no packets within a short
+/// horizon (their p99 would be undefined), so SLO bounds are only
+/// attached above it.
+const SLO_MIN_RATE_GBPS: f64 = 0.5;
+
+/// Per-tenant rates are floored here so every tenant's traffic generator
+/// has a positive, finite rate even deep in the Zipf tail.
+const MIN_RATE_GBPS: f64 = 0.02;
+
+/// A compact generator spec — the `[generate]` table of a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Number of tenants to synthesize.
+    pub tenants: usize,
+    /// Root seed of every draw the expansion makes.
+    pub seed: u64,
+    /// Cores (= queues) per tenant; tenant `i` owns the contiguous block
+    /// starting at `i * cores_per_tenant`.
+    pub cores_per_tenant: u16,
+    /// Flows per tenant; tenant `i` owns the port block starting at
+    /// `base_port + i * flows_per_tenant`.
+    pub flows_per_tenant: u16,
+    /// First port of the first tenant's flow block.
+    pub base_port: u16,
+    /// Aggregate offered load split across tenants by `rate_dist`.
+    pub total_rate_gbps: f64,
+    /// How the aggregate load is split.
+    pub rate_dist: RateDist,
+    /// The classes tenants are drawn from (uniformly; duplicates weight).
+    pub app_classes: Vec<AppClass>,
+    /// Fraction of tenants pinned to hostile policy overrides.
+    pub attacker_frac: f64,
+    /// SLO attached to non-attacker [`AppClass::Kvs`] tenants offering at
+    /// least [`SLO_MIN_RATE_GBPS`].
+    pub slo: Option<SloSpec>,
+}
+
+impl GenSpec {
+    /// A spec with the documented defaults: seed `0xDC`, one core and four
+    /// flows per tenant, ports from 1024, 40 Gbps total load split
+    /// Zipf(1.1), all three app classes, no attackers, no SLOs.
+    pub fn new(tenants: usize) -> Self {
+        GenSpec {
+            tenants,
+            seed: 0xDC,
+            cores_per_tenant: 1,
+            flows_per_tenant: 4,
+            base_port: 1024,
+            total_rate_gbps: 40.0,
+            rate_dist: RateDist::Zipf { s: 1.1 },
+            app_classes: vec![AppClass::Kvs, AppClass::NfChain, AppClass::Bulk],
+            attacker_frac: 0.0,
+            slo: None,
+        }
+    }
+
+    /// Expands the spec into `header`'s tenant list (which must be empty:
+    /// a scenario is either written out or generated, never both).
+    ///
+    /// The result is a pure function of `(self, header.name)` — the same
+    /// spec under the same scenario name expands identically in every
+    /// process on every machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the tenants do not fit the core or port
+    /// space, or the spec is degenerate (zero tenants, no app classes).
+    pub fn expand(&self, header: Scenario) -> Result<Scenario, String> {
+        if !header.tenants.is_empty() {
+            return Err(format!(
+                "scenario '{}' already has {} tenants; [generate] needs an empty tenant list",
+                header.name,
+                header.tenants.len()
+            ));
+        }
+        if self.tenants == 0 {
+            return Err("generator spec with zero tenants".into());
+        }
+        if self.app_classes.is_empty() {
+            return Err("generator spec with no app classes".into());
+        }
+        if self.cores_per_tenant == 0 || self.flows_per_tenant == 0 {
+            return Err("cores_per_tenant and flows_per_tenant must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.attacker_frac) {
+            return Err(format!("attacker_frac {} out of range", self.attacker_frac));
+        }
+        let n = self.tenants;
+        if n.saturating_mul(self.cores_per_tenant as usize) > u16::MAX as usize + 1 {
+            return Err(format!(
+                "{n} tenants x {} cores exceed the {}-core space",
+                self.cores_per_tenant,
+                u16::MAX as usize + 1
+            ));
+        }
+        let port_span = n * self.flows_per_tenant as usize;
+        if self.base_port as usize + port_span > u16::MAX as usize + 1 {
+            return Err(format!(
+                "{n} tenants x {} flows from port {} exceed the 16-bit port space",
+                self.flows_per_tenant, self.base_port
+            ));
+        }
+
+        // Rank shuffle: which tenant sits where in the rate distribution's
+        // tail. One master stream, separate from the per-tenant streams.
+        let mut master = SimRng::seed_from(derive_seed(
+            self.seed,
+            &format!("scenariogen/{}", header.name),
+        ));
+        let mut rank: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = master.below(i as u64 + 1) as usize;
+            rank.swap(i, j);
+        }
+        let weights: Vec<f64> = match self.rate_dist {
+            RateDist::Uniform => vec![1.0; n],
+            RateDist::Zipf { s } => (0..n)
+                .map(|i| 1.0 / ((rank[i] + 1) as f64).powf(s))
+                .collect(),
+        };
+        let wsum: f64 = weights.iter().sum();
+
+        let mut scenario = header;
+        for (i, &weight) in weights.iter().enumerate() {
+            // One independent stream per tenant, in a fixed draw order
+            // (class, attacker coin, class-specific draws): tenant i's
+            // definition never depends on any other tenant.
+            let mut rng = SimRng::seed_from(derive_seed(
+                self.seed,
+                &format!("scenariogen/{}/t{i}", scenario.name),
+            ));
+            let class = self.app_classes[rng.below(self.app_classes.len() as u64) as usize];
+            let attacker = rng.unit_f64() < self.attacker_frac;
+            let rate = (self.total_rate_gbps * weight / wsum).max(MIN_RATE_GBPS);
+            let first_core = i as u16 * self.cores_per_tenant;
+            let cores: Vec<u16> = (first_core..first_core + self.cores_per_tenant).collect();
+            let base_port = self.base_port + i as u16 * self.flows_per_tenant;
+            let suffix = if attacker { "-atk" } else { "" };
+            let name = format!("t{i:03}-{}{suffix}", class.name());
+            let mut tenant = match class {
+                AppClass::Kvs => TenantDef::new(
+                    name,
+                    NfKind::TouchDrop,
+                    cores,
+                    self.flows_per_tenant,
+                    base_port,
+                    TrafficPattern::Poisson {
+                        rate_gbps: rate,
+                        seed: rng.next_u64(),
+                    },
+                    256,
+                ),
+                AppClass::NfChain => TenantDef::new(
+                    name,
+                    if rng.below(2) == 0 {
+                        NfKind::L2Fwd
+                    } else {
+                        NfKind::DeepFwd
+                    },
+                    cores,
+                    self.flows_per_tenant,
+                    base_port,
+                    TrafficPattern::Steady { rate_gbps: rate },
+                    512,
+                ),
+                AppClass::Bulk => TenantDef::new(
+                    name,
+                    if rng.below(2) == 0 {
+                        NfKind::TouchDrop
+                    } else {
+                        NfKind::TouchDropCopy
+                    },
+                    cores,
+                    self.flows_per_tenant,
+                    base_port,
+                    TrafficPattern::Steady { rate_gbps: rate },
+                    1514,
+                )
+                .with_dscp(Dscp::CLASS1_DEFAULT),
+            };
+            if attacker {
+                tenant = tenant.with_policy(
+                    ATTACKER_POLICIES[rng.below(ATTACKER_POLICIES.len() as u64) as usize],
+                );
+            } else if let Some(slo) = self.slo {
+                if class == AppClass::Kvs && rate >= SLO_MIN_RATE_GBPS && slo.is_bounded() {
+                    tenant = tenant.with_slo(slo);
+                }
+            }
+            scenario.tenants.push(tenant);
+        }
+        Ok(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idio_core::config::FlowSteering;
+    use idio_engine::time::{Duration, SimTime};
+
+    fn header(name: &str) -> Scenario {
+        Scenario {
+            name: name.into(),
+            description: "generated".into(),
+            policy: SteeringPolicy::Idio,
+            steering: FlowSteering::Perfect,
+            duration: SimTime::from_us(60),
+            drain_grace: Duration::from_us(60),
+            tenants: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_valid() {
+        let mut spec = GenSpec::new(12);
+        spec.attacker_frac = 0.25;
+        spec.slo = Some(SloSpec {
+            max_p99_ns: Some(50_000_000),
+            max_drop_rate: Some(0.5),
+        });
+        let a = spec.expand(header("dc")).unwrap();
+        let b = spec.expand(header("dc")).unwrap();
+        assert_eq!(a, b, "same spec, same name: identical expansion");
+        a.validate().expect("generated scenarios are valid");
+        assert_eq!(a.tenants.len(), 12);
+        assert_eq!(a.num_cores(), 12);
+    }
+
+    #[test]
+    fn expansion_depends_on_seed_and_name() {
+        let spec = GenSpec::new(8);
+        let base = spec.expand(header("dc")).unwrap();
+        let renamed = spec.expand(header("dc2")).unwrap();
+        assert_ne!(base.tenants, renamed.tenants, "name feeds the seed labels");
+        let mut reseeded_spec = spec.clone();
+        reseeded_spec.seed = 0xDD;
+        let reseeded = reseeded_spec.expand(header("dc")).unwrap();
+        assert_ne!(base.tenants, reseeded.tenants);
+    }
+
+    #[test]
+    fn tenants_own_disjoint_contiguous_resources() {
+        let mut spec = GenSpec::new(20);
+        spec.cores_per_tenant = 2;
+        spec.flows_per_tenant = 8;
+        let sc = spec.expand(header("res")).unwrap();
+        for (i, t) in sc.tenants.iter().enumerate() {
+            assert_eq!(t.cores, vec![i as u16 * 2, i as u16 * 2 + 1]);
+            assert_eq!(t.base_port, 1024 + i as u16 * 8);
+            assert_eq!(t.flows, 8);
+        }
+        sc.validate().unwrap();
+    }
+
+    #[test]
+    fn classes_attackers_and_slos_follow_the_spec() {
+        let mut spec = GenSpec::new(60);
+        spec.attacker_frac = 0.4;
+        spec.slo = Some(SloSpec {
+            max_p99_ns: Some(10_000_000),
+            max_drop_rate: None,
+        });
+        let sc = spec.expand(header("mix")).unwrap();
+        let attackers = sc.tenants.iter().filter(|t| t.policy.is_some()).count();
+        assert!(attackers > 0, "40% of 60 tenants should include attackers");
+        assert!(attackers < 60);
+        let mut distinct: Vec<PolicySpec> = Vec::new();
+        for t in &sc.tenants {
+            assert_eq!(t.name.ends_with("-atk"), t.policy.is_some());
+            if let Some(p) = t.policy {
+                if !distinct.contains(&p) {
+                    distinct.push(p);
+                }
+            }
+            if let Some(slo) = t.slo {
+                assert!(t.name.contains("kvs") && t.policy.is_none());
+                assert_eq!(slo.max_p99_ns, Some(10_000_000));
+                if let TrafficPattern::Poisson { rate_gbps, .. } = t.traffic {
+                    assert!(rate_gbps >= SLO_MIN_RATE_GBPS);
+                } else {
+                    panic!("kvs tenants are Poisson");
+                }
+            }
+        }
+        assert!(distinct.len() >= 3, "attackers cycle multiple policy specs");
+        assert!(
+            sc.tenants.iter().any(|t| t.slo.is_some()),
+            "head kvs tenants get the SLO"
+        );
+    }
+
+    #[test]
+    fn zipf_rates_are_heavy_tailed_and_sum_close_to_total() {
+        let spec = GenSpec::new(50);
+        let sc = spec.expand(header("zipf")).unwrap();
+        let rate = |t: &TenantDef| match t.traffic {
+            TrafficPattern::Steady { rate_gbps } | TrafficPattern::Poisson { rate_gbps, .. } => {
+                rate_gbps
+            }
+            TrafficPattern::Bursty(_) => unreachable!("generator never emits bursty"),
+        };
+        let rates: Vec<f64> = sc.tenants.iter().map(rate).collect();
+        let sum: f64 = rates.iter().sum();
+        // The floor can only push the sum slightly above the target.
+        assert!((40.0..41.0).contains(&sum), "sum {sum}");
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 10.0, "heavy tail: {max} vs {min}");
+        assert!(rates.iter().all(|&r| r >= MIN_RATE_GBPS));
+    }
+
+    #[test]
+    fn resource_exhaustion_is_an_error() {
+        let mut spec = GenSpec::new(9000);
+        spec.flows_per_tenant = 8;
+        let err = spec.expand(header("big")).unwrap_err();
+        assert!(err.contains("port space"), "{err}");
+        let mut spec = GenSpec::new(40_000);
+        spec.cores_per_tenant = 2;
+        spec.flows_per_tenant = 1;
+        let err = spec.expand(header("big")).unwrap_err();
+        assert!(err.contains("core space"), "{err}");
+    }
+
+    #[test]
+    fn expansion_rejects_populated_scenarios() {
+        let mut h = header("busy");
+        h.tenants.push(TenantDef::new(
+            "existing",
+            NfKind::TouchDrop,
+            vec![0],
+            1,
+            9000,
+            TrafficPattern::Steady { rate_gbps: 1.0 },
+            256,
+        ));
+        assert!(GenSpec::new(4).expand(h).is_err());
+    }
+}

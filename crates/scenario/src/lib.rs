@@ -20,6 +20,16 @@
 //! legacy one-flow-per-core wiring, and reports are byte-identical at any
 //! `--jobs` because every cell's seed derives from its stable label.
 //!
+//! Scenarios can also live in **files** — a dependency-free TOML subset
+//! parsed by [`spec_file`] with line/column errors and written back by
+//! [`spec_file::to_file_string`] — and a file's `[generate]` table
+//! ([`gen::GenSpec`]) expands a compact spec into hundreds of tenants
+//! deterministically. The report path *streams*: each sweep cell is
+//! folded into per-tenant aggregates on the worker that ran it
+//! ([`report::ScenarioReportBuilder`]), so memory stays O(tenants), not
+//! O(cells × histograms), with the JSON still byte-identical at any
+//! worker count.
+//!
 //! # Quick start
 //!
 //! ```
@@ -36,11 +46,18 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod gen;
 pub mod report;
 pub mod run;
 pub mod spec;
+pub mod spec_file;
 
 pub use builtin::{builtin, builtin_names, builtins};
-pub use report::{Interference, LatencyStats, ScenarioReport, SloOutcome, SteerMix, TenantReport};
-pub use run::run_scenario;
+pub use gen::{AppClass, GenSpec, RateDist};
+pub use report::{
+    Interference, LatencyStats, ScenarioReport, ScenarioReportBuilder, SloOutcome, SteerMix,
+    TenantReport,
+};
+pub use run::{run_scenario, scenario_cells};
 pub use spec::{Scenario, SloSpec, TenantDef};
+pub use spec_file::{load_path, parse_str, to_file_string, SpecError};

@@ -4,6 +4,21 @@
 //! and the sweep's root seed — no wall-clock, no thread identity — so the
 //! rendering is byte-identical at any worker count and can be golden-
 //! tested exactly like the paper figures.
+//!
+//! For datacenter-scale scenarios (hundreds of tenants, one solo cell
+//! each) the report is assembled *streamingly* through a
+//! [`ScenarioReportBuilder`]: every finished cell is reduced to a small
+//! [`CellFold`] on the worker that ran it — dropping the full
+//! [`RunReport`] with its histograms immediately — and the folds are
+//! merged into per-tenant running aggregates. Peak builder memory is
+//! O(tenants), not O(cells × histograms), and because each fold is a pure
+//! function of its own cell, the assembled JSON stays byte-identical at
+//! any `--jobs`.
+
+use idio_core::report::RunReport;
+use idio_engine::telemetry::Histogram;
+
+use crate::spec::{Scenario, SloSpec};
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -305,6 +320,357 @@ impl ScenarioReport {
             self.completed,
             tenants.join(",\n    "),
         )
+    }
+}
+
+/// Merges the `core{i}.pkt_latency_ns` histograms of `cores` out of a
+/// run's final metrics snapshot.
+fn merged_latency(report: &RunReport, cores: &[u16]) -> Option<LatencyStats> {
+    let mut h = Histogram::new();
+    for &c in cores {
+        if let Some(hc) = report.metrics.histogram(&format!("core{c}.pkt_latency_ns")) {
+            h.merge(hc);
+        }
+    }
+    if h.count() == 0 {
+        return None;
+    }
+    Some(LatencyStats {
+        count: h.count(),
+        mean_ns: h.mean(),
+        p50_ns: h.percentile(50.0).expect("non-empty"),
+        p90_ns: h.percentile(90.0).expect("non-empty"),
+        p99_ns: h.percentile(99.0).expect("non-empty"),
+        max_ns: h.max(),
+    })
+}
+
+fn sum_counters(report: &RunReport, names: impl Iterator<Item = String>) -> u64 {
+    names.map(|n| report.metrics.counter(&n)).sum()
+}
+
+/// Everything the mixed run contributes about one tenant, already reduced
+/// to fixed-size aggregates (no histograms retained).
+#[derive(Debug, Clone)]
+pub struct TenantMixed {
+    /// Packets delivered into the tenant's rings.
+    pub rx_packets: u64,
+    /// Packets dropped at the tenant's full rings.
+    pub rx_drops: u64,
+    /// Packets the tenant's NFs fully processed.
+    pub completed: u64,
+    /// MLC writebacks of the tenant's cores.
+    pub mlc_wb: u64,
+    /// Steering mix of DMA lines destined to the tenant's cores.
+    pub steer: SteerMix,
+    /// Merged latency summary of the tenant's cores.
+    pub latency: Option<LatencyStats>,
+}
+
+/// The mixed cell reduced to run totals plus per-tenant aggregates.
+#[derive(Debug, Clone)]
+pub struct MixedFold {
+    /// Packets the NIC delivered, across all tenants.
+    pub rx_packets: u64,
+    /// Packets dropped at full rings, across all tenants.
+    pub rx_drops: u64,
+    /// Packets fully processed, across all tenants.
+    pub completed: u64,
+    /// Per-tenant aggregates, in scenario declaration order.
+    pub tenants: Vec<TenantMixed>,
+}
+
+/// One scenario cell reduced to the fixed-size aggregate the report needs
+/// — produced on the sweep worker by [`ScenarioReportBuilder::reduce`] so
+/// the cell's full [`RunReport`] can be dropped immediately.
+#[derive(Debug, Clone)]
+pub enum CellFold {
+    /// The mixed cell (always cell 0 of a scenario sweep).
+    Mixed(MixedFold),
+    /// The solo cell of tenant `tenant`: only its merged latency summary
+    /// is kept.
+    Solo {
+        /// Index of the tenant in scenario declaration order.
+        tenant: usize,
+        /// The tenant's solo latency summary (`None` if nothing
+        /// completed).
+        latency: Option<LatencyStats>,
+    },
+}
+
+/// Per-tenant slot of the streaming builder: the static identity copied
+/// from the scenario plus the aggregates folded in so far.
+#[derive(Debug, Clone)]
+struct TenantSlot {
+    name: String,
+    nf: &'static str,
+    cores: Vec<u16>,
+    /// The tenant's queue indices in the mixed run (queue index ==
+    /// workload index; workloads are pushed in declaration order).
+    queues: std::ops::Range<usize>,
+    packet_len: u16,
+    policy: Option<String>,
+    slo: Option<SloSpec>,
+    mixed: Option<TenantMixed>,
+    /// `Some(...)` once the solo cell folded (its inner value may still be
+    /// `None` when the solo run completed no packets).
+    solo_latency: Option<Option<LatencyStats>>,
+}
+
+/// Streaming assembly of a [`ScenarioReport`]: cells are reduced to
+/// [`CellFold`]s on the workers ([`reduce`](Self::reduce), `&self`, safe
+/// to call concurrently) and merged into per-tenant running aggregates
+/// ([`fold`](Self::fold)); [`finish`](Self::finish) materialises the
+/// report once every cell has been folded.
+///
+/// The builder never stores a [`RunReport`]: its memory is O(tenants)
+/// regardless of how many packets, flows or histogram buckets the cells
+/// produced. Fold order does not matter — every fold targets its own slot
+/// — which is what keeps the report byte-identical at any worker count.
+#[derive(Debug, Clone)]
+pub struct ScenarioReportBuilder {
+    scenario: String,
+    description: String,
+    policy: &'static str,
+    root_seed: u64,
+    duration_ns: u64,
+    totals: Option<(u64, u64, u64)>,
+    tenants: Vec<TenantSlot>,
+}
+
+impl ScenarioReportBuilder {
+    /// Prepares the builder for `scenario`: copies the static per-tenant
+    /// identity (names, cores, queue spans, SLO bounds) and leaves every
+    /// aggregate slot empty.
+    pub fn new(scenario: &Scenario, root_seed: u64) -> Self {
+        let mut next_workload = 0usize;
+        let tenants = scenario
+            .tenants
+            .iter()
+            .map(|t| {
+                let queues = next_workload..next_workload + t.cores.len();
+                next_workload = queues.end;
+                TenantSlot {
+                    name: t.name.clone(),
+                    nf: t.nf.name(),
+                    cores: t.cores.clone(),
+                    queues,
+                    packet_len: t.packet_len,
+                    policy: t.policy.map(|p| p.label()),
+                    slo: t.slo.filter(SloSpec::is_bounded),
+                    mixed: None,
+                    solo_latency: None,
+                }
+            })
+            .collect();
+        ScenarioReportBuilder {
+            scenario: scenario.name.clone(),
+            description: scenario.description.clone(),
+            policy: scenario.policy.label(),
+            root_seed,
+            duration_ns: scenario.duration.as_ns(),
+            totals: None,
+            tenants,
+        }
+    }
+
+    /// Number of cells the scenario sweep produces (mixed + one solo per
+    /// tenant) — the indices [`reduce`](Self::reduce) accepts.
+    pub fn num_cells(&self) -> usize {
+        self.tenants.len() + 1
+    }
+
+    /// Reduces cell `cell` (0 = mixed, `i + 1` = tenant `i`'s solo run) to
+    /// its fold. Takes `&self` so sweep workers can reduce concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= self.num_cells()`.
+    pub fn reduce(&self, cell: usize, report: &RunReport) -> CellFold {
+        assert!(cell < self.num_cells(), "cell {cell} out of range");
+        if cell == 0 {
+            let tenants = self
+                .tenants
+                .iter()
+                .map(|slot| TenantMixed {
+                    rx_packets: sum_counters(
+                        report,
+                        slot.queues.clone().map(|q| format!("queue{q}.rx.packets")),
+                    ),
+                    rx_drops: sum_counters(
+                        report,
+                        slot.queues.clone().map(|q| format!("queue{q}.rx.drops")),
+                    ),
+                    completed: sum_counters(
+                        report,
+                        slot.cores
+                            .iter()
+                            .map(|c| format!("core{c}.packets.completed")),
+                    ),
+                    mlc_wb: slot
+                        .cores
+                        .iter()
+                        .map(|&c| report.hierarchy.core[c as usize].mlc_wb.get())
+                        .sum(),
+                    steer: SteerMix {
+                        llc: sum_counters(
+                            report,
+                            slot.cores.iter().map(|c| format!("core{c}.steer.llc")),
+                        ),
+                        mlc: sum_counters(
+                            report,
+                            slot.cores.iter().map(|c| format!("core{c}.steer.mlc")),
+                        ),
+                        dram: sum_counters(
+                            report,
+                            slot.cores.iter().map(|c| format!("core{c}.steer.dram")),
+                        ),
+                    },
+                    latency: merged_latency(report, &slot.cores),
+                })
+                .collect();
+            CellFold::Mixed(MixedFold {
+                rx_packets: report.totals.rx_packets,
+                rx_drops: report.totals.rx_drops,
+                completed: report.totals.completed_packets,
+                tenants,
+            })
+        } else {
+            let tenant = cell - 1;
+            CellFold::Solo {
+                tenant,
+                latency: merged_latency(report, &self.tenants[tenant].cores),
+            }
+        }
+    }
+
+    /// Merges one fold into the running aggregates. Order-independent:
+    /// every fold fills its own slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fold's slot was already filled (a cell folded twice)
+    /// or a solo fold names an out-of-range tenant.
+    pub fn fold(&mut self, fold: CellFold) {
+        match fold {
+            CellFold::Mixed(m) => {
+                assert!(self.totals.is_none(), "mixed cell folded twice");
+                assert_eq!(m.tenants.len(), self.tenants.len());
+                self.totals = Some((m.rx_packets, m.rx_drops, m.completed));
+                for (slot, t) in self.tenants.iter_mut().zip(m.tenants) {
+                    slot.mixed = Some(t);
+                }
+            }
+            CellFold::Solo { tenant, latency } => {
+                let slot = &mut self.tenants[tenant];
+                assert!(
+                    slot.solo_latency.is_none(),
+                    "solo cell of tenant {tenant} folded twice"
+                );
+                slot.solo_latency = Some(latency);
+            }
+        }
+    }
+
+    /// Materialises the report: computes interference and SLO outcomes
+    /// from the folded aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first cell that was never folded.
+    pub fn finish(self) -> Result<ScenarioReport, String> {
+        let (rx_packets, rx_drops, completed) = self
+            .totals
+            .ok_or_else(|| format!("scenario '{}': mixed cell never folded", self.scenario))?;
+        let duration_s = self.duration_ns as f64 * 1e-9;
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        for slot in self.tenants {
+            let mixed = slot.mixed.expect("filled together with totals");
+            let solo_latency = slot.solo_latency.ok_or_else(|| {
+                format!(
+                    "scenario '{}': solo cell of tenant '{}' never folded",
+                    self.scenario, slot.name
+                )
+            })?;
+            let interference = match (mixed.latency, solo_latency) {
+                (Some(m), Some(s)) => Some(Interference {
+                    p50_delta_ns: m.p50_ns as i64 - s.p50_ns as i64,
+                    p99_delta_ns: m.p99_ns as i64 - s.p99_ns as i64,
+                    p99_ratio: if s.p99_ns > 0 {
+                        m.p99_ns as f64 / s.p99_ns as f64
+                    } else {
+                        f64::NAN
+                    },
+                }),
+                _ => None,
+            };
+            let offered = mixed.rx_packets + mixed.rx_drops;
+            let drop_rate = if offered == 0 {
+                0.0
+            } else {
+                mixed.rx_drops as f64 / offered as f64
+            };
+            // SLO bounds are asserted against the *mixed* run — the whole
+            // point of an objective is surviving the neighbors.
+            let slo = slot.slo.map(|s| {
+                let actual_p99_ns = mixed.latency.map(|l| l.p99_ns);
+                let mut violations = Vec::new();
+                if let Some(bound) = s.max_p99_ns {
+                    match actual_p99_ns {
+                        Some(p99) if p99 > bound => {
+                            violations.push(format!("mixed p99 {p99}ns exceeds bound {bound}ns"));
+                        }
+                        None => violations
+                            .push(format!("no completed packets to check p99 bound {bound}ns")),
+                        _ => {}
+                    }
+                }
+                if let Some(bound) = s.max_drop_rate {
+                    if drop_rate > bound {
+                        violations.push(format!(
+                            "mixed drop rate {drop_rate:.6} exceeds bound {bound:.6}"
+                        ));
+                    }
+                }
+                SloOutcome {
+                    max_p99_ns: s.max_p99_ns,
+                    max_drop_rate: s.max_drop_rate,
+                    actual_p99_ns,
+                    actual_drop_rate: drop_rate,
+                    violations,
+                }
+            });
+            tenants.push(TenantReport {
+                name: slot.name,
+                nf: slot.nf,
+                cores: slot.cores,
+                rx_packets: mixed.rx_packets,
+                rx_drops: mixed.rx_drops,
+                drop_rate,
+                completed: mixed.completed,
+                throughput_gbps: mixed.completed as f64 * f64::from(slot.packet_len) * 8.0
+                    / duration_s
+                    / 1e9,
+                mlc_wb: mixed.mlc_wb,
+                steer: mixed.steer,
+                latency: mixed.latency,
+                solo_latency,
+                interference,
+                policy: slot.policy,
+                slo,
+            });
+        }
+        Ok(ScenarioReport {
+            scenario: self.scenario,
+            description: self.description,
+            policy: self.policy,
+            root_seed: self.root_seed,
+            duration_ns: self.duration_ns,
+            rx_packets,
+            rx_drops,
+            completed,
+            tenants,
+        })
     }
 }
 

@@ -1,45 +1,39 @@
-//! The scenario runner: mixed + solo cells on the sweep worker pool.
+//! The scenario runner: mixed + solo cells sharded across the sweep pool.
 //!
 //! A scenario with `N` tenants expands to `N + 1` [`SweepCell`]s — one
 //! mixed run labelled `scenario/<name>/mixed` and one solo run per tenant
 //! labelled `scenario/<name>/solo/<tenant>` — executed by
-//! [`idio_core::sweep::run_cells`]. Labels are stable, so every cell's
+//! [`idio_core::sweep::run_cells_map`]. Labels are stable, so every cell's
 //! seed (and therefore the whole report) is independent of the worker
 //! count.
+//!
+//! The report is assembled through the *streaming* path: each cell is
+//! reduced to a [`crate::report::CellFold`] on the worker that ran it and
+//! its full [`idio_core::report::RunReport`] is dropped right there, so a
+//! 200-tenant scenario (201 cells, each with per-core histograms) peaks at
+//! `jobs` live reports plus O(tenants) of folded aggregates — not
+//! O(cells × histograms).
 
-use idio_core::report::RunReport;
-use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
-use idio_engine::telemetry::Histogram;
+use idio_core::sweep::{run_cells_map, SweepCell, SweepOptions};
 
-use crate::report::{
-    Interference, LatencyStats, ScenarioReport, SloOutcome, SteerMix, TenantReport,
-};
+use crate::report::{ScenarioReport, ScenarioReportBuilder};
 use crate::spec::Scenario;
 
-/// Merges the `core{i}.pkt_latency_ns` histograms of `cores` out of a
-/// run's final metrics snapshot.
-fn merged_latency(report: &RunReport, cores: &[u16]) -> Option<LatencyStats> {
-    let mut h = Histogram::new();
-    for &c in cores {
-        if let Some(hc) = report.metrics.histogram(&format!("core{c}.pkt_latency_ns")) {
-            h.merge(hc);
-        }
+/// The sweep cells of `scenario`, in the fixed order the report builder
+/// expects: the mixed cell first, then one solo cell per tenant in
+/// declaration order.
+pub fn scenario_cells(scenario: &Scenario) -> Vec<SweepCell> {
+    let mut cells = vec![SweepCell::new(
+        format!("scenario/{}/mixed", scenario.name),
+        scenario.mixed_config(),
+    )];
+    for (i, t) in scenario.tenants.iter().enumerate() {
+        cells.push(SweepCell::new(
+            format!("scenario/{}/solo/{}", scenario.name, t.name),
+            scenario.solo_config(i),
+        ));
     }
-    if h.count() == 0 {
-        return None;
-    }
-    Some(LatencyStats {
-        count: h.count(),
-        mean_ns: h.mean(),
-        p50_ns: h.percentile(50.0).expect("non-empty"),
-        p90_ns: h.percentile(90.0).expect("non-empty"),
-        p99_ns: h.percentile(99.0).expect("non-empty"),
-        max_ns: h.max(),
-    })
-}
-
-fn sum_counters(report: &RunReport, names: impl Iterator<Item = String>) -> u64 {
-    names.map(|n| report.metrics.counter(&n)).sum()
+    cells
 }
 
 /// Runs `scenario` under `opts` and assembles the per-tenant report.
@@ -53,128 +47,16 @@ fn sum_counters(report: &RunReport, names: impl Iterator<Item = String>) -> u64 
 /// simulation itself cannot fail.
 pub fn run_scenario(scenario: &Scenario, opts: &SweepOptions) -> Result<ScenarioReport, String> {
     scenario.validate()?;
-
-    let mut cells = vec![SweepCell::new(
-        format!("scenario/{}/mixed", scenario.name),
-        scenario.mixed_config(),
-    )];
-    for (i, t) in scenario.tenants.iter().enumerate() {
-        cells.push(SweepCell::new(
-            format!("scenario/{}/solo/{}", scenario.name, t.name),
-            scenario.solo_config(i),
-        ));
+    let mut builder = ScenarioReportBuilder::new(scenario, opts.root_seed);
+    let cells = scenario_cells(scenario);
+    debug_assert_eq!(cells.len(), builder.num_cells());
+    // Reduce on the workers (dropping each RunReport as soon as its cell
+    // finishes), then fold the per-cell aggregates on this thread.
+    let folds = run_cells_map(cells, opts, |i, outcome| builder.reduce(i, &outcome.report));
+    for fold in folds {
+        builder.fold(fold);
     }
-    let outcomes = run_cells(cells, opts);
-    let mixed = &outcomes[0].report;
-    let duration_s = scenario.duration.as_ns() as f64 * 1e-9;
-
-    // Queue index == workload index (one ring per NF instance), so a
-    // tenant's queues in the mixed run are its workload indices there.
-    let mut next_workload = 0usize;
-    let mut tenants = Vec::with_capacity(scenario.tenants.len());
-    for (i, t) in scenario.tenants.iter().enumerate() {
-        let queues: Vec<usize> = (next_workload..next_workload + t.cores.len()).collect();
-        next_workload += t.cores.len();
-
-        let rx_packets = sum_counters(mixed, queues.iter().map(|q| format!("queue{q}.rx.packets")));
-        let rx_drops = sum_counters(mixed, queues.iter().map(|q| format!("queue{q}.rx.drops")));
-        let offered = rx_packets + rx_drops;
-        let completed = sum_counters(
-            mixed,
-            t.cores.iter().map(|c| format!("core{c}.packets.completed")),
-        );
-        let steer = SteerMix {
-            llc: sum_counters(mixed, t.cores.iter().map(|c| format!("core{c}.steer.llc"))),
-            mlc: sum_counters(mixed, t.cores.iter().map(|c| format!("core{c}.steer.mlc"))),
-            dram: sum_counters(mixed, t.cores.iter().map(|c| format!("core{c}.steer.dram"))),
-        };
-        let mlc_wb = t
-            .cores
-            .iter()
-            .map(|&c| mixed.hierarchy.core[c as usize].mlc_wb.get())
-            .sum();
-
-        let latency = merged_latency(mixed, &t.cores);
-        let solo_latency = merged_latency(&outcomes[i + 1].report, &t.cores);
-        let interference = match (latency, solo_latency) {
-            (Some(m), Some(s)) => Some(Interference {
-                p50_delta_ns: m.p50_ns as i64 - s.p50_ns as i64,
-                p99_delta_ns: m.p99_ns as i64 - s.p99_ns as i64,
-                p99_ratio: if s.p99_ns > 0 {
-                    m.p99_ns as f64 / s.p99_ns as f64
-                } else {
-                    f64::NAN
-                },
-            }),
-            _ => None,
-        };
-
-        let drop_rate = if offered == 0 {
-            0.0
-        } else {
-            rx_drops as f64 / offered as f64
-        };
-        // SLO bounds are asserted against the *mixed* run — the whole
-        // point of an objective is surviving the neighbors.
-        let slo = t.slo.filter(|s| s.is_bounded()).map(|s| {
-            let actual_p99_ns = latency.map(|l| l.p99_ns);
-            let mut violations = Vec::new();
-            if let Some(bound) = s.max_p99_ns {
-                match actual_p99_ns {
-                    Some(p99) if p99 > bound => {
-                        violations.push(format!("mixed p99 {p99}ns exceeds bound {bound}ns"));
-                    }
-                    None => violations
-                        .push(format!("no completed packets to check p99 bound {bound}ns")),
-                    _ => {}
-                }
-            }
-            if let Some(bound) = s.max_drop_rate {
-                if drop_rate > bound {
-                    violations.push(format!(
-                        "mixed drop rate {drop_rate:.6} exceeds bound {bound:.6}"
-                    ));
-                }
-            }
-            SloOutcome {
-                max_p99_ns: s.max_p99_ns,
-                max_drop_rate: s.max_drop_rate,
-                actual_p99_ns,
-                actual_drop_rate: drop_rate,
-                violations,
-            }
-        });
-
-        tenants.push(TenantReport {
-            name: t.name.clone(),
-            nf: t.nf.name(),
-            cores: t.cores.clone(),
-            rx_packets,
-            rx_drops,
-            drop_rate,
-            completed,
-            throughput_gbps: completed as f64 * f64::from(t.packet_len) * 8.0 / duration_s / 1e9,
-            mlc_wb,
-            steer,
-            latency,
-            solo_latency,
-            interference,
-            policy: t.policy.map(|p| p.label()),
-            slo,
-        });
-    }
-
-    Ok(ScenarioReport {
-        scenario: scenario.name.clone(),
-        description: scenario.description.clone(),
-        policy: scenario.policy.label(),
-        root_seed: opts.root_seed,
-        duration_ns: scenario.duration.as_ns(),
-        rx_packets: mixed.totals.rx_packets,
-        rx_drops: mixed.totals.rx_drops,
-        completed: mixed.totals.completed_packets,
-        tenants,
-    })
+    builder.finish()
 }
 
 #[cfg(test)]
@@ -260,5 +142,15 @@ mod tests {
         let mut sc = tiny();
         sc.tenants[1].cores = vec![0];
         assert!(run_scenario(&sc, &SweepOptions::serial()).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_missing_folds() {
+        let sc = tiny();
+        let b = ScenarioReportBuilder::new(&sc, 1);
+        assert_eq!(b.num_cells(), 3);
+        // Nothing folded at all: the mixed cell is reported missing.
+        let err = b.finish().unwrap_err();
+        assert!(err.contains("mixed cell never folded"), "{err}");
     }
 }

@@ -39,7 +39,7 @@ impl SloSpec {
 
 /// One tenant of a scenario: a traffic source bound to an NF class and a
 /// group of cores.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantDef {
     /// Stable tenant name (unique within the scenario; report key).
     pub name: String,
@@ -127,7 +127,7 @@ impl TenantDef {
 }
 
 /// A named, declarative mixed-workload run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Stable scenario name (label prefix of every cell it spawns).
     pub name: String,

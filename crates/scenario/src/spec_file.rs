@@ -1,0 +1,1773 @@
+//! Scenario files: a dependency-free TOML-subset parser and the canonical
+//! serializer.
+//!
+//! Scenarios are defined in files so they can be added, tuned and shared
+//! without recompiling (the same reason PR 1 replaced unavailable crates
+//! with in-repo substrates, this module hand-rolls the parser instead of
+//! depending on a TOML crate). The accepted grammar is a strict subset of
+//! TOML, line-oriented:
+//!
+//! * `key = value` pairs; keys are bare (`[A-Za-z0-9_-]+`).
+//! * Values: `"strings"` (escapes `\\ \" \n \t \r \uXXXX`), integers
+//!   (decimal or `0x` hex, `_` separators), floats, booleans, and
+//!   single-line arrays of integers or strings.
+//! * `[[tenant]]` array-of-tables headers and one optional `[generate]`
+//!   table (see [`crate::gen`]); no other tables, no inline tables, no
+//!   dotted keys, no multi-line values.
+//! * `#` comments.
+//!
+//! Time-valued keys (`duration`, `drain_grace`, `burst_period`,
+//! `burst_gap`) accept a `_us`, `_ns` or `_ps` suffix — exactly one —
+//! and the serializer picks `_ns` unless the value needs picosecond
+//! precision (the simulator's clocks tick in picoseconds).
+//!
+//! Every error carries the 1-based **line and column** of the offending
+//! token ([`SpecError`]), which the `scenario check` CLI renders as
+//! `file.toml:line:col: message`.
+//!
+//! [`to_file_string`] renders a [`Scenario`] in canonical form such that
+//! `parse_str(to_file_string(s)) == s` for any scenario without replay
+//! tenants (replay arrivals are kept in sidecar trace files named
+//! `traces/<tenant>.trace` next to the scenario file, written with
+//! [`idio_core::net::trace::write_trace`]).
+
+use std::fmt;
+use std::path::Path;
+
+use idio_core::config::FlowSteering;
+use idio_core::net::gen::{BurstSpec, TrafficPattern};
+use idio_core::net::packet::{Dscp, MIN_FRAME_BYTES};
+use idio_core::net::trace::read_trace;
+use idio_core::policy::{PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
+use idio_core::stack::nf::NfKind;
+use idio_engine::time::{wire_time, Duration, SimTime};
+
+use crate::gen::{AppClass, GenSpec, RateDist};
+use crate::spec::{Scenario, SloSpec, TenantDef};
+
+/// A parse or validation error anchored to a 1-based line and column of
+/// the scenario file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line of the offending token (0 when the error has no
+    /// position, e.g. the file could not be read at all).
+    pub line: u32,
+    /// 1-based column (in characters) of the offending token.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl SpecError {
+    fn new(pos: Pos, msg: impl Into<String>) -> Self {
+        SpecError {
+            line: pos.0,
+            col: pos.1,
+            msg: msg.into(),
+        }
+    }
+
+    fn no_pos(msg: impl Into<String>) -> Self {
+        SpecError {
+            line: 0,
+            col: 0,
+            msg: msg.into(),
+        }
+    }
+
+    /// Renders the error prefixed with a file path, `path:line:col: msg`
+    /// (or `path: msg` when the error has no position).
+    pub fn at_path(&self, path: &str) -> String {
+        if self.line == 0 {
+            format!("{path}: {}", self.msg)
+        } else {
+            format!("{path}:{}:{}: {}", self.line, self.col, self.msg)
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.msg)
+        } else {
+            write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// (line, column), both 1-based.
+type Pos = (u32, u32);
+
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Int(i128),
+    Float(f64),
+    // No schema key takes a boolean today; the variant exists so
+    // `flows = true` reports "expects an integer, found boolean" instead
+    // of a lexer-level number error.
+    Bool(#[allow(dead_code)] bool),
+    Ints(Vec<(i128, Pos)>),
+    Strs(Vec<(String, Pos)>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Ints(_) => "integer array",
+            Value::Strs(_) => "string array",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: String,
+    key_pos: Pos,
+    val: Value,
+    val_pos: Pos,
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    /// Position of the table header (`(1, 1)` for the implicit top-level
+    /// table); anchor for "missing required key" errors.
+    pos: Pos,
+    entries: Vec<Entry>,
+}
+
+impl Table {
+    fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexing: source text → tables of positioned key/value entries.
+// ---------------------------------------------------------------------
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+struct LineLexer {
+    chars: Vec<char>,
+    line: u32,
+    i: usize,
+}
+
+impl LineLexer {
+    fn pos(&self) -> Pos {
+        (self.line, self.i as u32 + 1)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.i += 1;
+        }
+    }
+
+    /// Whether the rest of the line is only whitespace or a comment.
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        matches!(self.peek(), None | Some('#'))
+    }
+
+    fn bare_token(&mut self) -> (String, Pos) {
+        let pos = self.pos();
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if is_bare_key_char(c) || c == '.' || c == '+' {
+                s.push(c);
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        (s, pos)
+    }
+
+    fn string(&mut self) -> Result<(String, Pos), SpecError> {
+        let open = self.pos();
+        debug_assert_eq!(self.peek(), Some('"'));
+        self.i += 1;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(SpecError::new(open, "unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                '"' => return Ok((s, open)),
+                '\\' => {
+                    let esc_pos = (self.line, self.i as u32);
+                    let Some(e) = self.peek() else {
+                        return Err(SpecError::new(open, "unterminated string"));
+                    };
+                    self.i += 1;
+                    match e {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        'n' => s.push('\n'),
+                        't' => s.push('\t'),
+                        'r' => s.push('\r'),
+                        'u' => {
+                            let mut v = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                    return Err(SpecError::new(
+                                        esc_pos,
+                                        "\\u escape needs four hex digits",
+                                    ));
+                                };
+                                self.i += 1;
+                                v = v * 16 + h;
+                            }
+                            let Some(c) = char::from_u32(v) else {
+                                return Err(SpecError::new(esc_pos, "invalid \\u escape"));
+                            };
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(SpecError::new(
+                                esc_pos,
+                                format!("unknown escape '\\{other}'"),
+                            ));
+                        }
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+    }
+
+    fn scalar_token(&mut self) -> Result<(Value, Pos), SpecError> {
+        let (tok, pos) = self.bare_token();
+        if tok.is_empty() {
+            let c = self
+                .peek()
+                .map_or("end of line".into(), |c| format!("'{c}'"));
+            return Err(SpecError::new(
+                self.pos(),
+                format!("expected a value, found {c}"),
+            ));
+        }
+        match tok.as_str() {
+            "true" => return Ok((Value::Bool(true), pos)),
+            "false" => return Ok((Value::Bool(false), pos)),
+            _ => {}
+        }
+        let clean: String = tok.chars().filter(|&c| c != '_').collect();
+        let (neg, body) = match clean.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, clean.as_str()),
+        };
+        if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            return i128::from_str_radix(hex, 16)
+                .map(|v| (Value::Int(if neg { -v } else { v }), pos))
+                .map_err(|_| SpecError::new(pos, format!("invalid number '{tok}'")));
+        }
+        if body.contains(['.', 'e', 'E']) {
+            return clean
+                .parse::<f64>()
+                .map(|v| (Value::Float(v), pos))
+                .map_err(|_| SpecError::new(pos, format!("invalid number '{tok}'")));
+        }
+        clean
+            .parse::<i128>()
+            .map(|v| (Value::Int(v), pos))
+            .map_err(|_| SpecError::new(pos, format!("invalid number '{tok}'")))
+    }
+
+    fn value(&mut self) -> Result<(Value, Pos), SpecError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => self.string().map(|(s, p)| (Value::Str(s), p)),
+            Some('[') => self.array(),
+            Some('-') => {
+                // A leading '-' is only valid on numbers; bare_token keeps
+                // it because it is a bare-key char.
+                self.scalar_token()
+            }
+            _ => self.scalar_token(),
+        }
+    }
+
+    fn array(&mut self) -> Result<(Value, Pos), SpecError> {
+        let open = self.pos();
+        debug_assert_eq!(self.peek(), Some('['));
+        self.i += 1;
+        let mut ints: Vec<(i128, Pos)> = Vec::new();
+        let mut strs: Vec<(String, Pos)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(SpecError::new(open, "unterminated array")),
+                Some(']') => {
+                    self.i += 1;
+                    break;
+                }
+                Some(_) => {}
+            }
+            let (v, pos) = self.value()?;
+            match v {
+                Value::Int(i) if strs.is_empty() => ints.push((i, pos)),
+                Value::Str(s) if ints.is_empty() => strs.push((s, pos)),
+                Value::Int(_) | Value::Str(_) => {
+                    return Err(SpecError::new(pos, "mixed array element types"));
+                }
+                other => {
+                    return Err(SpecError::new(
+                        pos,
+                        format!(
+                            "arrays may hold integers or strings, not {}",
+                            other.type_name()
+                        ),
+                    ));
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.i += 1;
+                }
+                Some(']') => {}
+                None => return Err(SpecError::new(open, "unterminated array")),
+                Some(c) => {
+                    return Err(SpecError::new(
+                        self.pos(),
+                        format!("expected ',' or ']' in array, found '{c}'"),
+                    ));
+                }
+            }
+        }
+        if strs.is_empty() {
+            Ok((Value::Ints(ints), open))
+        } else {
+            Ok((Value::Strs(strs), open))
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RawFile {
+    top: Table,
+    tenants: Vec<Table>,
+    generate: Option<Table>,
+}
+
+fn lex(src: &str) -> Result<RawFile, SpecError> {
+    let mut raw = RawFile {
+        top: Table {
+            pos: (1, 1),
+            entries: Vec::new(),
+        },
+        tenants: Vec::new(),
+        generate: None,
+    };
+    #[derive(Clone, Copy, PartialEq)]
+    enum Section {
+        Top,
+        Tenant,
+        Generate,
+    }
+    let mut section = Section::Top;
+    for (idx, text) in src.lines().enumerate() {
+        let mut lx = LineLexer {
+            chars: text.chars().collect(),
+            line: idx as u32 + 1,
+            i: 0,
+        };
+        if lx.at_end() {
+            continue;
+        }
+        if lx.peek() == Some('[') {
+            let header_pos = lx.pos();
+            lx.i += 1;
+            let array_of_tables = lx.peek() == Some('[');
+            if array_of_tables {
+                lx.i += 1;
+            }
+            let (name, _) = lx.bare_token();
+            let close = if array_of_tables { "]]" } else { "]" };
+            for _ in 0..close.len() {
+                if lx.peek() != Some(']') {
+                    return Err(SpecError::new(
+                        header_pos,
+                        format!("truncated table header (expected '{close}')"),
+                    ));
+                }
+                lx.i += 1;
+            }
+            if !lx.at_end() {
+                return Err(SpecError::new(
+                    lx.pos(),
+                    "unexpected characters after table header",
+                ));
+            }
+            match (array_of_tables, name.as_str()) {
+                (true, "tenant") => {
+                    raw.tenants.push(Table {
+                        pos: header_pos,
+                        entries: Vec::new(),
+                    });
+                    section = Section::Tenant;
+                }
+                (false, "generate") => {
+                    if raw.generate.is_some() {
+                        return Err(SpecError::new(header_pos, "duplicate [generate] table"));
+                    }
+                    raw.generate = Some(Table {
+                        pos: header_pos,
+                        entries: Vec::new(),
+                    });
+                    section = Section::Generate;
+                }
+                (true, other) => {
+                    return Err(SpecError::new(
+                        header_pos,
+                        format!("unknown table '[[{other}]]' (only [[tenant]] is accepted)"),
+                    ));
+                }
+                (false, other) => {
+                    return Err(SpecError::new(
+                        header_pos,
+                        format!("unknown table '[{other}]' (only [generate] is accepted)"),
+                    ));
+                }
+            }
+            continue;
+        }
+        // key = value
+        let (key, key_pos) = lx.bare_token();
+        if key.is_empty() {
+            return Err(SpecError::new(
+                lx.pos(),
+                format!("expected a key, found '{}'", lx.peek().unwrap_or(' ')),
+            ));
+        }
+        lx.skip_ws();
+        if lx.peek() != Some('=') {
+            return Err(SpecError::new(
+                lx.pos(),
+                format!("expected '=' after key '{key}'"),
+            ));
+        }
+        lx.i += 1;
+        let (val, val_pos) = lx.value()?;
+        if !lx.at_end() {
+            return Err(SpecError::new(
+                lx.pos(),
+                "unexpected characters after value",
+            ));
+        }
+        let table = match section {
+            Section::Top => &mut raw.top,
+            Section::Tenant => raw.tenants.last_mut().expect("in a tenant section"),
+            Section::Generate => raw.generate.as_mut().expect("in the generate section"),
+        };
+        if let Some(prev) = table.get(&key) {
+            return Err(SpecError::new(
+                key_pos,
+                format!(
+                    "duplicate key '{key}' (first set at line {}, column {})",
+                    prev.key_pos.0, prev.key_pos.1
+                ),
+            ));
+        }
+        table.entries.push(Entry {
+            key,
+            key_pos,
+            val,
+            val_pos,
+        });
+    }
+    Ok(raw)
+}
+
+// ---------------------------------------------------------------------
+// Typed extraction helpers.
+// ---------------------------------------------------------------------
+
+fn want_str(e: &Entry) -> Result<&str, SpecError> {
+    match &e.val {
+        Value::Str(s) => Ok(s),
+        other => Err(SpecError::new(
+            e.val_pos,
+            format!(
+                "key '{}' expects a string, found {}",
+                e.key,
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+fn want_int(e: &Entry) -> Result<i128, SpecError> {
+    match e.val {
+        Value::Int(v) => Ok(v),
+        ref other => Err(SpecError::new(
+            e.val_pos,
+            format!(
+                "key '{}' expects an integer, found {}",
+                e.key,
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+fn want_uint(e: &Entry, max: u128, what: &str) -> Result<u128, SpecError> {
+    let v = want_int(e)?;
+    if v < 0 || v as u128 > max {
+        return Err(SpecError::new(
+            e.val_pos,
+            format!("{what} {v} out of range (0..={max})"),
+        ));
+    }
+    Ok(v as u128)
+}
+
+fn want_u64(e: &Entry, what: &str) -> Result<u64, SpecError> {
+    want_uint(e, u64::MAX as u128, what).map(|v| v as u64)
+}
+
+fn want_u32(e: &Entry, what: &str) -> Result<u32, SpecError> {
+    want_uint(e, u32::MAX as u128, what).map(|v| v as u32)
+}
+
+fn want_u16(e: &Entry, what: &str) -> Result<u16, SpecError> {
+    want_uint(e, u16::MAX as u128, what).map(|v| v as u16)
+}
+
+fn want_f64(e: &Entry) -> Result<f64, SpecError> {
+    match e.val {
+        Value::Float(v) => Ok(v),
+        Value::Int(v) => Ok(v as f64),
+        ref other => Err(SpecError::new(
+            e.val_pos,
+            format!(
+                "key '{}' expects a number, found {}",
+                e.key,
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+fn want_rate(e: &Entry) -> Result<f64, SpecError> {
+    let v = want_f64(e)?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(SpecError::new(
+            e.val_pos,
+            format!("key '{}' must be a positive finite rate, got {v}", e.key),
+        ));
+    }
+    Ok(v)
+}
+
+fn check_known_keys(table: &Table, allowed: &[&str]) -> Result<(), SpecError> {
+    for e in &table.entries {
+        if !allowed.contains(&e.key.as_str()) {
+            return Err(SpecError::new(
+                e.key_pos,
+                format!("unknown key '{}'", e.key),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn missing(table: &Table, what: &str, key: &str) -> SpecError {
+    SpecError::new(table.pos, format!("{what} is missing required key '{key}'"))
+}
+
+/// Unit suffixes a time-valued key accepts, with their picosecond scale.
+const TIME_SUFFIXES: [(&str, u64); 3] = [("us", 1_000_000), ("ns", 1_000), ("ps", 1)];
+
+/// `<name>_us` / `<name>_ns` / `<name>_ps` → picoseconds, rejecting more
+/// than one spelling. The simulator's clocks tick in picoseconds, so the
+/// `_ps` spelling round-trips values the coarser units cannot (e.g. a
+/// 51.2 ns intra-burst gap).
+fn time_ps(table: &Table, base: &str, default_ps: u64) -> Result<u64, SpecError> {
+    let mut found: Option<(String, u64)> = None;
+    for (suffix, scale) in TIME_SUFFIXES {
+        let key = format!("{base}_{suffix}");
+        let Some(e) = table.get(&key) else { continue };
+        if let Some((first, _)) = &found {
+            return Err(SpecError::new(
+                e.key_pos,
+                format!("give '{first}' or '{key}', not both"),
+            ));
+        }
+        let v = want_u64(e, &key)?;
+        let ps = v
+            .checked_mul(scale)
+            .ok_or_else(|| SpecError::new(e.val_pos, format!("{key} overflows picoseconds")))?;
+        found = Some((key, ps));
+    }
+    Ok(found.map_or(default_ps, |(_, ps)| ps))
+}
+
+/// Whether any spelling of the time key `<base>_{us,ns,ps}` is present.
+fn time_key_present(table: &Table, base: &str) -> bool {
+    TIME_SUFFIXES
+        .iter()
+        .any(|(suffix, _)| table.get(&format!("{base}_{suffix}")).is_some())
+}
+
+fn parse_policy_spec(s: &str, pos: Pos) -> Result<PolicySpec, SpecError> {
+    if let Some(p) = SteeringPolicy::from_name(s) {
+        return Ok(PolicySpec::Preset(p));
+    }
+    // The custom form mirrors PolicySpec::label exactly:
+    // custom(inval=0|1,prefetch=off|always|dynamic,dram=0|1,tune=0|1)
+    if let Some(body) = s.strip_prefix("custom(").and_then(|r| r.strip_suffix(')')) {
+        let mut caps = PolicyCaps {
+            invalidate: false,
+            prefetch: PrefetchMode::Off,
+            direct_dram: false,
+            tune_ddio_ways: false,
+        };
+        let bit = |v: &str, k: &str| match v {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(SpecError::new(
+                pos,
+                format!("custom policy flag '{k}' must be 0 or 1"),
+            )),
+        };
+        let mut seen = Vec::new();
+        for part in body.split(',') {
+            let Some((k, v)) = part.split_once('=') else {
+                return Err(SpecError::new(
+                    pos,
+                    format!("malformed custom policy component '{part}'"),
+                ));
+            };
+            if seen.contains(&k.to_string()) {
+                return Err(SpecError::new(
+                    pos,
+                    format!("duplicate custom policy flag '{k}'"),
+                ));
+            }
+            seen.push(k.to_string());
+            match k {
+                "inval" => caps.invalidate = bit(v, k)?,
+                "prefetch" => {
+                    caps.prefetch = match v {
+                        "off" => PrefetchMode::Off,
+                        "always" => PrefetchMode::Always,
+                        "dynamic" => PrefetchMode::Dynamic,
+                        _ => {
+                            return Err(SpecError::new(
+                                pos,
+                                format!("prefetch mode '{v}' is not off|always|dynamic"),
+                            ));
+                        }
+                    }
+                }
+                "dram" => caps.direct_dram = bit(v, k)?,
+                "tune" => caps.tune_ddio_ways = bit(v, k)?,
+                _ => {
+                    return Err(SpecError::new(
+                        pos,
+                        format!("unknown custom policy flag '{k}'"),
+                    ));
+                }
+            }
+        }
+        return Ok(PolicySpec::Custom(caps));
+    }
+    Err(SpecError::new(
+        pos,
+        format!(
+            "unknown policy '{s}' (expected ddio|invalidate|prefetch|static|idio|iat \
+             or custom(inval=..,prefetch=..,dram=..,tune=..))"
+        ),
+    ))
+}
+
+fn parse_nf(s: &str, pos: Pos) -> Result<NfKind, SpecError> {
+    match s {
+        "touch-drop" => Ok(NfKind::TouchDrop),
+        "l2fwd" => Ok(NfKind::L2Fwd),
+        "l2fwd-payload-drop" => Ok(NfKind::L2FwdPayloadDrop),
+        "touch-drop-copy" => Ok(NfKind::TouchDropCopy),
+        "deep-fwd" => Ok(NfKind::DeepFwd),
+        _ => Err(SpecError::new(
+            pos,
+            format!(
+                "unknown nf '{s}' (expected touch-drop|l2fwd|l2fwd-payload-drop|\
+                 touch-drop-copy|deep-fwd)"
+            ),
+        )),
+    }
+}
+
+fn nf_file_name(nf: NfKind) -> &'static str {
+    match nf {
+        NfKind::TouchDrop => "touch-drop",
+        NfKind::L2Fwd => "l2fwd",
+        NfKind::L2FwdPayloadDrop => "l2fwd-payload-drop",
+        NfKind::TouchDropCopy => "touch-drop-copy",
+        NfKind::DeepFwd => "deep-fwd",
+    }
+}
+
+fn policy_file_name(spec: PolicySpec) -> String {
+    match spec {
+        PolicySpec::Preset(p) => match p {
+            SteeringPolicy::Ddio => "ddio".into(),
+            SteeringPolicy::InvalidateOnly => "invalidate".into(),
+            SteeringPolicy::PrefetchOnly => "prefetch".into(),
+            SteeringPolicy::StaticIdio => "static".into(),
+            SteeringPolicy::Idio => "idio".into(),
+            SteeringPolicy::IatDynamic => "iat".into(),
+        },
+        // The custom form is exactly PolicySpec::label, which
+        // parse_policy_spec accepts back.
+        custom => custom.label(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables → Scenario.
+// ---------------------------------------------------------------------
+
+const TOP_KEYS: &[&str] = &[
+    "name",
+    "description",
+    "policy",
+    "steering",
+    "duration_us",
+    "duration_ns",
+    "duration_ps",
+    "drain_grace_us",
+    "drain_grace_ns",
+    "drain_grace_ps",
+];
+
+const TENANT_KEYS: &[&str] = &[
+    "name",
+    "nf",
+    "cores",
+    "flows",
+    "base_port",
+    "packet_len",
+    "dscp",
+    "traffic",
+    "rate_gbps",
+    "seed",
+    "burst_packets",
+    "burst_period_us",
+    "burst_period_ns",
+    "burst_period_ps",
+    "burst_gap_us",
+    "burst_gap_ns",
+    "burst_gap_ps",
+    "policy",
+    "max_p99_ns",
+    "max_drop_rate",
+    "replay",
+];
+
+const GEN_KEYS: &[&str] = &[
+    "tenants",
+    "seed",
+    "cores_per_tenant",
+    "flows_per_tenant",
+    "base_port",
+    "total_rate_gbps",
+    "rate_dist",
+    "zipf_s",
+    "app_classes",
+    "attacker_frac",
+    "max_p99_ns",
+    "max_drop_rate",
+];
+
+fn reject_inapplicable(table: &Table, keys: &[&str], why: &str) -> Result<(), SpecError> {
+    for key in keys {
+        if let Some(e) = table.get(key) {
+            return Err(SpecError::new(e.key_pos, format!("key '{key}' {why}")));
+        }
+    }
+    Ok(())
+}
+
+/// Keys only `traffic = "bursty"` accepts.
+const BURST_KEYS: &[&str] = &[
+    "burst_packets",
+    "burst_period_us",
+    "burst_period_ns",
+    "burst_period_ps",
+    "burst_gap_us",
+    "burst_gap_ns",
+    "burst_gap_ps",
+];
+
+fn tenant_traffic(t: &Table, packet_len: u16) -> Result<TrafficPattern, SpecError> {
+    let kind_entry = t
+        .get("traffic")
+        .ok_or_else(|| missing(t, "tenant", "traffic"))?;
+    let kind = want_str(kind_entry)?;
+    match kind {
+        "steady" => {
+            reject_inapplicable(t, &["seed"], "requires traffic = \"poisson\"")?;
+            reject_inapplicable(t, BURST_KEYS, "requires traffic = \"bursty\"")?;
+            let rate = t
+                .get("rate_gbps")
+                .ok_or_else(|| missing(t, "tenant", "rate_gbps"))?;
+            Ok(TrafficPattern::Steady {
+                rate_gbps: want_rate(rate)?,
+            })
+        }
+        "poisson" => {
+            reject_inapplicable(t, BURST_KEYS, "requires traffic = \"bursty\"")?;
+            let rate = t
+                .get("rate_gbps")
+                .ok_or_else(|| missing(t, "tenant", "rate_gbps"))?;
+            let seed = t.get("seed").ok_or_else(|| missing(t, "tenant", "seed"))?;
+            Ok(TrafficPattern::Poisson {
+                rate_gbps: want_rate(rate)?,
+                seed: want_u64(seed, "seed")?,
+            })
+        }
+        "bursty" => {
+            reject_inapplicable(t, &["seed"], "requires traffic = \"poisson\"")?;
+            let packets_e = t
+                .get("burst_packets")
+                .ok_or_else(|| missing(t, "tenant", "burst_packets"))?;
+            let packets = want_u32(packets_e, "burst_packets")?;
+            if packets == 0 {
+                return Err(SpecError::new(
+                    packets_e.val_pos,
+                    "burst_packets must be positive",
+                ));
+            }
+            let period_ps = match time_ps(t, "burst_period", 0)? {
+                0 => return Err(missing(t, "tenant", "burst_period_us")),
+                v => v,
+            };
+            let rate = t.get("rate_gbps");
+            let intra_gap = match (time_key_present(t, "burst_gap"), rate) {
+                (true, Some(e)) => {
+                    return Err(SpecError::new(
+                        e.key_pos,
+                        "give 'burst_gap_ns' or 'rate_gbps', not both",
+                    ));
+                }
+                (true, None) => Duration::from_ps(time_ps(t, "burst_gap", 0)?),
+                (false, Some(e)) => {
+                    // The paper's for_ring construction: the intra-burst
+                    // gap is the wire time of one frame at the burst rate.
+                    wire_time(u64::from(packet_len), want_rate(e)?)
+                }
+                (false, None) => return Err(missing(t, "tenant", "burst_gap_ns")),
+            };
+            let spec = BurstSpec {
+                period: Duration::from_ps(period_ps),
+                packets_per_burst: packets,
+                intra_gap,
+            };
+            // Same fit check BurstSpec::for_ring asserts, as an error.
+            if spec.intra_gap * u64::from(packets) >= spec.period {
+                return Err(SpecError::new(
+                    packets_e.val_pos,
+                    format!(
+                        "burst of {} does not fit in period {}",
+                        spec.intra_gap * u64::from(packets),
+                        spec.period
+                    ),
+                ));
+            }
+            Ok(TrafficPattern::Bursty(spec))
+        }
+        other => Err(SpecError::new(
+            kind_entry.val_pos,
+            format!("unknown traffic '{other}' (expected steady|poisson|bursty)"),
+        )),
+    }
+}
+
+fn tenant_slo(t: &Table) -> Result<Option<SloSpec>, SpecError> {
+    let p99 = t
+        .get("max_p99_ns")
+        .map(|e| want_u64(e, "max_p99_ns"))
+        .transpose()?;
+    let drop = match t.get("max_drop_rate") {
+        Some(e) => {
+            let v = want_f64(e)?;
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    format!("max_drop_rate {v} out of range (0.0..=1.0)"),
+                ));
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    if p99.is_none() && drop.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(SloSpec {
+        max_p99_ns: p99,
+        max_drop_rate: drop,
+    }))
+}
+
+fn build_tenant(t: &Table, base_dir: Option<&Path>) -> Result<TenantDef, SpecError> {
+    check_known_keys(t, TENANT_KEYS)?;
+    let name = want_str(t.get("name").ok_or_else(|| missing(t, "tenant", "name"))?)?.to_string();
+    if name.is_empty() {
+        let e = t.get("name").expect("checked above");
+        return Err(SpecError::new(e.val_pos, "tenant name must not be empty"));
+    }
+    let nf_entry = t.get("nf").ok_or_else(|| missing(t, "tenant", "nf"))?;
+    let nf = parse_nf(want_str(nf_entry)?, nf_entry.val_pos)?;
+    let cores_entry = t
+        .get("cores")
+        .ok_or_else(|| missing(t, "tenant", "cores"))?;
+    let cores = match &cores_entry.val {
+        Value::Ints(list) if !list.is_empty() => {
+            let mut cores = Vec::with_capacity(list.len());
+            for &(v, pos) in list {
+                if !(0..=i128::from(u16::MAX)).contains(&v) {
+                    return Err(SpecError::new(
+                        pos,
+                        format!("core {v} out of range (0..={})", u16::MAX),
+                    ));
+                }
+                cores.push(v as u16);
+            }
+            cores
+        }
+        Value::Ints(_) => {
+            return Err(SpecError::new(
+                cores_entry.val_pos,
+                "tenant must own at least one core",
+            ));
+        }
+        other => {
+            return Err(SpecError::new(
+                cores_entry.val_pos,
+                format!(
+                    "key 'cores' expects an integer array, found {}",
+                    other.type_name()
+                ),
+            ));
+        }
+    };
+    let flows_entry = t
+        .get("flows")
+        .ok_or_else(|| missing(t, "tenant", "flows"))?;
+    let flows = want_u16(flows_entry, "flows")?;
+    if flows == 0 {
+        return Err(SpecError::new(
+            flows_entry.val_pos,
+            "flows must be positive",
+        ));
+    }
+    let base_port = want_u16(
+        t.get("base_port")
+            .ok_or_else(|| missing(t, "tenant", "base_port"))?,
+        "base_port",
+    )?;
+    let packet_len_entry = t
+        .get("packet_len")
+        .ok_or_else(|| missing(t, "tenant", "packet_len"))?;
+    let packet_len = want_u16(packet_len_entry, "packet_len")?;
+    if packet_len < MIN_FRAME_BYTES {
+        return Err(SpecError::new(
+            packet_len_entry.val_pos,
+            format!("packet_len {packet_len} below the Ethernet minimum ({MIN_FRAME_BYTES})"),
+        ));
+    }
+    let dscp = match t.get("dscp") {
+        Some(e) => {
+            let v = want_uint(e, 255, "dscp")? as u8;
+            Dscp::new(v).ok_or_else(|| {
+                SpecError::new(e.val_pos, format!("dscp {v} out of range (0..=63)"))
+            })?
+        }
+        None => Dscp::BEST_EFFORT,
+    };
+    let traffic = tenant_traffic(t, packet_len)?;
+    let policy = match t.get("policy") {
+        Some(e) => Some(parse_policy_spec(want_str(e)?, e.val_pos)?),
+        None => None,
+    };
+    let replay = match t.get("replay") {
+        Some(e) => {
+            let rel = want_str(e)?;
+            let Some(dir) = base_dir else {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    "replay traces need a file context (load the scenario from a path)",
+                ));
+            };
+            let path = dir.join(rel);
+            let bytes = std::fs::read(&path).map_err(|err| {
+                SpecError::new(
+                    e.val_pos,
+                    format!("cannot read replay trace '{}': {err}", path.display()),
+                )
+            })?;
+            let arrivals = read_trace(bytes.as_slice()).map_err(|err| {
+                SpecError::new(
+                    e.val_pos,
+                    format!("replay trace '{}' is malformed: {err}", path.display()),
+                )
+            })?;
+            Some(arrivals)
+        }
+        None => None,
+    };
+    Ok(TenantDef {
+        name,
+        nf,
+        cores,
+        flows,
+        base_port,
+        traffic,
+        packet_len,
+        dscp,
+        replay,
+        policy,
+        slo: tenant_slo(t)?,
+    })
+}
+
+fn build_generate(g: &Table) -> Result<GenSpec, SpecError> {
+    check_known_keys(g, GEN_KEYS)?;
+    let tenants_entry = g
+        .get("tenants")
+        .ok_or_else(|| missing(g, "[generate]", "tenants"))?;
+    let tenants = want_uint(tenants_entry, 4096, "tenants")? as usize;
+    if tenants == 0 {
+        return Err(SpecError::new(
+            tenants_entry.val_pos,
+            "tenants must be positive",
+        ));
+    }
+    let mut spec = GenSpec::new(tenants);
+    if let Some(e) = g.get("seed") {
+        spec.seed = want_u64(e, "seed")?;
+    }
+    if let Some(e) = g.get("cores_per_tenant") {
+        let v = want_u16(e, "cores_per_tenant")?;
+        if v == 0 {
+            return Err(SpecError::new(
+                e.val_pos,
+                "cores_per_tenant must be positive",
+            ));
+        }
+        spec.cores_per_tenant = v;
+    }
+    if let Some(e) = g.get("flows_per_tenant") {
+        let v = want_u16(e, "flows_per_tenant")?;
+        if v == 0 {
+            return Err(SpecError::new(
+                e.val_pos,
+                "flows_per_tenant must be positive",
+            ));
+        }
+        spec.flows_per_tenant = v;
+    }
+    if let Some(e) = g.get("base_port") {
+        spec.base_port = want_u16(e, "base_port")?;
+    }
+    if let Some(e) = g.get("total_rate_gbps") {
+        spec.total_rate_gbps = want_rate(e)?;
+    }
+    let dist_entry = g.get("rate_dist");
+    let dist_name = dist_entry.map(want_str).transpose()?.unwrap_or("zipf");
+    spec.rate_dist = match dist_name {
+        "uniform" => {
+            reject_inapplicable(g, &["zipf_s"], "requires rate_dist = \"zipf\"")?;
+            RateDist::Uniform
+        }
+        "zipf" => {
+            let s = match g.get("zipf_s") {
+                Some(e) => {
+                    let v = want_f64(e)?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(SpecError::new(
+                            e.val_pos,
+                            format!("zipf_s must be a positive finite exponent, got {v}"),
+                        ));
+                    }
+                    v
+                }
+                None => 1.1,
+            };
+            RateDist::Zipf { s }
+        }
+        other => {
+            let e = dist_entry.expect("non-default name comes from an entry");
+            return Err(SpecError::new(
+                e.val_pos,
+                format!("unknown rate_dist '{other}' (expected zipf|uniform)"),
+            ));
+        }
+    };
+    if let Some(e) = g.get("app_classes") {
+        let Value::Strs(list) = &e.val else {
+            return Err(SpecError::new(
+                e.val_pos,
+                format!(
+                    "key 'app_classes' expects a string array, found {}",
+                    e.val.type_name()
+                ),
+            ));
+        };
+        if list.is_empty() {
+            return Err(SpecError::new(e.val_pos, "app_classes must not be empty"));
+        }
+        let mut classes = Vec::with_capacity(list.len());
+        for (s, pos) in list {
+            classes.push(AppClass::from_name(s).ok_or_else(|| {
+                SpecError::new(
+                    *pos,
+                    format!("unknown app class '{s}' (expected kvs|nf-chain|bulk)"),
+                )
+            })?);
+        }
+        spec.app_classes = classes;
+    }
+    if let Some(e) = g.get("attacker_frac") {
+        let v = want_f64(e)?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(SpecError::new(
+                e.val_pos,
+                format!("attacker_frac {v} out of range (0.0..=1.0)"),
+            ));
+        }
+        spec.attacker_frac = v;
+    }
+    spec.slo = tenant_slo(g)?;
+    Ok(spec)
+}
+
+fn build_scenario(raw: &RawFile, base_dir: Option<&Path>) -> Result<Scenario, SpecError> {
+    check_known_keys(&raw.top, TOP_KEYS)?;
+    let name_entry = raw
+        .top
+        .get("name")
+        .ok_or_else(|| missing(&raw.top, "scenario", "name"))?;
+    let name = want_str(name_entry)?.to_string();
+    if name.is_empty() {
+        return Err(SpecError::new(
+            name_entry.val_pos,
+            "scenario name must not be empty",
+        ));
+    }
+    let description = raw
+        .top
+        .get("description")
+        .map(want_str)
+        .transpose()?
+        .unwrap_or_default()
+        .to_string();
+    let policy = match raw.top.get("policy") {
+        Some(e) => match parse_policy_spec(want_str(e)?, e.val_pos)? {
+            PolicySpec::Preset(p) => p,
+            PolicySpec::Custom(_) => {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    "the scenario-level policy must be a named preset \
+                     (custom capability sets are per-tenant overrides)",
+                ));
+            }
+        },
+        None => SteeringPolicy::Idio,
+    };
+    let steering = match raw.top.get("steering") {
+        Some(e) => match want_str(e)? {
+            "perfect" => FlowSteering::Perfect,
+            "atr" => FlowSteering::Atr,
+            other => {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    format!("unknown steering '{other}' (expected perfect|atr)"),
+                ));
+            }
+        },
+        None => FlowSteering::Perfect,
+    };
+    let duration = SimTime::from_ps(time_ps(
+        &raw.top,
+        "duration",
+        SimTime::from_us(400).as_ps(),
+    )?);
+    let drain_grace = Duration::from_ps(time_ps(
+        &raw.top,
+        "drain_grace",
+        Duration::from_us(300).as_ps(),
+    )?);
+
+    let mut scenario = Scenario {
+        name,
+        description,
+        policy,
+        steering,
+        duration,
+        drain_grace,
+        tenants: Vec::new(),
+    };
+
+    match (&raw.generate, raw.tenants.is_empty()) {
+        (Some(g), true) => {
+            let spec = build_generate(g)?;
+            scenario = spec
+                .expand(scenario)
+                .map_err(|e| SpecError::new(g.pos, format!("[generate] expansion failed: {e}")))?;
+        }
+        (Some(g), false) => {
+            return Err(SpecError::new(
+                g.pos,
+                "a scenario defines either [[tenant]] tables or one [generate] table, not both",
+            ));
+        }
+        (None, true) => {
+            return Err(SpecError::new(
+                raw.top.pos,
+                "scenario has no tenants (add [[tenant]] tables or a [generate] table)",
+            ));
+        }
+        (None, false) => {
+            let mut seen: Vec<(String, Pos)> = Vec::new();
+            for t in &raw.tenants {
+                let tenant = build_tenant(t, base_dir)?;
+                let name_pos = t.get("name").expect("required by build_tenant").val_pos;
+                if let Some((_, first)) = seen.iter().find(|(n, _)| *n == tenant.name) {
+                    return Err(SpecError::new(
+                        name_pos,
+                        format!(
+                            "duplicate tenant name '{}' (first declared at line {}, column {})",
+                            tenant.name, first.0, first.1
+                        ),
+                    ));
+                }
+                seen.push((tenant.name.clone(), name_pos));
+                scenario.tenants.push(tenant);
+            }
+        }
+    }
+    Ok(scenario)
+}
+
+// ---------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------
+
+/// Parses a scenario from source text.
+///
+/// A `[generate]` section is expanded into its full tenant list (see
+/// [`crate::gen::GenSpec`]). Tenants with `replay` keys are rejected here
+/// — sidecar trace files need a directory to resolve against, so replay
+/// scenarios must go through [`load_path`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the line and column of the first
+/// offending token.
+pub fn parse_str(src: &str) -> Result<Scenario, SpecError> {
+    build_scenario(&lex(src)?, None)
+}
+
+/// Reads and parses a scenario file, resolving `replay` trace paths
+/// relative to the file's directory.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`]; unreadable files produce a position-free
+/// error, non-UTF-8 content is reported at the line/column of the first
+/// invalid byte, and everything else behaves like [`parse_str`].
+pub fn load_path(path: impl AsRef<Path>) -> Result<Scenario, SpecError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| SpecError::no_pos(format!("cannot read '{}': {e}", path.display())))?;
+    let src = match String::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            let valid = &e.as_bytes()[..e.utf8_error().valid_up_to()];
+            let line = valid.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+            let col = valid.iter().rev().take_while(|&&b| b != b'\n').count() as u32 + 1;
+            return Err(SpecError::new((line, col), "file is not valid UTF-8"));
+        }
+    };
+    build_scenario(&lex(&src)?, path.parent())
+}
+
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn fmt_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a time key in the coarsest unit that loses nothing: `_ns` when
+/// the value is a whole number of nanoseconds, `_ps` otherwise.
+fn fmt_time(out: &mut String, base: &str, ps: u64) {
+    use std::fmt::Write as _;
+    if ps.is_multiple_of(1_000) {
+        let _ = writeln!(out, "{base}_ns = {}", ps / 1_000);
+    } else {
+        let _ = writeln!(out, "{base}_ps = {ps}");
+    }
+}
+
+/// Renders `scenario` in the canonical file form, such that
+/// `parse_str(to_file_string(s))` reproduces `s` exactly for scenarios
+/// without replay tenants.
+///
+/// Replay tenants are rendered with a `replay = "traces/<tenant>.trace"`
+/// reference; the caller is responsible for writing the sidecar trace
+/// (via [`idio_core::net::trace::write_trace`]) when shipping the file.
+pub fn to_file_string(scenario: &Scenario) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "# idio-scenario file (TOML subset; see DESIGN.md)");
+    let _ = writeln!(w, "name = {}", fmt_str(&scenario.name));
+    let _ = writeln!(w, "description = {}", fmt_str(&scenario.description));
+    let _ = writeln!(
+        w,
+        "policy = {}",
+        fmt_str(&policy_file_name(PolicySpec::Preset(scenario.policy)))
+    );
+    let steering = match scenario.steering {
+        FlowSteering::Perfect => "perfect",
+        FlowSteering::Atr => "atr",
+    };
+    let _ = writeln!(w, "steering = {}", fmt_str(steering));
+    fmt_time(w, "duration", scenario.duration.as_ps());
+    fmt_time(w, "drain_grace", scenario.drain_grace.as_ps());
+    for t in &scenario.tenants {
+        let _ = writeln!(w);
+        let _ = writeln!(w, "[[tenant]]");
+        let _ = writeln!(w, "name = {}", fmt_str(&t.name));
+        let _ = writeln!(w, "nf = {}", fmt_str(nf_file_name(t.nf)));
+        let cores: Vec<String> = t.cores.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(w, "cores = [{}]", cores.join(", "));
+        let _ = writeln!(w, "flows = {}", t.flows);
+        let _ = writeln!(w, "base_port = {}", t.base_port);
+        let _ = writeln!(w, "packet_len = {}", t.packet_len);
+        let _ = writeln!(w, "dscp = {}", t.dscp.get());
+        match t.traffic {
+            TrafficPattern::Steady { rate_gbps } => {
+                let _ = writeln!(w, "traffic = \"steady\"");
+                let _ = writeln!(w, "rate_gbps = {}", fmt_f64(rate_gbps));
+            }
+            TrafficPattern::Poisson { rate_gbps, seed } => {
+                let _ = writeln!(w, "traffic = \"poisson\"");
+                let _ = writeln!(w, "rate_gbps = {}", fmt_f64(rate_gbps));
+                let _ = writeln!(w, "seed = {seed}");
+            }
+            TrafficPattern::Bursty(spec) => {
+                let _ = writeln!(w, "traffic = \"bursty\"");
+                let _ = writeln!(w, "burst_packets = {}", spec.packets_per_burst);
+                fmt_time(w, "burst_period", spec.period.as_ps());
+                fmt_time(w, "burst_gap", spec.intra_gap.as_ps());
+            }
+        }
+        if let Some(p) = t.policy {
+            let _ = writeln!(w, "policy = {}", fmt_str(&policy_file_name(p)));
+        }
+        if let Some(slo) = t.slo {
+            if let Some(v) = slo.max_p99_ns {
+                let _ = writeln!(w, "max_p99_ns = {v}");
+            }
+            if let Some(v) = slo.max_drop_rate {
+                let _ = writeln!(w, "max_drop_rate = {}", fmt_f64(v));
+            }
+        }
+        if t.replay.is_some() {
+            let _ = writeln!(
+                w,
+                "replay = {}",
+                fmt_str(&format!("traces/{}.trace", t.name))
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idio_engine::check::{Cases, Gen};
+
+    const MINIMAL: &str = r#"
+# smallest useful scenario
+name = "mini"
+description = "one tenant"
+
+[[tenant]]
+name = "a"
+nf = "touch-drop"
+cores = [0, 1]
+flows = 4
+base_port = 5_000
+packet_len = 0x200
+traffic = "steady"
+rate_gbps = 10.0
+"#;
+
+    #[test]
+    fn parses_a_minimal_scenario_with_defaults() {
+        let sc = parse_str(MINIMAL).unwrap();
+        assert_eq!(sc.name, "mini");
+        assert_eq!(sc.description, "one tenant");
+        assert_eq!(sc.policy, SteeringPolicy::Idio, "default policy");
+        assert_eq!(sc.steering, FlowSteering::Perfect, "default steering");
+        assert_eq!(sc.duration, SimTime::from_us(400), "default horizon");
+        assert_eq!(sc.drain_grace, Duration::from_us(300));
+        assert_eq!(sc.tenants.len(), 1);
+        let t = &sc.tenants[0];
+        assert_eq!(t.cores, vec![0, 1]);
+        assert_eq!(t.base_port, 5000, "underscore separators accepted");
+        assert_eq!(t.packet_len, 0x200, "hex integers accepted");
+        assert_eq!(t.traffic, TrafficPattern::Steady { rate_gbps: 10.0 });
+        assert_eq!(t.dscp, Dscp::BEST_EFFORT);
+        assert!(t.policy.is_none() && t.slo.is_none() && t.replay.is_none());
+        sc.validate().unwrap();
+    }
+
+    #[test]
+    fn full_surface_parses() {
+        let src = r#"
+name = "full"
+description = "every optional key"
+policy = "static"
+steering = "atr"
+duration_us = 120
+drain_grace_ns = 5000
+
+[[tenant]]
+name = "poisson"
+nf = "deep-fwd"
+cores = [0]
+flows = 2
+base_port = 5000
+packet_len = 256
+dscp = 8
+traffic = "poisson"
+rate_gbps = 3.5
+seed = 18446744073709551615
+policy = "custom(inval=1,prefetch=dynamic,dram=0,tune=1)"
+max_p99_ns = 1000000
+
+[[tenant]]
+name = "bursty"
+nf = "l2fwd"
+cores = [1]
+flows = 1
+base_port = 6000
+packet_len = 1514
+traffic = "bursty"
+burst_packets = 16
+burst_period_us = 50
+burst_gap_ns = 200
+policy = "ddio"
+max_drop_rate = 0.25
+"#;
+        let sc = parse_str(src).unwrap();
+        assert_eq!(sc.policy, SteeringPolicy::StaticIdio);
+        assert_eq!(sc.steering, FlowSteering::Atr);
+        assert_eq!(sc.duration, SimTime::from_us(120));
+        assert_eq!(sc.drain_grace, Duration::from_ns(5000));
+        let p = &sc.tenants[0];
+        assert_eq!(
+            p.traffic,
+            TrafficPattern::Poisson {
+                rate_gbps: 3.5,
+                seed: u64::MAX
+            },
+            "u64-range seeds survive"
+        );
+        assert_eq!(
+            p.policy,
+            Some(PolicySpec::Custom(PolicyCaps {
+                invalidate: true,
+                prefetch: PrefetchMode::Dynamic,
+                direct_dram: false,
+                tune_ddio_ways: true,
+            }))
+        );
+        assert_eq!(p.slo.unwrap().max_p99_ns, Some(1_000_000));
+        assert_eq!(p.dscp.get(), 8);
+        let b = &sc.tenants[1];
+        assert_eq!(
+            b.traffic,
+            TrafficPattern::Bursty(BurstSpec {
+                period: Duration::from_us(50),
+                packets_per_burst: 16,
+                intra_gap: Duration::from_ns(200),
+            })
+        );
+        assert_eq!(b.policy, Some(PolicySpec::Preset(SteeringPolicy::Ddio)));
+        assert_eq!(b.slo.unwrap().max_drop_rate, Some(0.25));
+    }
+
+    #[track_caller]
+    fn err_at(src: &str, line: u32, col: u32, needle: &str) {
+        let e = parse_str(src).unwrap_err();
+        assert_eq!((e.line, e.col), (line, col), "{e}");
+        assert!(e.msg.contains(needle), "'{}' missing '{needle}'", e.msg);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        err_at("name = \"x\"\nbogus = 1\n", 2, 1, "unknown key 'bogus'");
+        err_at("name = \"x\"\nname = \"y\"\n", 2, 1, "duplicate key 'name'");
+        err_at("name \"x\"\n", 1, 6, "expected '='");
+        err_at("name = \"x\n", 1, 8, "unterminated string");
+        err_at(
+            "name = \"x\"\nduration_us = [1, \"a\"]\n",
+            2,
+            19,
+            "mixed array",
+        );
+        err_at("name = \"x\" trailing\n", 1, 12, "unexpected characters");
+        err_at("name = \"x\"\n[what]\n", 2, 1, "unknown table");
+        err_at("name = \"x\"\n[[tenant\n", 2, 1, "truncated table header");
+        err_at(
+            "name = \"x\"\npolicy = \"warp\"\n",
+            2,
+            10,
+            "unknown policy 'warp'",
+        );
+        err_at(
+            "name = \"x\"\nduration_us = 12q\n",
+            2,
+            15,
+            "invalid number '12q'",
+        );
+        err_at("name = 7\n", 1, 8, "expects a string, found integer");
+        // Missing required keys anchor at the owning table's header.
+        err_at("description = \"x\"\n", 1, 1, "missing required key 'name'");
+        err_at(
+            "name = \"x\"\n\n[[tenant]]\nname = \"t\"\n",
+            3,
+            1,
+            "missing required key 'nf'",
+        );
+    }
+
+    #[test]
+    fn schema_cross_checks_are_positioned() {
+        let tenant = |extra: &str| {
+            format!(
+                "name = \"x\"\n[[tenant]]\nname = \"t\"\nnf = \"l2fwd\"\ncores = [0]\n\
+                 flows = 1\nbase_port = 1000\npacket_len = 256\n{extra}"
+            )
+        };
+        // seed without poisson: error at the seed key.
+        let e =
+            parse_str(&tenant("traffic = \"steady\"\nrate_gbps = 1.0\nseed = 3\n")).unwrap_err();
+        assert_eq!((e.line, e.col), (11, 1), "{e}");
+        assert!(e.msg.contains("requires traffic = \"poisson\""));
+        // both rate and gap on bursty.
+        let e = parse_str(&tenant(
+            "traffic = \"bursty\"\nburst_packets = 4\nburst_period_us = 10\n\
+             rate_gbps = 1.0\nburst_gap_ns = 50\n",
+        ))
+        .unwrap_err();
+        assert!(e.msg.contains("not both"), "{e}");
+        // burst that overflows its period.
+        let e = parse_str(&tenant(
+            "traffic = \"bursty\"\nburst_packets = 1000\nburst_period_us = 1\nburst_gap_ns = 5000\n",
+        ))
+        .unwrap_err();
+        assert!(e.msg.contains("does not fit"), "{e}");
+        // replay needs a file context under parse_str.
+        let e = parse_str(&tenant(
+            "traffic = \"steady\"\nrate_gbps = 1.0\nreplay = \"t.trace\"\n",
+        ))
+        .unwrap_err();
+        assert!(e.msg.contains("file context"), "{e}");
+    }
+
+    #[test]
+    fn generate_section_expands_deterministically() {
+        let src = r#"
+name = "gen"
+description = "generated"
+policy = "idio"
+
+[generate]
+tenants = 6
+seed = 42
+flows_per_tenant = 2
+total_rate_gbps = 12.0
+rate_dist = "zipf"
+zipf_s = 1.2
+app_classes = ["kvs", "bulk"]
+attacker_frac = 0.3
+"#;
+        let a = parse_str(src).unwrap();
+        let b = parse_str(src).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.tenants.len(), 6);
+        a.validate().unwrap();
+        assert!(a
+            .tenants
+            .iter()
+            .all(|t| t.name.contains("kvs") || t.name.contains("bulk")));
+    }
+
+    #[test]
+    fn generate_and_tenant_tables_conflict() {
+        let src = "name = \"x\"\n[[tenant]]\nname = \"t\"\nnf = \"l2fwd\"\ncores = [0]\n\
+                   flows = 1\nbase_port = 1000\npacket_len = 256\ntraffic = \"steady\"\n\
+                   rate_gbps = 1.0\n\n[generate]\ntenants = 4\n";
+        let e = parse_str(src).unwrap_err();
+        assert_eq!((e.line, e.col), (12, 1), "{e}");
+        assert!(e.msg.contains("not both"));
+    }
+
+    // ----- round-trip property -------------------------------------
+
+    fn arbitrary_name(g: &mut Gen, prefix: &str, i: usize) -> String {
+        const PALETTE: [char; 12] = [
+            'a', 'Z', '0', '-', '_', ' ', '"', '\\', '\u{b5}', '\t', '#', '=',
+        ];
+        let chars: String = g.vec(0..6, |g| *g.choose(&PALETTE)).into_iter().collect();
+        format!("{prefix}{i}{chars}")
+    }
+
+    fn arbitrary_policy(g: &mut Gen) -> PolicySpec {
+        if g.bool() {
+            PolicySpec::Preset(*g.choose(&SteeringPolicy::EXTENDED))
+        } else {
+            PolicySpec::Custom(PolicyCaps {
+                invalidate: g.bool(),
+                prefetch: *g.choose(&[
+                    PrefetchMode::Off,
+                    PrefetchMode::Always,
+                    PrefetchMode::Dynamic,
+                ]),
+                direct_dram: g.bool(),
+                tune_ddio_ways: g.bool(),
+            })
+        }
+    }
+
+    fn arbitrary_scenario(g: &mut Gen) -> Scenario {
+        let n = g.usize(1..5);
+        let tenants = (0..n)
+            .map(|i| {
+                let packet_len = g.u16(MIN_FRAME_BYTES..1515);
+                let traffic = match g.usize(0..3) {
+                    0 => TrafficPattern::Steady {
+                        rate_gbps: g.unit_f64() * 99.0 + 0.01,
+                    },
+                    1 => TrafficPattern::Poisson {
+                        rate_gbps: g.unit_f64() * 99.0 + 0.01,
+                        seed: g.u64(0..u64::MAX),
+                    },
+                    _ => {
+                        let packets = g.u32(1..64);
+                        // Ps-precision draws exercise both serializer
+                        // branches (`_ns` for whole nanoseconds, `_ps`
+                        // otherwise).
+                        let gap = Duration::from_ps(g.u64(1..1_000_000));
+                        let period =
+                            gap * u64::from(packets) + Duration::from_ps(g.u64(1..10_000_000));
+                        TrafficPattern::Bursty(BurstSpec {
+                            period,
+                            packets_per_burst: packets,
+                            intra_gap: gap,
+                        })
+                    }
+                };
+                let mut t = TenantDef::new(
+                    arbitrary_name(g, "t", i),
+                    *g.choose(&[
+                        NfKind::TouchDrop,
+                        NfKind::L2Fwd,
+                        NfKind::L2FwdPayloadDrop,
+                        NfKind::TouchDropCopy,
+                        NfKind::DeepFwd,
+                    ]),
+                    g.vec(1..4, |g| g.u16(0..u16::MAX)),
+                    g.u16(1..200),
+                    g.u16(0..60_000),
+                    traffic,
+                    packet_len,
+                );
+                t.dscp = Dscp::new(g.u16(0..64) as u8).expect("in range");
+                if g.bool() {
+                    t = t.with_policy(arbitrary_policy(g));
+                }
+                if g.bool() {
+                    // Always bounded: an all-None SloSpec has no file form.
+                    let p99 = g.bool().then(|| g.u64(1..u64::MAX));
+                    let drop = (p99.is_none() || g.bool()).then(|| g.unit_f64());
+                    t = t.with_slo(SloSpec {
+                        max_p99_ns: p99,
+                        max_drop_rate: drop,
+                    });
+                }
+                t
+            })
+            .collect();
+        Scenario {
+            name: arbitrary_name(g, "s", 0),
+            description: arbitrary_name(g, "d", 0),
+            policy: *g.choose(&SteeringPolicy::EXTENDED),
+            steering: *g.choose(&[FlowSteering::Perfect, FlowSteering::Atr]),
+            duration: SimTime::from_ps(g.u64(1..10_000_000_000)),
+            drain_grace: Duration::from_ps(g.u64(0..10_000_000_000)),
+            tenants,
+        }
+    }
+
+    #[test]
+    fn arbitrary_scenarios_round_trip_byte_identically() {
+        Cases::new(300).run(|g| {
+            let sc = arbitrary_scenario(g);
+            let text = to_file_string(&sc);
+            let parsed = parse_str(&text)
+                .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n--- file\n{text}"));
+            assert_eq!(parsed, sc, "--- file\n{text}");
+            // Canonical form is a fixed point of serialize ∘ parse.
+            assert_eq!(to_file_string(&parsed), text);
+        });
+    }
+}
