@@ -418,6 +418,63 @@ mod tests {
         assert!(s.is_empty());
     }
 
+    /// Boundary sweep at exactly 63, 64 and 65 cores — the sizes where
+    /// the representation crosses from one inline word to spilled words.
+    /// A deterministic op sequence (insert/remove over all core ids) is
+    /// checked against a `BTreeSet` reference model after every step.
+    #[test]
+    fn core_set_inline_to_spilled_boundary_matches_reference_model() {
+        use std::collections::BTreeSet;
+        for num_cores in [63usize, 64, 65] {
+            // The representation choice itself is part of the contract.
+            let set = CoreSet::new(num_cores);
+            match (&set.0, num_cores <= 64) {
+                (SetRepr::Inline(_), true) | (SetRepr::Spilled(_), false) => {}
+                _ => panic!("{num_cores} cores picked the wrong representation"),
+            }
+            let mut set = set;
+            let mut model: BTreeSet<u16> = BTreeSet::new();
+            // xorshift64* keeps the sequence deterministic and seedless.
+            let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ num_cores as u64;
+            for _ in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let c = (x % num_cores as u64) as u16;
+                if x & (1 << 40) == 0 {
+                    set.insert(CoreId::new(c));
+                    model.insert(c);
+                } else {
+                    set.remove(CoreId::new(c));
+                    model.remove(&c);
+                }
+                assert_eq!(
+                    set.iter().map(|c| c.index() as u16).collect::<Vec<_>>(),
+                    model.iter().copied().collect::<Vec<_>>(),
+                    "{num_cores} cores diverged from the model"
+                );
+                assert_eq!(set.is_empty(), model.is_empty());
+                assert_eq!(set.first(), model.first().map(|&c| CoreId::new(c)));
+            }
+            // Exhaustive membership at every id, then fill and drain.
+            for c in 0..num_cores as u16 {
+                assert_eq!(
+                    set.contains(CoreId::new(c)),
+                    model.contains(&c),
+                    "{num_cores} cores: membership of {c}"
+                );
+                set.insert(CoreId::new(c));
+            }
+            assert_eq!(set.iter().count(), num_cores);
+            assert!(set.contains(CoreId::new(num_cores as u16 - 1)));
+            for c in 0..num_cores as u16 {
+                set.remove(CoreId::new(c));
+            }
+            assert!(set.is_empty());
+            assert_eq!(set.first(), None);
+        }
+    }
+
     #[test]
     fn directory_tracks_wide_systems() {
         // 200 cores — the generated datacenter scenarios — exceed one

@@ -197,6 +197,11 @@ pub struct Hierarchy {
     stats: HierarchyStats,
     mlc_mask: Vec<WayMask>,
     l1_mask: WayMask,
+    /// Per-core CAT override of the LLC core-fill mask. `None` follows the
+    /// shared [`HierarchyConfig::core_mask`] (and therefore tracks IAT
+    /// DDIO-way retuning); `Some` pins the core's demand fills and MLC
+    /// victims to an explicit way subset.
+    cat_mask: Vec<Option<WayMask>>,
 }
 
 impl Hierarchy {
@@ -241,6 +246,7 @@ impl Hierarchy {
             .map(|i| WayMask::all(cfg.mlc_for_core(i).ways))
             .collect();
         let l1_mask = WayMask::all(cfg.l1d.ways);
+        let cat_mask = vec![None; cfg.num_cores];
         Hierarchy {
             cfg,
             cores,
@@ -249,6 +255,7 @@ impl Hierarchy {
             stats,
             mlc_mask,
             l1_mask,
+            cat_mask,
         }
     }
 
@@ -326,6 +333,36 @@ impl Hierarchy {
         self.cfg.ddio_ways = n;
     }
 
+    /// Pins `core`'s LLC fills (demand misses and MLC victims) to an
+    /// explicit way subset — the CAT partition — or clears the pin
+    /// (`None`) so the core follows the shared core mask again. Resident
+    /// lines stay where they are; only future allocations honour the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range, or if the mask is empty or
+    /// selects ways beyond the LLC associativity.
+    pub fn set_cat_mask(&mut self, core: CoreId, mask: Option<WayMask>) {
+        if let Some(m) = mask {
+            assert!(!m.is_empty(), "CAT mask selects no LLC way");
+            assert!(
+                m.intersect(WayMask::all(self.cfg.llc.ways)) == m,
+                "CAT mask {m} exceeds {}-way LLC",
+                self.cfg.llc.ways
+            );
+        }
+        self.cat_mask[core.index()] = mask;
+    }
+
+    /// The CAT pin active for `core`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cat_mask(&self, core: CoreId) -> Option<WayMask> {
+        self.cat_mask[core.index()]
+    }
+
     // ----- internal fill helpers -------------------------------------------------
 
     /// Installs `line` into `core`'s MLC, cascading the victim into the LLC
@@ -352,7 +389,7 @@ impl Hierarchy {
                 if dirty {
                     self.stats.core[hi].mlc_wb_dirty.inc();
                 }
-                fx.merge(self.fill_llc(ev.line, dirty));
+                fx.merge(self.fill_llc(holder, ev.line, dirty));
             }
         }
         fx
@@ -376,16 +413,18 @@ impl Hierarchy {
             if victim_dirty {
                 self.stats.core[ci].mlc_wb_dirty.inc();
             }
-            fx.merge(self.fill_llc(v.line, victim_dirty));
+            fx.merge(self.fill_llc(core, v.line, victim_dirty));
         }
         fx
     }
 
-    /// Installs a line into the LLC through the core allocation mask,
-    /// handling the victim cascade to DRAM.
-    fn fill_llc(&mut self, line: LineAddr, dirty: bool) -> MemEffects {
+    /// Installs a line into the LLC on behalf of `from` through that
+    /// core's allocation mask (its CAT partition if pinned, the shared
+    /// core mask otherwise), handling the victim cascade to DRAM.
+    fn fill_llc(&mut self, from: CoreId, line: LineAddr, dirty: bool) -> MemEffects {
         let mut fx = MemEffects::default();
-        let (victim, _) = self.llc.insert(line, dirty, self.cfg.core_mask());
+        let mask = self.cat_mask[from.index()].unwrap_or_else(|| self.cfg.core_mask());
+        let (victim, _) = self.llc.insert(line, dirty, mask);
         if let Some(v) = victim {
             if v.dirty {
                 self.stats.shared.llc_wb.inc();
@@ -489,6 +528,7 @@ impl Hierarchy {
         // LLC hit: the line migrates into the MLC (exclusive fill).
         if let Some(entry) = self.llc.remove(line) {
             self.stats.shared.llc_hits.inc();
+            self.stats.core[ci].llc_hits.inc();
             fx.merge(self.fill_mlc(core, line, entry.dirty || store));
             self.fill_l1(core, line);
             if store {
@@ -522,6 +562,7 @@ impl Hierarchy {
 
         // DRAM fill.
         self.stats.shared.llc_misses.inc();
+        self.stats.core[ci].llc_misses.inc();
         self.stats.shared.dram_reads.inc();
         fx.dram_reads += 1;
         fx.merge(self.fill_mlc(core, line, store));
@@ -624,7 +665,7 @@ impl Hierarchy {
             if dirty {
                 self.stats.core[hi].mlc_wb_dirty.inc();
             }
-            fx.merge(self.fill_llc(line, dirty));
+            fx.merge(self.fill_llc(holder, line, dirty));
             return PcieRead {
                 source: PcieReadSource::Mlc,
                 effects: fx,
@@ -1059,5 +1100,64 @@ mod tests {
         h.cpu_read(C0, line(8));
         // Victim must be in way 3 only.
         assert_eq!(h.llc().way_of(line(0)), Some(3));
+    }
+
+    #[test]
+    fn per_core_cat_mask_partitions_victims() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.set_cat_mask(C0, Some(WayMask::range(2, 3)));
+        h.set_cat_mask(C1, Some(WayMask::range(3, 4)));
+        // Each core spills one MLC victim from set 0 (3 colliding lines
+        // through a 2-way MLC set); the victims must land in the cores'
+        // respective CAT ways, not spread across the shared mask.
+        for l in [0u64, 4, 8] {
+            h.cpu_read(C0, line(l));
+        }
+        for l in [16u64, 20, 24] {
+            h.cpu_read(C1, line(l));
+        }
+        assert_eq!(h.llc().way_of(line(0)), Some(2), "C0 pinned to way 2");
+        assert_eq!(h.llc().way_of(line(16)), Some(3), "C1 pinned to way 3");
+        h.check_invariants();
+    }
+
+    #[test]
+    fn clearing_cat_mask_restores_shared_core_mask() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.set_cat_mask(C0, Some(WayMask::range(3, 4)));
+        assert_eq!(h.cat_mask(C0), Some(WayMask::range(3, 4)));
+        h.set_cat_mask(C0, None);
+        assert_eq!(h.cat_mask(C0), None);
+        for l in [0u64, 4, 8] {
+            h.cpu_read(C0, line(l));
+        }
+        // Default shared mask is ways 2..4; LRU picks the lowest free way.
+        assert_eq!(h.llc().way_of(line(0)), Some(2));
+    }
+
+    #[test]
+    fn dma_fills_ignore_cat_masks() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.set_cat_mask(C0, Some(WayMask::range(3, 4)));
+        let w = h.pcie_write(line(7), DmaPlacement::Llc);
+        assert_eq!(w.kind, PcieWriteKind::LlcAlloc);
+        assert!(
+            h.llc().way_of(line(7)).unwrap() < 2,
+            "DMA keeps the DDIO ways regardless of CAT pins"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn cat_mask_wider_than_llc_rejected() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.set_cat_mask(C0, Some(WayMask::range(3, 6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no LLC way")]
+    fn empty_cat_mask_rejected() {
+        let mut h = Hierarchy::new(tiny_config());
+        h.set_cat_mask(C0, Some(WayMask::EMPTY));
     }
 }

@@ -88,6 +88,24 @@ impl WayMask {
     pub const fn is_empty(self) -> bool {
         self.0 == 0
     }
+
+    /// Intersection of two masks.
+    #[inline]
+    pub const fn intersect(self, other: WayMask) -> WayMask {
+        WayMask(self.0 & other.0)
+    }
+
+    /// The raw bit pattern (bit `w` set ⇔ way `w` selected).
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// A mask from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> WayMask {
+        WayMask(bits)
+    }
 }
 
 impl fmt::Display for WayMask {

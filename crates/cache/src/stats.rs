@@ -21,6 +21,12 @@ pub struct CoreCacheStats {
     pub mlc_hits: Counter,
     /// MLC misses (demand requests forwarded to the LLC).
     pub mlc_misses: Counter,
+    /// Demand LLC hits attributed to this core (the shared
+    /// [`SharedCacheStats::llc_hits`] counter cannot say *whose* miss hit).
+    pub llc_hits: Counter,
+    /// Demand LLC misses attributed to this core (requests that went all
+    /// the way to DRAM).
+    pub llc_misses: Counter,
     /// Lines evicted from the MLC into the LLC. In the non-inclusive
     /// hierarchy every MLC eviction transfers the line to the LLC, so this
     /// counts *all* MLC victims ("MLC writebacks" in the paper's figures).

@@ -14,8 +14,10 @@ use idio_stack::nf::NfKind;
 use idio_stack::pmd::PmdConfig;
 use idio_stack::timing::TimingConfig;
 
+use idio_cache::set::WayMask;
+
 use crate::controller::IdioConfig;
-use crate::policy::{PolicySpec, PolicyTable, SteeringPolicy};
+use crate::policy::{CatMode, PolicySpec, PolicyTable, SteeringPolicy};
 use crate::prefetcher::PrefetcherConfig;
 
 /// How flows are steered to queues (Sec. II-C's two Flow Director
@@ -342,7 +344,29 @@ impl SystemConfig {
             }
         }
         self.validate_tenants()?;
-        self.effective_hierarchy().validate()?;
+        let h = self.effective_hierarchy();
+        h.validate()?;
+        // Static CAT way masks must fit the LLC and stay clear of the
+        // DDIO partition (which remains reserved for inbound DMA).
+        for (d, caps) in self.policy_table().domain_caps().iter().enumerate() {
+            if let CatMode::Static(m) = caps.cat {
+                if m.is_empty() {
+                    return Err(format!("policy domain {d}: CAT way mask selects no way"));
+                }
+                if m.intersect(WayMask::all(h.llc.ways)) != m {
+                    return Err(format!(
+                        "policy domain {d}: CAT way mask {m} wider than the {}-way LLC",
+                        h.llc.ways
+                    ));
+                }
+                if !m.intersect(h.ddio_mask()).is_empty() {
+                    return Err(format!(
+                        "policy domain {d}: CAT way mask {m} overlaps the {} DDIO ways",
+                        h.ddio_ways
+                    ));
+                }
+            }
+        }
         self.dram.validate()?;
         self.dma.validate()?;
         self.pmd.validate()?;
@@ -509,6 +533,34 @@ mod tests {
         assert_eq!(t.num_domains(), 1);
         assert_eq!(t.queue_domains(), &[0, 0, 0]);
         assert_eq!(t.caps(0), SteeringPolicy::Idio.caps());
+    }
+
+    #[test]
+    fn cat_masks_validated_against_llc_and_ddio_partition() {
+        use crate::policy::{CatMode, PolicyCaps};
+        let cat = |cat: CatMode| {
+            PolicySpec::Custom(PolicyCaps {
+                cat,
+                ..SteeringPolicy::Idio.caps()
+            })
+        };
+        // A clean non-DDIO mask validates (paper LLC: 12 ways, 2 DDIO).
+        let ok = SystemConfig::touchdrop_scenario(2, bursty())
+            .with_queue_policy(0, cat(CatMode::Static(WayMask::range(4, 8))));
+        assert!(ok.validate().is_ok());
+        // Auto needs no mask to validate.
+        let auto =
+            SystemConfig::touchdrop_scenario(2, bursty()).with_queue_policy(0, cat(CatMode::Auto));
+        assert!(auto.validate().is_ok());
+        let wide = SystemConfig::touchdrop_scenario(2, bursty())
+            .with_queue_policy(0, cat(CatMode::Static(WayMask::range(10, 14))));
+        assert!(wide.validate().unwrap_err().contains("wider"));
+        let overlap = SystemConfig::touchdrop_scenario(2, bursty())
+            .with_queue_policy(0, cat(CatMode::Static(WayMask::range(1, 4))));
+        assert!(overlap.validate().unwrap_err().contains("overlaps"));
+        let empty = SystemConfig::touchdrop_scenario(2, bursty())
+            .with_queue_policy(0, cat(CatMode::Static(WayMask::EMPTY)));
+        assert!(empty.validate().unwrap_err().contains("no way"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! and drives the Fig. 8 FSM.
 
 use idio_cache::addr::CoreId;
+use idio_cache::set::WayMask;
 use idio_engine::time::Duration;
 use idio_nic::tlp::{AppClass, TlpMeta};
 
@@ -259,6 +260,224 @@ impl IdioController {
     }
 }
 
+/// Configuration of the closed-loop CAT way allocator.
+///
+/// Mirrors the IAT way-tuner's cadence and hysteresis: slices grow
+/// promptly under pressure and are given back only after a sustained
+/// quiet period, so the partition does not flap at the control rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatConfig {
+    /// Control ticks between slice evaluations (25 → every 25 µs at the
+    /// paper's 1 µs control interval, matching the IAT tuner).
+    pub period: u64,
+    /// Per-evaluation MLC-writeback delta (summed over the domain's
+    /// cores) above which the domain is considered under pressure.
+    pub grow_thr: u64,
+    /// Consecutive quiet evaluations before a way is given back.
+    pub quiet_evals: u32,
+    /// Smallest slice an auto domain ever holds.
+    pub min_ways: usize,
+    /// Largest slice an auto domain ever holds.
+    pub max_ways: usize,
+    /// Ways always left to the shared (non-CAT) core pool.
+    pub min_shared: usize,
+}
+
+impl CatConfig {
+    /// Defaults matched to the 12-way paper LLC: slices of 1..6 ways per
+    /// domain, at least 2 ways always shared, IAT-tuner cadence. The
+    /// 6-way ceiling matters: the LLC has twice the sets of an MLC, so a
+    /// slice only out-holds the 8-way MLC once it exceeds 4 ways — a
+    /// smaller cap could never protect anything the MLC did not already.
+    pub fn paper_default() -> Self {
+        CatConfig {
+            period: 25,
+            grow_thr: 25,
+            quiet_evals: 40,
+            min_ways: 1,
+            max_ways: 6,
+            min_shared: 2,
+        }
+    }
+}
+
+impl Default for CatConfig {
+    fn default() -> Self {
+        CatConfig::paper_default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CatSlot {
+    /// Current slice width in ways.
+    ways: usize,
+    /// Domain MLC-WB counter snapshot at the last evaluation.
+    last_wb: u64,
+    /// Consecutive quiet evaluations (hysteresis).
+    quiet: u32,
+}
+
+/// The way layout computed by [`CatController::plan`] for the current
+/// LLC geometry: one exclusive mask per auto domain, plus the mask the
+/// remaining (non-CAT) cores share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatPlan {
+    /// Per-domain exclusive mask; `None` for domains that are not
+    /// auto-managed, or whose slice could not be carved (no budget).
+    pub domain_mask: Vec<Option<WayMask>>,
+    /// Ways left to cores outside every auto domain (never empty).
+    pub shared: WayMask,
+}
+
+/// Closed-loop CAT way allocator (modelled after Intel RDT/CAT on top
+/// of the DDIO partition).
+///
+/// Each policy domain whose caps request `cat = auto` is granted an
+/// *exclusive* slice of the core-side LLC ways, carved from the **top**
+/// of the way range — the DDIO partition grows from the bottom (and the
+/// IAT tuner may widen it at run time), so the two allocators never
+/// collide. Cores outside every auto domain share whatever remains in
+/// the middle. The loop widens a slice while the domain's MLC-writeback
+/// pressure keeps climbing (victims of its private caches are landing
+/// in its slice) and narrows it only after a sustained quiet period.
+#[derive(Debug, Clone)]
+pub struct CatController {
+    cfg: CatConfig,
+    /// One slot per policy domain; `None` = domain is not auto-managed.
+    slots: Vec<Option<CatSlot>>,
+    ticks: u64,
+    reallocations: u64,
+}
+
+impl CatController {
+    /// Creates an allocator for the given domains; `auto[d]` says whether
+    /// domain `d` asked for closed-loop management. Every managed domain
+    /// starts at `min_ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero period, zero slice
+    /// floor, or an inverted `min_ways > max_ways` range).
+    pub fn new(cfg: CatConfig, auto: &[bool]) -> Self {
+        assert!(cfg.period > 0, "evaluation period must be positive");
+        assert!(cfg.min_ways > 0, "a CAT slice needs at least one way");
+        assert!(
+            cfg.min_ways <= cfg.max_ways,
+            "min_ways must not exceed max_ways"
+        );
+        CatController {
+            cfg,
+            slots: auto
+                .iter()
+                .map(|&a| {
+                    a.then_some(CatSlot {
+                        ways: cfg.min_ways,
+                        last_wb: 0,
+                        quiet: 0,
+                    })
+                })
+                .collect(),
+            ticks: 0,
+            reallocations: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CatConfig {
+        &self.cfg
+    }
+
+    /// Current slice width of domain `d` (`None` when not auto-managed).
+    pub fn ways(&self, d: usize) -> Option<usize> {
+        self.slots.get(d).and_then(|s| s.as_ref()).map(|s| s.ways)
+    }
+
+    /// Number of slice-width changes the loop has made so far.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Control-tick entry point: feed the cumulative MLC-writeback
+    /// counter of every policy domain (summed over the domain's cores).
+    /// Evaluates slices every `period` ticks; returns `true` when any
+    /// slice width changed and masks must be re-planned.
+    ///
+    /// `budget` is the number of ways currently available to auto slices
+    /// in total (LLC ways − DDIO ways − `min_shared`); growth stops when
+    /// the summed slices would exceed it, so an IAT-widened DDIO
+    /// partition transparently squeezes CAT's head-room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain_wb` has the wrong length.
+    pub fn tick(&mut self, domain_wb: &[u64], budget: usize) -> bool {
+        assert_eq!(domain_wb.len(), self.slots.len());
+        self.ticks += 1;
+        if !self.ticks.is_multiple_of(self.cfg.period) {
+            return false;
+        }
+        let mut total: usize = self.slots.iter().flatten().map(|s| s.ways).sum();
+        let mut changed = false;
+        for (d, slot) in self.slots.iter_mut().enumerate() {
+            let Some(s) = slot else { continue };
+            let wb = domain_wb[d];
+            let delta = wb.saturating_sub(s.last_wb);
+            s.last_wb = wb;
+            if delta > self.cfg.grow_thr {
+                s.quiet = 0;
+                if s.ways < self.cfg.max_ways && total < budget {
+                    s.ways += 1;
+                    total += 1;
+                    changed = true;
+                    self.reallocations += 1;
+                }
+            } else if delta == 0 {
+                s.quiet += 1;
+                if s.quiet >= self.cfg.quiet_evals && s.ways > self.cfg.min_ways {
+                    s.ways -= 1;
+                    total -= 1;
+                    s.quiet = 0;
+                    changed = true;
+                    self.reallocations += 1;
+                }
+            } else {
+                s.quiet = 0;
+            }
+        }
+        changed
+    }
+
+    /// Lays the current slices out over the given LLC geometry.
+    ///
+    /// Slices are carved top-down in domain order, never touching the
+    /// bottom `ddio_ways + min_shared` ways; a slice that no longer fits
+    /// (the DDIO partition grew) is clamped, and dropped to the shared
+    /// pool when clamped below one way. Deterministic: same slices and
+    /// geometry → same plan.
+    pub fn plan(&self, llc_ways: usize, ddio_ways: usize) -> CatPlan {
+        let floor = ddio_ways + self.cfg.min_shared;
+        let mut cursor = llc_ways;
+        let domain_mask = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let s = slot.as_ref()?;
+                let k = s.ways.min(cursor.saturating_sub(floor));
+                if k == 0 {
+                    return None;
+                }
+                let m = WayMask::range(cursor - k, cursor);
+                cursor -= k;
+                Some(m)
+            })
+            .collect();
+        CatPlan {
+            domain_mask,
+            shared: WayMask::range(ddio_ways, cursor),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +656,118 @@ mod tests {
         c.steer(SteeringPolicy::Idio, m1);
         assert_eq!(c.status(CoreId::new(1)), MlcStatus::Mlc);
         assert_eq!(c.status(C0), MlcStatus::Llc);
+    }
+
+    // ---- CAT allocator -----------------------------------------------------
+
+    /// Fast-cadence config so tests don't need hundreds of ticks.
+    fn cat_cfg() -> CatConfig {
+        CatConfig {
+            period: 1,
+            grow_thr: 25,
+            quiet_evals: 3,
+            ..CatConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn cat_slices_start_at_the_floor_and_carve_from_the_top() {
+        let c = CatController::new(cat_cfg(), &[false, true, true]);
+        assert_eq!(c.ways(0), None);
+        assert_eq!(c.ways(1), Some(1));
+        assert_eq!(c.ways(2), Some(1));
+        let plan = c.plan(12, 2);
+        assert_eq!(plan.domain_mask[0], None);
+        // Domain 1 takes the top way, domain 2 the next one down.
+        assert_eq!(plan.domain_mask[1], Some(WayMask::range(11, 12)));
+        assert_eq!(plan.domain_mask[2], Some(WayMask::range(10, 11)));
+        assert_eq!(plan.shared, WayMask::range(2, 10));
+        // Exclusive: masks are pairwise disjoint and avoid the DDIO ways.
+        let m1 = plan.domain_mask[1].unwrap();
+        let m2 = plan.domain_mask[2].unwrap();
+        assert!(m1.intersect(m2).is_empty());
+        assert!(m1.intersect(plan.shared).is_empty());
+        assert!(m1.intersect(WayMask::first(2)).is_empty());
+    }
+
+    #[test]
+    fn cat_grows_under_pressure_and_shrinks_after_quiet() {
+        let mut c = CatController::new(cat_cfg(), &[true]);
+        let budget = 12 - 2 - 2;
+        // Sustained pressure: the slice widens one way per evaluation up
+        // to the per-domain cap.
+        let mut wb = 0u64;
+        for _ in 0..10 {
+            wb += 100;
+            c.tick(&[wb], budget);
+        }
+        assert_eq!(c.ways(0), Some(6));
+        // Silence: only after `quiet_evals` consecutive quiet checks does
+        // a way go back, one at a time.
+        assert!(!c.tick(&[wb], budget));
+        assert!(!c.tick(&[wb], budget));
+        assert!(c.tick(&[wb], budget));
+        assert_eq!(c.ways(0), Some(5));
+        // Low-but-nonzero traffic resets the quiet streak.
+        assert!(!c.tick(&[wb + 1], budget));
+        assert!(!c.tick(&[wb + 1], budget));
+        assert!(!c.tick(&[wb + 1], budget));
+        assert_eq!(c.ways(0), Some(5));
+        assert!(c.reallocations() >= 4);
+    }
+
+    #[test]
+    fn cat_growth_respects_the_shared_budget() {
+        // Three hungry domains, budget of 4 ways total: growth stops when
+        // the summed slices hit the budget, regardless of per-domain cap.
+        let mut c = CatController::new(cat_cfg(), &[true, true, true]);
+        let mut wb = 0u64;
+        for _ in 0..10 {
+            wb += 1000;
+            c.tick(&[wb, wb, wb], 4);
+        }
+        let total: usize = (0..3).map(|d| c.ways(d).unwrap()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn cat_plan_clamps_when_ddio_grows() {
+        let mut c = CatController::new(cat_cfg(), &[true, true]);
+        let mut wb = 0u64;
+        for _ in 0..10 {
+            wb += 100;
+            c.tick(&[wb, wb], 8);
+        }
+        assert_eq!(c.ways(0), Some(4));
+        assert_eq!(c.ways(1), Some(4));
+        // DDIO at 4 ways leaves 12-4-2 = 6 ways for slices: domain 0
+        // keeps its 4, domain 1 is clamped to 2, shared keeps 2.
+        let plan = c.plan(12, 4);
+        assert_eq!(plan.domain_mask[0], Some(WayMask::range(8, 12)));
+        assert_eq!(plan.domain_mask[1], Some(WayMask::range(6, 8)));
+        assert_eq!(plan.shared, WayMask::range(4, 6));
+        // An absurdly wide DDIO partition drops slices entirely rather
+        // than leaving any core with an empty mask.
+        let plan = c.plan(12, 10);
+        assert_eq!(plan.domain_mask[0], None);
+        assert_eq!(plan.domain_mask[1], None);
+        assert_eq!(plan.shared, WayMask::range(10, 12));
+    }
+
+    #[test]
+    fn cat_evaluates_only_on_period_boundaries() {
+        let mut c = CatController::new(
+            CatConfig {
+                period: 25,
+                ..cat_cfg()
+            },
+            &[true],
+        );
+        for t in 1..=24 {
+            assert!(!c.tick(&[t * 1000], 8));
+        }
+        assert_eq!(c.ways(0), Some(1));
+        assert!(c.tick(&[25_000], 8));
+        assert_eq!(c.ways(0), Some(2));
     }
 }

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use idio_cache::set::WayMask;
+
 /// How MLC steering of payload lines is decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrefetchMode {
@@ -131,8 +133,27 @@ impl SteeringPolicy {
             prefetch: self.prefetch_mode(),
             direct_dram: self.direct_dram(),
             tune_ddio_ways: self.tunes_ddio_ways(),
+            cat: CatMode::Off,
         }
     }
+}
+
+/// How the policy domain's core-side LLC ways are partitioned (Intel
+/// CAT layered on the DDIO partition, the IOCA/A4 lever). The mask only
+/// constrains *core-side* fills — demand misses and MLC victims of the
+/// domain's cores; inbound DMA keeps the DDIO ways regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CatMode {
+    /// No partitioning: the domain's cores fill through the hierarchy's
+    /// shared core mask (all non-DDIO ways unless configured otherwise).
+    #[default]
+    Off,
+    /// A fixed way mask, validated against the LLC associativity and the
+    /// DDIO partition at configuration time.
+    Static(WayMask),
+    /// The closed-loop CAT controller carves an exclusive slice of the
+    /// non-DDIO ways for this domain and resizes it from telemetry.
+    Auto,
 }
 
 /// The orthogonal capabilities a steering policy resolves to — what the
@@ -150,6 +171,8 @@ pub struct PolicyCaps {
     pub direct_dram: bool,
     /// The LLC's DDIO way count is re-tuned at runtime (IAT-style).
     pub tune_ddio_ways: bool,
+    /// Core-side LLC way partitioning for this domain's cores (CAT).
+    pub cat: CatMode,
 }
 
 impl PolicyCaps {
@@ -197,8 +220,13 @@ impl PolicySpec {
                     PrefetchMode::Always => "always",
                     PrefetchMode::Dynamic => "dynamic",
                 };
+                let cat = match c.cat {
+                    CatMode::Off => String::new(),
+                    CatMode::Static(m) => format!(",ways={:#b}", m.bits()),
+                    CatMode::Auto => ",cat=auto".to_string(),
+                };
                 format!(
-                    "custom(inval={},prefetch={pf},dram={},tune={})",
+                    "custom(inval={},prefetch={pf},dram={},tune={}{cat})",
                     u8::from(c.invalidate),
                     u8::from(c.direct_dram),
                     u8::from(c.tune_ddio_ways),
@@ -331,6 +359,16 @@ impl PolicyTable {
     pub fn any_tunes_ddio_ways(&self) -> bool {
         self.domain_caps.iter().any(|c| c.tune_ddio_ways)
     }
+
+    /// Whether any domain carries a CAT partition (static or auto).
+    pub fn any_cat(&self) -> bool {
+        self.domain_caps.iter().any(|c| c.cat != CatMode::Off)
+    }
+
+    /// Whether any domain runs the closed-loop CAT controller.
+    pub fn any_cat_auto(&self) -> bool {
+        self.domain_caps.iter().any(|c| c.cat == CatMode::Auto)
+    }
 }
 
 impl fmt::Display for SteeringPolicy {
@@ -391,17 +429,53 @@ mod tests {
             assert_eq!(SteeringPolicy::from_name(&name), Some(p), "{name}");
         }
         assert_eq!(SteeringPolicy::from_name("bogus"), None);
-        let custom = PolicySpec::Custom(PolicyCaps {
+        let caps = PolicyCaps {
             invalidate: true,
             prefetch: PrefetchMode::Always,
             direct_dram: false,
             tune_ddio_ways: true,
-        });
+            cat: CatMode::Off,
+        };
+        let custom = PolicySpec::Custom(caps);
         assert_eq!(
             custom.label(),
             "custom(inval=1,prefetch=always,dram=0,tune=1)"
         );
         assert_eq!(format!("{custom}"), custom.label());
+        let auto = PolicySpec::Custom(PolicyCaps {
+            cat: CatMode::Auto,
+            ..caps
+        });
+        assert_eq!(
+            auto.label(),
+            "custom(inval=1,prefetch=always,dram=0,tune=1,cat=auto)"
+        );
+        let fixed = PolicySpec::Custom(PolicyCaps {
+            cat: CatMode::Static(WayMask::range(4, 8)),
+            ..caps
+        });
+        assert_eq!(
+            fixed.label(),
+            "custom(inval=1,prefetch=always,dram=0,tune=1,ways=0b11110000)"
+        );
+    }
+
+    #[test]
+    fn cat_helpers_see_through_the_table() {
+        let idio = PolicySpec::Preset(SteeringPolicy::Idio);
+        let cat = PolicySpec::Custom(PolicyCaps {
+            cat: CatMode::Auto,
+            ..SteeringPolicy::Idio.caps()
+        });
+        let t = PolicyTable::new(idio, &[idio, cat]);
+        assert!(t.any_cat() && t.any_cat_auto());
+        let fixed = PolicySpec::Custom(PolicyCaps {
+            cat: CatMode::Static(WayMask::range(2, 4)),
+            ..SteeringPolicy::Ddio.caps()
+        });
+        let u = PolicyTable::new(idio, &[fixed]);
+        assert!(u.any_cat() && !u.any_cat_auto());
+        assert!(!PolicyTable::uniform(idio, 2).any_cat());
     }
 
     #[test]

@@ -288,24 +288,23 @@ impl RunReport {
         let c = self.hierarchy.core(core);
         let l1 = c.l1_hits.get();
         let mlc = c.mlc_hits.get();
-        // Of the MLC misses, the remote-transfer share is tiny in these
-        // workloads; attribute LLC hits vs DRAM by the shared counters'
-        // proportions scaled to this core's misses.
         let misses = c.mlc_misses.get();
         let total = l1 + mlc + misses;
         if total == 0 {
             return None;
         }
-        let shared_hits = self.hierarchy.shared.llc_hits.get();
-        let shared_misses = self.hierarchy.shared.llc_misses.get();
-        let shared_total = (shared_hits + shared_misses).max(1);
-        let llc = misses as f64 * shared_hits as f64 / shared_total as f64;
-        let dram = misses as f64 * shared_misses as f64 / shared_total as f64;
+        // Exact per-core attribution: the hierarchy counts each core's
+        // demand LLC hits and DRAM fills separately, so a mixed run no
+        // longer smears one tenant's misses across every core. (The small
+        // remainder of `misses` is cache-to-cache transfers, which land in
+        // neither bucket.)
+        let llc = c.llc_hits.get();
+        let dram = c.llc_misses.get();
         Some(HitBreakdown {
             l1: l1 as f64 / total as f64,
             mlc: mlc as f64 / total as f64,
-            llc: llc / total as f64,
-            dram: dram / total as f64,
+            llc: llc as f64 / total as f64,
+            dram: dram as f64 / total as f64,
             accesses: total,
         })
     }

@@ -33,10 +33,10 @@ use idio_stack::nf::{MemOp, NfKind, PacketAction, PacketCtx, PacketWork};
 use idio_stack::timing::CoreTiming;
 
 use crate::config::{FlowSteering, SystemConfig};
-use crate::controller::{IdioController, Placement};
+use crate::controller::{CatConfig, CatController, IdioController, Placement};
 use crate::fsm::MlcStatus;
 use crate::layout::{AddressMap, QueueRegions};
-use crate::policy::{PolicyCaps, PolicyTable};
+use crate::policy::{CatMode, PolicyCaps, PolicyTable};
 use crate::prefetcher::MlcPrefetcher;
 use crate::report::{
     BurstTracker, EventTypeProfile, LatencySummary, RunReport, RunTotals, Timelines,
@@ -305,6 +305,16 @@ pub struct System {
     /// DDIO ways ever advance their slot, so an IAT tenant's tuner state
     /// is isolated from coexisting non-IAT tenants.
     iat: Vec<(u64, u64, u32)>,
+    /// Closed-loop CAT way allocator; present only when some policy
+    /// domain asked for `cat = auto`.
+    cat: Option<CatController>,
+    /// First policy domain hosted on each core (by queue order); `None`
+    /// for cores without a queue. Maps per-core MLC-WB counters onto
+    /// per-domain pressure for the CAT loop, and picks each core's mask.
+    core_domain: Vec<Option<u16>>,
+    /// DDIO width the CAT masks were last planned against; the IAT tuner
+    /// moving the partition boundary forces a re-plan.
+    cat_ddio: usize,
     /// Run-level metrics registry (exported via [`RunReport::metrics`]).
     metrics: MetricsRegistry,
     /// Bounded event tracer (filter from [`SystemConfig::trace`]).
@@ -561,6 +571,24 @@ impl System {
         } else {
             Tracer::new(cfg.trace.clone(), DEFAULT_TRACE_CAPACITY)
         };
+        // CAT wiring: map each core to the first policy domain hosted on
+        // it (queue order), and stand up the closed-loop allocator when
+        // any domain asked for auto management.
+        let mut core_domain: Vec<Option<u16>> = vec![None; num_cores];
+        for (q, w) in cfg.workloads.iter().enumerate() {
+            let slot = &mut core_domain[w.core.index()];
+            if slot.is_none() {
+                *slot = Some(policy.queue_domain(q));
+            }
+        }
+        let cat = if policy.any_cat_auto() {
+            let auto: Vec<bool> = (0..policy.num_domains())
+                .map(|d| policy.caps(d as u16).cat == CatMode::Auto)
+                .collect();
+            Some(CatController::new(CatConfig::paper_default(), &auto))
+        } else {
+            None
+        };
         let mut system = System {
             queue: EventQueue::new(),
             pending_arrival: vec![None; gens.len()],
@@ -581,6 +609,9 @@ impl System {
             dma_line_ranges,
             sample_ticks: 0,
             iat: vec![(0, 0, 0); policy.num_domains()],
+            cat,
+            core_domain,
+            cat_ddio: 0,
             policy,
             metrics: MetricsRegistry::new(),
             tracer,
@@ -593,8 +624,40 @@ impl System {
         // LLC; tracking the ranges in the array keeps that a counter
         // read instead of a full-LLC scan every sample tick.
         system.hier.track_llc_ranges(&system.dma_line_ranges);
+        if system.policy.any_cat() {
+            system.apply_cat_masks();
+        }
         system.schedule_initial();
         system
+    }
+
+    /// (Re)derives every core's CAT mask from the policy table and the
+    /// allocator's current plan. Static domains pin their configured
+    /// mask; auto domains get their exclusive slice (falling back to the
+    /// shared pool when no slice fits); all remaining cores share the
+    /// pool, which excludes every auto slice — that exclusion is what
+    /// makes the slices exclusive. Without an auto allocator only static
+    /// masks are applied and other cores keep the default core mask.
+    fn apply_cat_masks(&mut self) {
+        let ddio = self.hier.ddio_ways();
+        self.cat_ddio = ddio;
+        let plan = self
+            .cat
+            .as_ref()
+            .map(|c| c.plan(self.hier.config().llc.ways, ddio));
+        for core in 0..self.core_domain.len() {
+            let mode = self.core_domain[core].map(|d| self.policy.caps(d).cat);
+            let mask = match mode {
+                Some(CatMode::Static(m)) => Some(m),
+                Some(CatMode::Auto) => {
+                    let d = self.core_domain[core].unwrap() as usize;
+                    let p = plan.as_ref().expect("auto CAT domain without allocator");
+                    Some(p.domain_mask[d].unwrap_or(p.shared))
+                }
+                Some(CatMode::Off) | None => plan.as_ref().map(|p| p.shared),
+            };
+            self.hier.set_cat_mask(CoreId::new(core as u16), mask);
+        }
     }
 
     fn schedule_initial(&mut self) {
@@ -1316,6 +1379,33 @@ impl System {
                 }
             }
         }
+        // Closed-loop CAT: fold the per-core MLC-WB counters into
+        // per-domain pressure and let the allocator adjust the slices.
+        // Runs after the IAT tuner so a freshly widened DDIO partition is
+        // reflected in this tick's plan, not the next one's.
+        if self.cat.is_some() {
+            let mut domain_wb = vec![0u64; self.policy.num_domains()];
+            for (core, d) in self.core_domain.iter().enumerate() {
+                if let Some(d) = d {
+                    domain_wb[*d as usize] += wbs[core];
+                }
+            }
+            let llc_ways = self.hier.config().llc.ways;
+            let ddio = self.hier.ddio_ways();
+            let cat = self.cat.as_mut().expect("checked above");
+            let budget = llc_ways.saturating_sub(ddio + cat.config().min_shared);
+            let changed = cat.tick(&domain_wb, budget);
+            if changed || ddio != self.cat_ddio {
+                let widths: Vec<String> = (0..domain_wb.len())
+                    .filter_map(|d| cat.ways(d).map(|w| format!("d{d}={w}")))
+                    .collect();
+                let reallocs = cat.reallocations();
+                self.tracer.record(now, "cat", "realloc", move || {
+                    format!("ddio={ddio} {} reallocs={reallocs}", widths.join(" "))
+                });
+                self.apply_cat_masks();
+            }
+        }
         let next = now + self.cfg.idio.control_interval;
         if next <= self.hard_stop {
             self.queue.schedule_at(next, Event::ControlTick);
@@ -1439,6 +1529,27 @@ impl System {
         self.metrics.counter_set("steer.llc", steer_total[0]);
         self.metrics.counter_set("steer.mlc", steer_total[1]);
         self.metrics.counter_set("steer.dram", steer_total[2]);
+        // CAT partition outcome. Exported only when some domain uses CAT
+        // at all, so non-CAT runs keep a byte-identical metric set.
+        if self.policy.any_cat() {
+            self.metrics.counter_set(
+                "cat.reallocations",
+                self.cat.as_ref().map_or(0, |c| c.reallocations()),
+            );
+            for d in 0..self.policy.num_domains() {
+                let ways = match self.policy.caps(d as u16).cat {
+                    CatMode::Off => continue,
+                    CatMode::Static(m) => m.count(),
+                    CatMode::Auto => self
+                        .cat
+                        .as_ref()
+                        .and_then(|c| c.ways(d))
+                        .expect("auto CAT domain without allocator"),
+                };
+                self.metrics
+                    .counter_set(&format!("cat.domain{d}.ways"), ways as u64);
+            }
+        }
         self.metrics
             .counter_set("packets.completed", totals.completed_packets);
         self.metrics
@@ -1621,6 +1732,65 @@ mod tests {
             assert!(s.p50 >= Duration::from_us_f64(1.9));
             assert!(s.p99 >= s.p50);
         }
+    }
+
+    #[test]
+    fn cat_auto_partitions_cores_and_exports_metrics() {
+        use crate::policy::PolicySpec;
+        let caps = PolicyCaps {
+            cat: CatMode::Auto,
+            ..SteeringPolicy::Idio.caps()
+        };
+        let cfg =
+            steady_cfg(10.0, SteeringPolicy::Idio).with_queue_policy(0, PolicySpec::Custom(caps));
+        let sys = System::new(cfg);
+        // Core 0 (the auto domain) holds an exclusive slice; core 1 is
+        // pushed to the shared pool — the masks never overlap, and both
+        // stay clear of the DDIO ways.
+        let m0 = sys.hier.cat_mask(CoreId::new(0)).expect("auto mask");
+        let m1 = sys.hier.cat_mask(CoreId::new(1)).expect("shared mask");
+        assert!(m0.intersect(m1).is_empty(), "slice {m0} overlaps pool {m1}");
+        let ddio = idio_cache::set::WayMask::first(sys.hier.ddio_ways());
+        assert!(m0.intersect(ddio).is_empty());
+        assert!(m1.intersect(ddio).is_empty());
+        let report = sys.run();
+        // The default policy interns as domain 0, the custom caps as 1.
+        assert!(report.metrics.counter("cat.domain1.ways") >= 1);
+        // cat.reallocations is always exported on CAT runs (may be 0).
+        assert!(report
+            .metrics
+            .counters()
+            .any(|(n, _)| n == "cat.reallocations"));
+    }
+
+    #[test]
+    fn cat_static_masks_restrict_only_their_own_cores() {
+        use crate::policy::PolicySpec;
+        use idio_cache::set::WayMask;
+        let caps = PolicyCaps {
+            cat: CatMode::Static(WayMask::range(4, 8)),
+            ..SteeringPolicy::Ddio.caps()
+        };
+        let cfg =
+            steady_cfg(10.0, SteeringPolicy::Ddio).with_queue_policy(0, PolicySpec::Custom(caps));
+        let sys = System::new(cfg);
+        assert_eq!(
+            sys.hier.cat_mask(CoreId::new(0)),
+            Some(WayMask::range(4, 8))
+        );
+        // Without an auto allocator, other cores keep the default mask.
+        assert_eq!(sys.hier.cat_mask(CoreId::new(1)), None);
+        let report = sys.run();
+        assert_eq!(report.metrics.counter("cat.domain1.ways"), 4);
+    }
+
+    #[test]
+    fn non_cat_runs_export_no_cat_metrics() {
+        let report = System::new(steady_cfg(10.0, SteeringPolicy::Idio)).run();
+        assert!(report
+            .metrics
+            .counters()
+            .all(|(n, _)| !n.starts_with("cat.")));
     }
 
     /// Regression: an NF event dispatched to a core with no NF used to die

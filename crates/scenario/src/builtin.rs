@@ -9,7 +9,7 @@ use idio_core::config::FlowSteering;
 use idio_core::net::gen::{Arrival, BurstSpec, FlowSpec, MultiFlowGen, TrafficPattern};
 use idio_core::net::packet::Dscp;
 use idio_core::net::trace::{read_trace, write_trace};
-use idio_core::policy::SteeringPolicy;
+use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, SteeringPolicy};
 use idio_core::stack::nf::NfKind;
 use idio_engine::time::{Duration, SimTime};
 
@@ -22,14 +22,21 @@ const HORIZON: SimTime = SimTime::from_us(400);
 /// Drain grace shared by the built-ins.
 const GRACE: Duration = Duration::from_us(300);
 
+/// Longer horizon for the CAT scenarios: the copy-mode victims' app
+/// arena only recycles after a full ring rotation (~1.2 ms per queue at
+/// 10 Gb/s / 1514 B with the default 1024-slot ring), and CAT retention
+/// only pays off once surviving LLC copies are re-referenced.
+const CAT_HORIZON: SimTime = SimTime::from_us(1500);
+
 /// Names of the built-in scenarios, in listing order.
-pub fn builtin_names() -> [&'static str; 5] {
+pub fn builtin_names() -> [&'static str; 6] {
     [
         "noisy-neighbor",
         "incast",
         "mixed-rate",
         "trace-replay",
         "llc-duel",
+        "cat-duel",
     ]
 }
 
@@ -49,8 +56,17 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "mixed-rate" => Some(mixed_rate()),
         "trace-replay" => Some(trace_replay()),
         "llc-duel" => Some(llc_duel()),
+        "cat-duel" => Some(cat_duel()),
         _ => None,
     }
+}
+
+/// IDIO caps plus a closed-loop CAT slice (`cat = auto`).
+fn idio_with_auto_cat() -> PolicySpec {
+    PolicySpec::Custom(PolicyCaps {
+        cat: CatMode::Auto,
+        ..SteeringPolicy::Idio.caps()
+    })
 }
 
 /// A latency-sensitive tenant sharing the LLC with a bandwidth hog —
@@ -239,20 +255,20 @@ fn llc_duel() -> Scenario {
         description: "IDIO victim vs. DDIO-pinned attacker fighting over the DDIO ways".into(),
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
-        duration: HORIZON,
+        duration: CAT_HORIZON,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
                 "victim",
-                NfKind::TouchDrop,
-                vec![0, 1],
+                NfKind::TouchDropCopy,
+                vec![0],
                 8,
                 5000,
                 TrafficPattern::Poisson {
-                    rate_gbps: 6.0,
+                    rate_gbps: 10.0,
                     seed: 0xD0E1,
                 },
-                512,
+                1514,
             )
             // Same preset as the scenario default: behaviorally a no-op,
             // but it labels the victim's policy in the report next to the
@@ -264,15 +280,94 @@ fn llc_duel() -> Scenario {
             }),
             TenantDef::new(
                 "attacker",
-                NfKind::TouchDrop,
-                vec![2, 3],
+                NfKind::TouchDropCopy,
+                vec![1, 2],
                 4,
                 6000,
                 TrafficPattern::Steady { rate_gbps: 30.0 },
                 1514,
             )
             // The override that makes it a duel: the attacker's queues
-            // run classic DDIO while the victim's run IDIO.
+            // run classic DDIO while the victim's run IDIO. Copy-mode
+            // keeps the attacker's MLC victims cascading into the shared
+            // LLC ways, so the pool the unprotected victim lives in is
+            // under constant churn.
+            .with_policy(SteeringPolicy::Ddio),
+            // A second, identical victim whose policy adds a closed-loop
+            // CAT slice: same arrival process (same seed), same SLO, so
+            // the report is a controlled CAT-vs-no-CAT comparison inside
+            // one mixed run.
+            TenantDef::new(
+                "victim-cat",
+                NfKind::TouchDropCopy,
+                vec![3],
+                8,
+                7000,
+                TrafficPattern::Poisson {
+                    rate_gbps: 10.0,
+                    seed: 0xD0E1,
+                },
+                1514,
+            )
+            .with_policy(idio_with_auto_cat())
+            .with_slo(SloSpec {
+                max_p99_ns: Some(2_000_000),
+                max_drop_rate: Some(0.01),
+            }),
+        ],
+    }
+}
+
+/// Controller-vs-controller over the same LLC: an IAT tenant that widens
+/// the DDIO partition from the bottom, a CAT tenant that carves an
+/// exclusive core-side slice from the top, a tenant running both loops
+/// at once, and a DDIO-pinned bandwidth attacker squeezing all three.
+/// Exercises the two allocators' non-collision invariant (DDIO grows
+/// bottom-up, CAT slices are carved top-down and re-planned whenever the
+/// IAT tuner moves the boundary).
+fn cat_duel() -> Scenario {
+    let latency = |name: &str, cores: Vec<u16>, port: u16, seed: u64| {
+        TenantDef::new(
+            name,
+            NfKind::TouchDropCopy,
+            cores,
+            8,
+            port,
+            TrafficPattern::Poisson {
+                rate_gbps: 10.0,
+                seed,
+            },
+            1514,
+        )
+        .with_slo(SloSpec {
+            max_p99_ns: Some(2_000_000),
+            max_drop_rate: Some(0.01),
+        })
+    };
+    Scenario {
+        name: "cat-duel".into(),
+        description: "IAT vs CAT vs combined latency tenants under a DDIO bandwidth attacker"
+            .into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: CAT_HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            latency("iat", vec![0], 5000, 0xCA70).with_policy(SteeringPolicy::IatDynamic),
+            latency("cat", vec![1], 6000, 0xCA71).with_policy(idio_with_auto_cat()),
+            latency("both", vec![2], 7000, 0xCA72).with_policy(PolicySpec::Custom(PolicyCaps {
+                cat: CatMode::Auto,
+                ..SteeringPolicy::IatDynamic.caps()
+            })),
+            TenantDef::new(
+                "attacker",
+                NfKind::TouchDropCopy,
+                vec![3, 4],
+                4,
+                8000,
+                TrafficPattern::Steady { rate_gbps: 30.0 },
+                1514,
+            )
             .with_policy(SteeringPolicy::Ddio),
         ],
     }

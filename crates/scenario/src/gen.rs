@@ -22,7 +22,7 @@
 
 use idio_core::net::gen::TrafficPattern;
 use idio_core::net::packet::Dscp;
-use idio_core::policy::{PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
+use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
 use idio_core::stack::nf::NfKind;
 use idio_engine::rng::{derive_seed, SimRng};
 
@@ -89,24 +89,28 @@ const ATTACKER_POLICIES: [PolicySpec; 6] = [
         prefetch: PrefetchMode::Always,
         direct_dram: false,
         tune_ddio_ways: false,
+        cat: CatMode::Off,
     }),
     PolicySpec::Custom(PolicyCaps {
         invalidate: false,
         prefetch: PrefetchMode::Always,
         direct_dram: true,
         tune_ddio_ways: false,
+        cat: CatMode::Off,
     }),
     PolicySpec::Custom(PolicyCaps {
         invalidate: true,
         prefetch: PrefetchMode::Off,
         direct_dram: true,
         tune_ddio_ways: false,
+        cat: CatMode::Off,
     }),
     PolicySpec::Custom(PolicyCaps {
         invalidate: false,
         prefetch: PrefetchMode::Off,
         direct_dram: false,
         tune_ddio_ways: true,
+        cat: CatMode::Off,
     }),
 ];
 
@@ -145,6 +149,10 @@ pub struct GenSpec {
     /// SLO attached to non-attacker [`AppClass::Kvs`] tenants offering at
     /// least [`SLO_MIN_RATE_GBPS`].
     pub slo: Option<SloSpec>,
+    /// Give every non-attacker tenant an auto CAT partition (`cat =
+    /// "auto"` in the `[generate]` table): the closed-loop controller
+    /// carves core-side LLC ways per tenant at runtime.
+    pub cat_auto: bool,
 }
 
 impl GenSpec {
@@ -163,6 +171,7 @@ impl GenSpec {
             app_classes: vec![AppClass::Kvs, AppClass::NfChain, AppClass::Bulk],
             attacker_frac: 0.0,
             slo: None,
+            cat_auto: false,
         }
     }
 
@@ -230,10 +239,10 @@ impl GenSpec {
                 .map(|i| 1.0 / ((rank[i] + 1) as f64).powf(s))
                 .collect(),
         };
-        let wsum: f64 = weights.iter().sum();
+        let rates = split_rates(self.total_rate_gbps, &weights);
 
         let mut scenario = header;
-        for (i, &weight) in weights.iter().enumerate() {
+        for (i, &rate) in rates.iter().enumerate() {
             // One independent stream per tenant, in a fixed draw order
             // (class, attacker coin, class-specific draws): tenant i's
             // definition never depends on any other tenant.
@@ -243,7 +252,6 @@ impl GenSpec {
             ));
             let class = self.app_classes[rng.below(self.app_classes.len() as u64) as usize];
             let attacker = rng.unit_f64() < self.attacker_frac;
-            let rate = (self.total_rate_gbps * weight / wsum).max(MIN_RATE_GBPS);
             let first_core = i as u16 * self.cores_per_tenant;
             let cores: Vec<u16> = (first_core..first_core + self.cores_per_tenant).collect();
             let base_port = self.base_port + i as u16 * self.flows_per_tenant;
@@ -294,15 +302,96 @@ impl GenSpec {
                 tenant = tenant.with_policy(
                     ATTACKER_POLICIES[rng.below(ATTACKER_POLICIES.len() as u64) as usize],
                 );
-            } else if let Some(slo) = self.slo {
-                if class == AppClass::Kvs && rate >= SLO_MIN_RATE_GBPS && slo.is_bounded() {
-                    tenant = tenant.with_slo(slo);
+            } else {
+                if self.cat_auto {
+                    tenant = tenant.with_policy(PolicySpec::Custom(PolicyCaps {
+                        cat: CatMode::Auto,
+                        ..scenario.policy.caps()
+                    }));
+                }
+                if let Some(slo) = self.slo {
+                    if class == AppClass::Kvs && rate >= SLO_MIN_RATE_GBPS && slo.is_bounded() {
+                        tenant = tenant.with_slo(slo);
+                    }
                 }
             }
             scenario.tenants.push(tenant);
         }
         Ok(scenario)
     }
+}
+
+/// Splits `total` across `weights` proportionally, flooring every share
+/// at [`MIN_RATE_GBPS`] and renormalizing the unfloored shares over the
+/// remaining budget, so the emitted rates sum to *exactly* `total`
+/// (bit-for-bit as `f64`) whenever the floors leave room. Only when
+/// `weights.len() * MIN_RATE_GBPS` exceeds `total` is every share the
+/// floor and the sum unavoidably overshoots.
+fn split_rates(total: f64, weights: &[f64]) -> Vec<f64> {
+    let n = weights.len();
+    let mut rates = vec![0.0; n];
+    let mut floored = vec![false; n];
+    // Fixed point: flooring a tail tenant shrinks the budget the
+    // remaining weights share, which can push further tenants under the
+    // floor — at most n rounds, typically one or two.
+    loop {
+        let budget = total - MIN_RATE_GBPS * floored.iter().filter(|&&f| f).count() as f64;
+        let wsum: f64 = weights
+            .iter()
+            .zip(&floored)
+            .filter(|(_, &f)| !f)
+            .map(|(w, _)| w)
+            .sum();
+        let mut changed = false;
+        for i in 0..n {
+            if floored[i] {
+                rates[i] = MIN_RATE_GBPS;
+                continue;
+            }
+            let r = budget * weights[i] / wsum;
+            if !r.is_finite() || r < MIN_RATE_GBPS {
+                floored[i] = true;
+                changed = true;
+            } else {
+                rates[i] = r;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Make the forward (index-order) f64 sum hit `total` exactly. Two
+    // passes: fold the bulk of the residual into the largest unfloored
+    // share, then refine by single ulps of the *last* unfloored share.
+    // The last share matters: a perturbation there passes through only
+    // the final roundings (whose grids are nondecreasing along the
+    // chain), so the sum moves at most one representable step per ulp
+    // and cannot jump over `total` — perturbing an earlier share
+    // re-rounds every later partial sum and can skip it (observed for
+    // 7-tenant Zipf splits).
+    if let Some(head) = (0..n)
+        .filter(|&i| !floored[i])
+        .max_by(|&a, &b| rates[a].total_cmp(&rates[b]))
+    {
+        let sum: f64 = rates.iter().sum();
+        rates[head] += total - sum;
+        let last = (0..n)
+            .rev()
+            .find(|&i| !floored[i])
+            .expect("head is unfloored");
+        for _ in 0..8192 {
+            let sum: f64 = rates.iter().sum();
+            if sum == total {
+                break;
+            }
+            rates[last] = if sum < total {
+                rates[last].next_up()
+            } else {
+                rates[last].next_down()
+            };
+        }
+    }
+    rates
 }
 
 #[cfg(test)]
@@ -414,12 +503,60 @@ mod tests {
         };
         let rates: Vec<f64> = sc.tenants.iter().map(rate).collect();
         let sum: f64 = rates.iter().sum();
-        // The floor can only push the sum slightly above the target.
-        assert!((40.0..41.0).contains(&sum), "sum {sum}");
+        // Floored tail shares are renormalized away: the total is exact.
+        assert_eq!(sum, 40.0, "renormalized split hits the target exactly");
         let max = rates.iter().cloned().fold(0.0, f64::max);
         let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min > 10.0, "heavy tail: {max} vs {min}");
         assert!(rates.iter().all(|&r| r >= MIN_RATE_GBPS));
+    }
+
+    /// The satellite's property: for every tenant count the floor can
+    /// interact with, the emitted rates sum to exactly the target and
+    /// never dip below the floor.
+    #[test]
+    fn rate_split_sums_exactly_for_all_tenant_counts() {
+        for n in 1..=300usize {
+            let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(1.1)).collect();
+            let rates = split_rates(40.0, &weights);
+            let sum: f64 = rates.iter().sum();
+            assert_eq!(sum, 40.0, "n={n}: sum {sum}");
+            assert!(
+                rates.iter().all(|&r| r >= MIN_RATE_GBPS),
+                "n={n}: floor violated"
+            );
+            let uniform = split_rates(40.0, &vec![1.0; n]);
+            assert_eq!(uniform.iter().sum::<f64>(), 40.0, "n={n} uniform");
+        }
+        // Infeasible target: every share floors; the sum overshoots but
+        // stays the minimal n * floor.
+        let rates = split_rates(0.05, &[1.0, 1.0, 1.0, 1.0]);
+        assert!(rates.iter().all(|&r| r == MIN_RATE_GBPS));
+    }
+
+    #[test]
+    fn cat_auto_marks_non_attackers_only() {
+        let mut spec = GenSpec::new(24);
+        spec.attacker_frac = 0.3;
+        spec.cat_auto = true;
+        let sc = spec.expand(header("cat")).unwrap();
+        sc.validate().expect("cat-auto scenarios are valid");
+        let mut auto = 0;
+        for t in &sc.tenants {
+            let caps = t.policy.expect("every tenant carries a policy").caps();
+            if t.name.ends_with("-atk") {
+                assert_eq!(
+                    caps.cat,
+                    CatMode::Off,
+                    "{}: attackers keep their policy",
+                    t.name
+                );
+            } else {
+                assert_eq!(caps.cat, CatMode::Auto, "{}", t.name);
+                auto += 1;
+            }
+        }
+        assert!(auto > 0, "some non-attackers exist");
     }
 
     #[test]

@@ -137,6 +137,49 @@ mod tests {
         assert_eq!(serial.to_json(), parallel.to_json());
     }
 
+    /// Regression: a tenant that never completes a packet must yield a
+    /// deterministic "no data" SLO outcome — no p99 read off an empty
+    /// recorder, no NaN drop rate — and the report must stay
+    /// byte-identical across worker counts.
+    #[test]
+    fn slo_on_tenant_with_no_completed_packets_reports_no_data() {
+        use crate::spec::SloSpec;
+        let mut sc = tiny();
+        // An empty replay: every packet of the tenant is lost before the
+        // horizon, so zero arrivals, zero completions.
+        sc.tenants[1] = sc.tenants[1]
+            .clone()
+            .with_replay(Vec::new())
+            .with_slo(SloSpec {
+                max_p99_ns: Some(1_000_000),
+                max_drop_rate: Some(0.01),
+            });
+        let r = run_scenario(&sc, &SweepOptions::serial()).unwrap();
+        let t = &r.tenants[1];
+        assert_eq!(t.completed, 0);
+        assert!(t.latency.is_none());
+        assert_eq!(t.drop_rate, 0.0, "idle tenant must not divide by zero");
+        let slo = t.slo.as_ref().expect("slo configured");
+        assert!(!slo.pass(), "no data cannot satisfy a p99 bound");
+        assert_eq!(slo.actual_p99_ns, None);
+        assert_eq!(slo.actual_drop_rate, 0.0);
+        assert_eq!(slo.violations.len(), 1, "{:?}", slo.violations);
+        assert!(
+            slo.violations[0].contains("no completed packets"),
+            "{:?}",
+            slo.violations
+        );
+        let parallel = run_scenario(
+            &sc,
+            &SweepOptions {
+                jobs: 2,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.to_json(), parallel.to_json());
+    }
+
     #[test]
     fn invalid_scenario_is_rejected_before_running() {
         let mut sc = tiny();

@@ -34,11 +34,13 @@
 use std::fmt;
 use std::path::Path;
 
+use idio_core::cache::config::HierarchyConfig;
+use idio_core::cache::set::WayMask;
 use idio_core::config::FlowSteering;
 use idio_core::net::gen::{BurstSpec, TrafficPattern};
 use idio_core::net::packet::{Dscp, MIN_FRAME_BYTES};
 use idio_core::net::trace::read_trace;
-use idio_core::policy::{PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
+use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
 use idio_core::stack::nf::NfKind;
 use idio_engine::time::{wire_time, Duration, SimTime};
 
@@ -627,18 +629,62 @@ fn time_key_present(table: &Table, base: &str) -> bool {
         .any(|(suffix, _)| table.get(&format!("{base}_{suffix}")).is_some())
 }
 
+/// Validates a CAT way mask against the paper hierarchy every scenario
+/// runs on: inside the LLC associativity and disjoint from the DDIO
+/// partition (which stays reserved for inbound DMA).
+fn check_way_mask(mask: WayMask, pos: Pos) -> Result<(), SpecError> {
+    let geom = HierarchyConfig::paper_default(1);
+    if mask.is_empty() {
+        return Err(SpecError::new(pos, "way mask selects no LLC way"));
+    }
+    if mask.intersect(WayMask::all(geom.llc.ways)) != mask {
+        return Err(SpecError::new(
+            pos,
+            format!("way mask {mask} wider than the {}-way LLC", geom.llc.ways),
+        ));
+    }
+    if !mask.intersect(geom.ddio_mask()).is_empty() {
+        return Err(SpecError::new(
+            pos,
+            format!(
+                "way mask {mask} overlaps the {} DDIO ways (ways 0..{})",
+                geom.ddio_ways, geom.ddio_ways
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a `"0b..."` binary way-mask literal and validates it.
+fn parse_way_mask(s: &str, pos: Pos) -> Result<WayMask, SpecError> {
+    let bits = s
+        .strip_prefix("0b")
+        .and_then(|b| u64::from_str_radix(b, 2).ok())
+        .ok_or_else(|| {
+            SpecError::new(
+                pos,
+                format!("way mask '{s}' must be a binary literal like \"0b111100\""),
+            )
+        })?;
+    let mask = WayMask::from_bits(bits);
+    check_way_mask(mask, pos)?;
+    Ok(mask)
+}
+
 fn parse_policy_spec(s: &str, pos: Pos) -> Result<PolicySpec, SpecError> {
     if let Some(p) = SteeringPolicy::from_name(s) {
         return Ok(PolicySpec::Preset(p));
     }
     // The custom form mirrors PolicySpec::label exactly:
-    // custom(inval=0|1,prefetch=off|always|dynamic,dram=0|1,tune=0|1)
+    // custom(inval=0|1,prefetch=off|always|dynamic,dram=0|1,tune=0|1
+    //        [,ways=0b..|,cat=auto])
     if let Some(body) = s.strip_prefix("custom(").and_then(|r| r.strip_suffix(')')) {
         let mut caps = PolicyCaps {
             invalidate: false,
             prefetch: PrefetchMode::Off,
             direct_dram: false,
             tune_ddio_ways: false,
+            cat: CatMode::Off,
         };
         let bit = |v: &str, k: &str| match v {
             "0" => Ok(false),
@@ -680,6 +726,24 @@ fn parse_policy_spec(s: &str, pos: Pos) -> Result<PolicySpec, SpecError> {
                 }
                 "dram" => caps.direct_dram = bit(v, k)?,
                 "tune" => caps.tune_ddio_ways = bit(v, k)?,
+                "ways" => {
+                    if caps.cat != CatMode::Off {
+                        return Err(SpecError::new(pos, "give 'ways' or 'cat', not both"));
+                    }
+                    caps.cat = CatMode::Static(parse_way_mask(v, pos)?);
+                }
+                "cat" => {
+                    if caps.cat != CatMode::Off {
+                        return Err(SpecError::new(pos, "give 'ways' or 'cat', not both"));
+                    }
+                    if v != "auto" {
+                        return Err(SpecError::new(
+                            pos,
+                            format!("custom policy component cat '{v}' must be auto"),
+                        ));
+                    }
+                    caps.cat = CatMode::Auto;
+                }
                 _ => {
                     return Err(SpecError::new(
                         pos,
@@ -694,7 +758,7 @@ fn parse_policy_spec(s: &str, pos: Pos) -> Result<PolicySpec, SpecError> {
         pos,
         format!(
             "unknown policy '{s}' (expected ddio|invalidate|prefetch|static|idio|iat \
-             or custom(inval=..,prefetch=..,dram=..,tune=..))"
+             or custom(inval=..,prefetch=..,dram=..,tune=..[,ways=0b..|,cat=auto]))"
         ),
     ))
 }
@@ -778,6 +842,8 @@ const TENANT_KEYS: &[&str] = &[
     "burst_gap_ns",
     "burst_gap_ps",
     "policy",
+    "way_mask",
+    "cat",
     "max_p99_ns",
     "max_drop_rate",
     "replay",
@@ -794,6 +860,7 @@ const GEN_KEYS: &[&str] = &[
     "zipf_s",
     "app_classes",
     "attacker_frac",
+    "cat",
     "max_p99_ns",
     "max_drop_rate",
 ];
@@ -929,7 +996,11 @@ fn tenant_slo(t: &Table) -> Result<Option<SloSpec>, SpecError> {
     }))
 }
 
-fn build_tenant(t: &Table, base_dir: Option<&Path>) -> Result<TenantDef, SpecError> {
+fn build_tenant(
+    t: &Table,
+    base_dir: Option<&Path>,
+    default_policy: SteeringPolicy,
+) -> Result<TenantDef, SpecError> {
     check_known_keys(t, TENANT_KEYS)?;
     let name = want_str(t.get("name").ok_or_else(|| missing(t, "tenant", "name"))?)?.to_string();
     if name.is_empty() {
@@ -1006,10 +1077,46 @@ fn build_tenant(t: &Table, base_dir: Option<&Path>) -> Result<TenantDef, SpecErr
         None => Dscp::BEST_EFFORT,
     };
     let traffic = tenant_traffic(t, packet_len)?;
-    let policy = match t.get("policy") {
+    let mut policy = match t.get("policy") {
         Some(e) => Some(parse_policy_spec(want_str(e)?, e.val_pos)?),
         None => None,
     };
+    // `way_mask` / `cat` sugar: fold a CAT partition into the tenant's
+    // capability set (the explicit policy if given, the scenario default
+    // otherwise).
+    let cat_sugar = match (t.get("way_mask"), t.get("cat")) {
+        (Some(_), Some(e)) => {
+            return Err(SpecError::new(
+                e.key_pos,
+                "give 'way_mask' or 'cat', not both",
+            ));
+        }
+        (Some(e), None) => {
+            let mask = parse_way_mask(want_str(e)?, e.val_pos)?;
+            Some((CatMode::Static(mask), e))
+        }
+        (None, Some(e)) => {
+            let v = want_str(e)?;
+            if v != "auto" {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    format!("cat '{v}' must be \"auto\" (or use way_mask for a fixed mask)"),
+                ));
+            }
+            Some((CatMode::Auto, e))
+        }
+        (None, None) => None,
+    };
+    if let Some((mode, e)) = cat_sugar {
+        let base = policy.map_or_else(|| default_policy.caps(), |p| p.caps());
+        if base.cat != CatMode::Off {
+            return Err(SpecError::new(
+                e.key_pos,
+                "the tenant's policy already sets a CAT partition",
+            ));
+        }
+        policy = Some(PolicySpec::Custom(PolicyCaps { cat: mode, ..base }));
+    }
     let replay = match t.get("replay") {
         Some(e) => {
             let rel = want_str(e)?;
@@ -1158,6 +1265,18 @@ fn build_generate(g: &Table) -> Result<GenSpec, SpecError> {
         }
         spec.attacker_frac = v;
     }
+    if let Some(e) = g.get("cat") {
+        match want_str(e)? {
+            "auto" => spec.cat_auto = true,
+            "off" => spec.cat_auto = false,
+            other => {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    format!("cat '{other}' must be \"auto\" or \"off\""),
+                ));
+            }
+        }
+    }
     spec.slo = tenant_slo(g)?;
     Ok(spec)
 }
@@ -1251,7 +1370,7 @@ fn build_scenario(raw: &RawFile, base_dir: Option<&Path>) -> Result<Scenario, Sp
         (None, false) => {
             let mut seen: Vec<(String, Pos)> = Vec::new();
             for t in &raw.tenants {
-                let tenant = build_tenant(t, base_dir)?;
+                let tenant = build_tenant(t, base_dir, scenario.policy)?;
                 let name_pos = t.get("name").expect("required by build_tenant").val_pos;
                 if let Some((_, first)) = seen.iter().find(|(n, _)| *n == tenant.name) {
                     return Err(SpecError::new(
@@ -1527,6 +1646,7 @@ max_drop_rate = 0.25
                 prefetch: PrefetchMode::Dynamic,
                 direct_dram: false,
                 tune_ddio_ways: true,
+                cat: CatMode::Off,
             }))
         );
         assert_eq!(p.slo.unwrap().max_p99_ns, Some(1_000_000));
@@ -1684,7 +1804,23 @@ attacker_frac = 0.3
                 ]),
                 direct_dram: g.bool(),
                 tune_ddio_ways: g.bool(),
+                cat: arbitrary_cat(g),
             })
+        }
+    }
+
+    /// CAT modes whose static masks are valid against the paper geometry
+    /// (inside the 12 ways, clear of the 2 DDIO ways), so rendered specs
+    /// always parse back.
+    fn arbitrary_cat(g: &mut Gen) -> CatMode {
+        match g.usize(0..3) {
+            0 => CatMode::Off,
+            1 => CatMode::Auto,
+            _ => {
+                let lo = g.usize(2..11);
+                let hi = g.usize(lo + 1..13);
+                CatMode::Static(WayMask::range(lo, hi))
+            }
         }
     }
 

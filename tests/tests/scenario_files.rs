@@ -97,7 +97,8 @@ fn example_files_are_the_canonical_rendering_of_the_builtins() {
 /// The ISSUE's golden guarantee, end to end: running a *file-loaded*
 /// scenario produces the byte-identical report the built-in's blessed
 /// golden records. `llc-duel` covers policy overrides + SLOs;
-/// `trace-replay` covers the sidecar-trace path.
+/// `trace-replay` covers the sidecar-trace path; `cat-duel` covers the
+/// CAT way-partitioning sugar (`cat = "auto"`).
 #[test]
 fn file_loaded_runs_match_the_blessed_goldens() {
     if blessing() {
@@ -107,7 +108,7 @@ fn file_loaded_runs_match_the_blessed_goldens() {
         jobs: 2,
         ..SweepOptions::default()
     };
-    for name in ["llc-duel", "trace-replay"] {
+    for name in ["llc-duel", "trace-replay", "cat-duel"] {
         let loaded = load_path(examples_dir().join(format!("{name}.toml")))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let report = run_scenario(&loaded, &opts).expect("example scenarios are valid");
@@ -185,6 +186,13 @@ fn bad_corpus_errors_name_line_and_column() {
         ("bad-core.toml", 8, 13, "core 70000 out of range"),
         ("truncated.toml", 4, 1, "truncated table header"),
         ("non-utf8.toml", 2, 16, "not valid UTF-8"),
+        (
+            "tenant-and-generate.toml",
+            16,
+            1,
+            "either [[tenant]] tables or one [generate] table",
+        ),
+        ("bad-way-mask.toml", 15, 12, "overlaps the 2 DDIO ways"),
     ];
     let dir = bad_dir();
     for (file, line, col, needle) in cases {
