@@ -27,7 +27,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use idio_bench::micro::{append_snapshot, measure, render_bench_file, RunStats, Snapshot};
+use idio_bench::micro::{
+    append_snapshot, last_entry_median, measure, render_bench_file, RunStats, Snapshot,
+};
 use idio_bench::{experiment_spec, EXPERIMENTS};
 use idio_core::cache::addr::{CoreId, LineAddr};
 use idio_core::cache::config::HierarchyConfig;
@@ -183,11 +185,67 @@ const WORKLOADS: &[Workload] = &[
     },
 ];
 
+/// Workload the `--check` regression gate measures, and how much slower
+/// than the committed baseline it may run before the gate fails. The
+/// 1.25× margin absorbs CI host noise; a genuine layout or algorithmic
+/// regression lands well past it.
+const CHECK_WORKLOAD: &str = "suite/quick_figures";
+const CHECK_MAX_RATIO: f64 = 1.25;
+
+/// `--check` mode: measure [`CHECK_WORKLOAD`] and compare its median
+/// against the newest committed snapshot in `baseline_path`.
+///
+/// Fails (non-zero exit) when the measured median exceeds
+/// [`CHECK_MAX_RATIO`] × the baseline median, or when the baseline file
+/// has no entry to gate on — a silent pass on a missing baseline would
+/// turn the gate off without anyone noticing. Re-bless by appending a
+/// fresh snapshot: `bench --runs 5 --append --label <why> --out <file>`.
+fn run_check(baseline_path: &str, runs: usize) -> ExitCode {
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read baseline '{baseline_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(baseline) = last_entry_median(&doc, CHECK_WORKLOAD) else {
+        eprintln!("error: no '{CHECK_WORKLOAD}' entry in '{baseline_path}' to gate against");
+        return ExitCode::FAILURE;
+    };
+    let w = WORKLOADS
+        .iter()
+        .find(|w| w.name == CHECK_WORKLOAD)
+        .expect("check workload is registered");
+    std::hint::black_box((w.run)());
+    let stats = measure(w.name, runs, w.run);
+    let ratio = stats.median_ms / baseline;
+    println!(
+        "{:<28} median {:>10.3}ms  baseline {:>10.3}ms  ratio {:.3} (limit {:.2})",
+        stats.name, stats.median_ms, baseline, ratio, CHECK_MAX_RATIO
+    );
+    if ratio > CHECK_MAX_RATIO {
+        eprintln!(
+            "error: {CHECK_WORKLOAD} regressed {:.1}% past the committed baseline \
+             (gate: {:.0}%); if the slowdown is intended, re-bless with \
+             `bench --runs 5 --append --label <reason> --out {baseline_path}`",
+            (ratio - 1.0) * 100.0,
+            (CHECK_MAX_RATIO - 1.0) * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ok: within {:.0}% of baseline",
+        (CHECK_MAX_RATIO - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut label = String::from("snapshot");
     let mut runs_override: Option<usize> = None;
     let mut append = false;
+    let mut check: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -214,6 +272,13 @@ fn main() -> ExitCode {
                 }
             },
             "--append" => append = true,
+            "--check" => match args.next() {
+                Some(p) => check = Some(p),
+                None => {
+                    eprintln!("error: --check needs a baseline file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" => {
                 for w in WORKLOADS {
                     println!("{} (default {} runs)", w.name, w.default_runs);
@@ -222,13 +287,20 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench [--out FILE] [--label L] [--runs N] [--append] [--list] \
-                     [filter...]"
+                    "usage: bench [--out FILE] [--label L] [--runs N] [--append] \
+                     [--check BASELINE] [--list] [filter...]\n\
+                     --check BASELINE   regression gate: measure suite/quick_figures and\n\
+                     \u{20}                  fail if its median exceeds 1.25x the newest\n\
+                     \u{20}                  committed snapshot in BASELINE"
                 );
                 return ExitCode::SUCCESS;
             }
             other => filters.push(other.to_string()),
         }
+    }
+
+    if let Some(baseline) = check {
+        return run_check(&baseline, runs_override.unwrap_or(3));
     }
 
     let selected: Vec<&Workload> = WORKLOADS

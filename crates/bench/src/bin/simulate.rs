@@ -40,6 +40,8 @@ struct Args {
     jobs: usize,
     trace: TraceFilter,
     trace_out: Option<String>,
+    tick_metrics: bool,
+    tick_metrics_out: Option<String>,
 }
 
 impl Default for Args {
@@ -63,6 +65,8 @@ impl Default for Args {
             jobs: 1,
             trace: TraceFilter::off(),
             trace_out: None,
+            tick_metrics: false,
+            tick_metrics_out: None,
         }
     }
 }
@@ -91,7 +95,12 @@ fn usage() {
                                                          (steer fsm prefetch maint event); ignored with\n\
                                                          --all-policies\n\
          --trace-out <file>                              write the NDJSON trace to <file> instead of\n\
-                                                         stdout (requires --trace)"
+                                                         stdout (requires --trace)\n\
+         --tick-metrics                                  dump one NDJSON line per control tick\n\
+                                                         (steering-mix delta, per-core FSM states,\n\
+                                                         CAT timeline) after the report; deterministic\n\
+         --tick-metrics-out <file>                       write the tick-metrics NDJSON to <file>\n\
+                                                         instead of stdout (implies --tick-metrics)"
     );
 }
 
@@ -149,6 +158,11 @@ fn parse() -> Result<Args, String> {
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--trace" => args.trace = val("--trace")?.parse()?,
             "--trace-out" => args.trace_out = Some(val("--trace-out")?),
+            "--tick-metrics" => args.tick_metrics = true,
+            "--tick-metrics-out" => {
+                args.tick_metrics = true;
+                args.tick_metrics_out = Some(val("--tick-metrics-out")?);
+            }
             "--all-policies" => args.all_policies = true,
             "--jobs" | "-j" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
@@ -197,6 +211,26 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    let mut tick_sink = match &args.tick_metrics_out {
+        Some(path) => {
+            if args.all_policies {
+                eprintln!("error: --tick-metrics-out cannot be combined with --all-policies");
+                return ExitCode::FAILURE;
+            }
+            match std::fs::File::create(path) {
+                Ok(f) => Some((path.clone(), f)),
+                Err(e) => {
+                    eprintln!("error: cannot create tick-metrics file '{path}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    if args.tick_metrics && args.all_policies {
+        eprintln!("error: --tick-metrics cannot be combined with --all-policies");
+        return ExitCode::FAILURE;
+    }
 
     let period = Duration::from_ms(5);
     let traffic = if args.bursty {
@@ -233,6 +267,7 @@ fn main() -> ExitCode {
         cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);
     }
     cfg.trace = args.trace.clone();
+    cfg.tick_metrics = args.tick_metrics;
     cfg = cfg.with_policy(args.policy);
     for &(q, p) in &args.queue_policies {
         if q >= cfg.workloads.len() {
@@ -364,6 +399,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("[trace written to {path}]");
+            }
+            None => print!("{ndjson}"),
+        }
+    }
+    if args.tick_metrics {
+        // Per-control-tick NDJSON timeline: deterministic (a pure function
+        // of the configuration and seed), one object per 1 µs tick.
+        eprintln!(
+            "[tick-metrics: {} control ticks]",
+            report.tick_metrics.len()
+        );
+        let mut ndjson = String::new();
+        for line in &report.tick_metrics {
+            ndjson.push_str(line);
+            ndjson.push('\n');
+        }
+        match &mut tick_sink {
+            Some((path, f)) => {
+                use std::io::Write;
+                if let Err(e) = f.write_all(ndjson.as_bytes()) {
+                    eprintln!("error: cannot write tick metrics to '{path}': {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[tick metrics written to {path}]");
             }
             None => print!("{ndjson}"),
         }

@@ -192,6 +192,25 @@ pub fn append_snapshot(existing: Option<&str>, suite: &str, snap: &Snapshot) -> 
     render_bench_file(suite, std::slice::from_ref(snap))
 }
 
+/// Extracts the most recent `median_ms` recorded for workload `name` from
+/// a bench document written by [`render_bench_file`] /
+/// [`append_snapshot`].
+///
+/// Snapshots are appended chronologically, so the *last* entry line naming
+/// the workload is the newest baseline. Returns `None` when the document
+/// never measured that workload (or isn't a bench file at all) — callers
+/// gating CI on the ratio should treat that as "no baseline, cannot gate".
+pub fn last_entry_median(doc: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = doc.lines().rev().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"median_ms\": ").nth(1)?;
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +287,17 @@ mod tests {
         let merged = append_snapshot(Some("not json at all"), "engine", &snap("post"));
         assert!(merged.starts_with("{\n  \"schema\""));
         assert_eq!(merged.matches("\"label\"").count(), 1);
+    }
+
+    #[test]
+    fn last_entry_median_reads_newest_snapshot() {
+        let mut old = snap("pre");
+        old.entries[0].median_ms = 100.0;
+        let mut new = snap("post");
+        new.entries[0].median_ms = 42.5;
+        let doc = render_bench_file("engine", &[old, new]);
+        assert_eq!(last_entry_median(&doc, "w"), Some(42.5));
+        assert_eq!(last_entry_median(&doc, "missing"), None);
+        assert_eq!(last_entry_median("not a bench file", "w"), None);
     }
 }

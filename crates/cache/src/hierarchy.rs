@@ -455,6 +455,22 @@ impl Hierarchy {
         }
     }
 
+    /// Removes `line` from `core`'s private caches where the directory
+    /// says the line *must* be resident, diagnosing the desync (which op
+    /// hit it, which core, which line) instead of panicking with a bare
+    /// `expect` deep in the fill path.
+    #[inline]
+    fn remove_private_held(&mut self, core: CoreId, line: LineAddr, op: &'static str) -> bool {
+        match self.remove_private(core, line) {
+            Some(dirty) => dirty,
+            None => panic!(
+                "{op}: directory says {core} holds line {}, but its private \
+                 caches do not (directory/cache desync)",
+                line.get()
+            ),
+        }
+    }
+
     /// Removes `line` from `core`'s private caches, returning whether it was
     /// present and whether any copy was dirty.
     fn remove_private(&mut self, core: CoreId, line: LineAddr) -> Option<bool> {
@@ -544,9 +560,7 @@ impl Hierarchy {
         if let Some(holder) = self.dir.holder(line) {
             debug_assert_ne!(holder, core, "directory stale: missed own MLC line");
             if holder != core {
-                let dirty = self
-                    .remove_private(holder, line)
-                    .expect("directory pointed at a core without the line");
+                let dirty = self.remove_private_held(holder, line, "cpu_access c2c");
                 self.stats.core[ci].c2c_transfers.inc();
                 fx.merge(self.fill_mlc(core, line, dirty || store));
                 self.fill_l1(core, line);
@@ -656,9 +670,7 @@ impl Hierarchy {
         // An MLC-resident line is written back to the LLC first, then
         // served (Fig. 1 steps P1-1 / P2-1; Fig. 3 right).
         if let Some(holder) = self.dir.holder(line) {
-            let dirty = self
-                .remove_private(holder, line)
-                .expect("directory pointed at a core without the line");
+            let dirty = self.remove_private_held(holder, line, "pcie_read");
             let hi = holder.index();
             self.stats.core[hi].mlc_wb.inc();
             self.stats.core[hi].mlc_wb_by_pcie_rd.inc();

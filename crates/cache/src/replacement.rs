@@ -9,7 +9,7 @@
 //! driven by the cache array through three hooks: `on_insert`, `on_touch`,
 //! and `victim` (choose among the permitted, fully occupied ways).
 
-use crate::set::WayMask;
+use crate::set::{SetBits, WayMask};
 
 /// Which replacement policy a cache uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -38,26 +38,35 @@ impl std::fmt::Display for ReplacementKind {
 }
 
 /// Per-cache replacement state.
+///
+/// Every variant keeps its per-line metadata in one flat slab (slot index
+/// `set * ways + way`) so a touch or victim scan walks contiguous memory —
+/// the same struct-of-arrays layout the cache array itself uses for tags
+/// and valid/dirty bits.
 #[derive(Debug, Clone)]
 pub enum ReplacementPolicy {
     /// LRU stamps (monotonic counter per way).
     Lru {
-        /// `stamps[set][way]`, larger = more recent.
-        stamps: Vec<Vec<u64>>,
+        /// `stamps[set * ways + way]`, larger = more recent.
+        stamps: Box<[u64]>,
+        /// Associativity (slot stride).
+        ways: usize,
         /// Next stamp to hand out.
         next: u64,
     },
     /// Tree-PLRU decision bits, one tree per set.
     TreePlru {
         /// `bits[set]`: the (ways-1) internal tree nodes, packed LSB-first.
-        bits: Vec<u64>,
+        bits: Box<[u64]>,
         /// Associativity (power of two required).
         ways: usize,
     },
     /// SRRIP 2-bit re-reference prediction values.
     Srrip {
-        /// `rrpv[set][way]` in `0..=3`.
-        rrpv: Vec<Vec<u8>>,
+        /// `rrpv[set * ways + way]` in `0..=3`.
+        rrpv: Box<[u8]>,
+        /// Associativity (slot stride).
+        ways: usize,
     },
     /// Pseudo-random state.
     Random {
@@ -76,7 +85,8 @@ impl ReplacementPolicy {
     pub fn new(kind: ReplacementKind, num_sets: usize, ways: usize) -> Self {
         match kind {
             ReplacementKind::Lru => ReplacementPolicy::Lru {
-                stamps: vec![vec![0; ways]; num_sets],
+                stamps: vec![0; num_sets * ways].into_boxed_slice(),
+                ways,
                 next: 1,
             },
             ReplacementKind::TreePlru => {
@@ -85,12 +95,13 @@ impl ReplacementPolicy {
                     "tree-PLRU needs power-of-two associativity, got {ways}"
                 );
                 ReplacementPolicy::TreePlru {
-                    bits: vec![0; num_sets],
+                    bits: vec![0; num_sets].into_boxed_slice(),
                     ways,
                 }
             }
             ReplacementKind::Srrip => ReplacementPolicy::Srrip {
-                rrpv: vec![vec![3; ways]; num_sets],
+                rrpv: vec![3; num_sets * ways].into_boxed_slice(),
+                ways,
             },
             ReplacementKind::Random => ReplacementPolicy::Random {
                 state: 0x9E37_79B9_7F4A_7C15,
@@ -111,16 +122,16 @@ impl ReplacementPolicy {
     /// Records that `way` of `set` was (re)inserted.
     pub fn on_insert(&mut self, set: usize, way: usize) {
         match self {
-            ReplacementPolicy::Lru { stamps, next } => {
-                stamps[set][way] = *next;
+            ReplacementPolicy::Lru { stamps, ways, next } => {
+                stamps[set * *ways + way] = *next;
                 *next += 1;
             }
             ReplacementPolicy::TreePlru { bits, ways } => {
                 touch_plru(&mut bits[set], way, *ways);
             }
-            ReplacementPolicy::Srrip { rrpv } => {
+            ReplacementPolicy::Srrip { rrpv, ways } => {
                 // Insert with "long re-reference interval" (RRPV = 2).
-                rrpv[set][way] = 2;
+                rrpv[set * *ways + way] = 2;
             }
             ReplacementPolicy::Random { .. } => {}
         }
@@ -129,15 +140,15 @@ impl ReplacementPolicy {
     /// Records a hit on `way` of `set`.
     pub fn on_touch(&mut self, set: usize, way: usize) {
         match self {
-            ReplacementPolicy::Lru { stamps, next } => {
-                stamps[set][way] = *next;
+            ReplacementPolicy::Lru { stamps, ways, next } => {
+                stamps[set * *ways + way] = *next;
                 *next += 1;
             }
             ReplacementPolicy::TreePlru { bits, ways } => {
                 touch_plru(&mut bits[set], way, *ways);
             }
-            ReplacementPolicy::Srrip { rrpv } => {
-                rrpv[set][way] = 0;
+            ReplacementPolicy::Srrip { rrpv, ways } => {
+                rrpv[set * *ways + way] = 0;
             }
             ReplacementPolicy::Random { .. } => {}
         }
@@ -146,17 +157,31 @@ impl ReplacementPolicy {
     /// Chooses a victim among the permitted (and fully occupied) ways of
     /// `set`.
     ///
+    /// Allocation-free: the permitted set is carried as a bit pattern and
+    /// scanned in ascending way order, which preserves the tie-breaking of
+    /// the original "collect permitted ways into a `Vec`" implementation
+    /// (first minimum wins) without the per-eviction allocation.
+    ///
     /// # Panics
     ///
     /// Panics if `mask` permits no way below `total_ways`.
     pub fn victim(&mut self, set: usize, mask: WayMask, total_ways: usize) -> usize {
-        let permitted: Vec<usize> = (0..total_ways).filter(|&w| mask.contains(w)).collect();
-        assert!(!permitted.is_empty(), "way mask selects no way");
+        let perm = mask.bits() & WayMask::all(total_ways).bits();
+        assert!(perm != 0, "way mask selects no way");
         match self {
-            ReplacementPolicy::Lru { stamps, .. } => permitted
-                .into_iter()
-                .min_by_key(|&w| stamps[set][w])
-                .expect("non-empty"),
+            ReplacementPolicy::Lru { stamps, ways, .. } => {
+                let base = set * *ways;
+                let mut best = usize::MAX;
+                let mut best_stamp = u64::MAX;
+                for w in SetBits(perm) {
+                    let s = stamps[base + w];
+                    if s < best_stamp {
+                        best_stamp = s;
+                        best = w;
+                    }
+                }
+                best
+            }
             ReplacementPolicy::TreePlru { bits, ways } => {
                 // Walk the tree toward the PLRU leaf; if it is outside the
                 // mask, fall back to the first permitted way that the tree
@@ -166,17 +191,18 @@ impl ReplacementPolicy {
                 if mask.contains(leaf) {
                     leaf
                 } else {
-                    permitted[0]
+                    perm.trailing_zeros() as usize
                 }
             }
-            ReplacementPolicy::Srrip { rrpv } => {
+            ReplacementPolicy::Srrip { rrpv, ways } => {
+                let base = set * *ways;
                 // Age permitted ways until one reaches RRPV 3.
                 loop {
-                    if let Some(&w) = permitted.iter().find(|&&w| rrpv[set][w] == 3) {
+                    if let Some(w) = SetBits(perm).find(|&w| rrpv[base + w] == 3) {
                         return w;
                     }
-                    for &w in &permitted {
-                        rrpv[set][w] = (rrpv[set][w] + 1).min(3);
+                    for w in SetBits(perm) {
+                        rrpv[base + w] = (rrpv[base + w] + 1).min(3);
                     }
                 }
             }
@@ -184,7 +210,9 @@ impl ReplacementPolicy {
                 *state ^= *state << 13;
                 *state ^= *state >> 7;
                 *state ^= *state << 17;
-                permitted[(*state % permitted.len() as u64) as usize]
+                let n = perm.count_ones() as u64;
+                let k = (*state % n) as usize;
+                SetBits(perm).nth(k).expect("k < popcount")
             }
         }
     }

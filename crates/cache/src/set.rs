@@ -135,7 +135,7 @@ pub struct Victim {
 }
 
 /// Iterates the set bit positions of a word, ascending.
-struct SetBits(u64);
+pub(crate) struct SetBits(pub(crate) u64);
 
 impl Iterator for SetBits {
     type Item = usize;
@@ -193,6 +193,12 @@ pub struct SetAssocCache {
     /// Half-open `[lo, hi)` raw-line ranges whose occupancy is counted
     /// incrementally; see [`SetAssocCache::track_ranges`].
     tracked: Box<[(u64, u64)]>,
+    /// Cold plane parallel to `valid`: bit `w` of `tracked_bits[set]` says
+    /// whether the line in that slot lies inside a tracked range. The
+    /// range membership is computed once at fill time, so evictions and
+    /// removals read one bit instead of re-scanning `tracked`. Empty when
+    /// nothing is tracked.
+    tracked_bits: Box<[u64]>,
     tracked_resident: usize,
 }
 
@@ -231,6 +237,7 @@ impl SetAssocCache {
             policy: ReplacementPolicy::new(kind, num_sets, ways),
             resident: 0,
             tracked: Box::new([]),
+            tracked_bits: Box::new([]),
             tracked_resident: 0,
         }
     }
@@ -364,7 +371,7 @@ impl SetAssocCache {
         self.valid[idx] &= !(1 << w);
         self.dirty[idx] &= !(1 << w);
         self.resident -= 1;
-        self.untrack(entry.line);
+        self.untrack_slot(idx, w);
         Some(entry)
     }
 
@@ -403,7 +410,7 @@ impl SetAssocCache {
             self.fill_slot(idx, w, line, dirty);
             self.policy.on_insert(idx, w);
             self.resident += 1;
-            self.track(line);
+            self.track_slot(idx, w, line);
             return (None, w);
         }
 
@@ -415,10 +422,10 @@ impl SetAssocCache {
         );
         let victim_way = self.policy.victim(idx, mask, self.ways);
         let old = self.entry_at(idx, victim_way);
-        self.untrack(old.line);
+        self.untrack_slot(idx, victim_way);
         self.fill_slot(idx, victim_way, line, dirty);
         self.policy.on_insert(idx, victim_way);
-        self.track(line);
+        self.track_slot(idx, victim_way, line);
         (
             Some(Victim {
                 line: old.line,
@@ -459,6 +466,7 @@ impl SetAssocCache {
             self.valid[idx] = 0;
             self.dirty[idx] = 0;
         }
+        self.tracked_bits.fill(0);
         self.tracked_resident = 0;
         out
     }
@@ -471,13 +479,18 @@ impl SetAssocCache {
     /// current contents.
     pub fn track_ranges(&mut self, ranges: &[(u64, u64)]) {
         self.tracked = ranges.to_vec().into_boxed_slice();
-        self.tracked_resident = self
-            .iter()
-            .filter(|e| {
-                let l = e.line.get();
-                ranges.iter().any(|&(lo, hi)| l >= lo && l < hi)
-            })
-            .count();
+        self.tracked_bits = vec![0; self.num_sets].into_boxed_slice();
+        self.tracked_resident = 0;
+        for idx in 0..self.num_sets {
+            let base = idx * self.ways;
+            for w in SetBits(self.valid[idx]) {
+                let l = self.tags[base + w];
+                if ranges.iter().any(|&(lo, hi)| l >= lo && l < hi) {
+                    self.tracked_bits[idx] |= 1 << w;
+                    self.tracked_resident += 1;
+                }
+            }
+        }
     }
 
     /// Number of resident lines inside the tracked ranges. Zero when no
@@ -493,16 +506,32 @@ impl SetAssocCache {
         self.tracked.iter().any(|&(lo, hi)| l >= lo && l < hi)
     }
 
+    /// Records the tracked-range membership of the line just filled into
+    /// `(idx, w)`. The range scan happens here, once per fill; the
+    /// membership bit makes the eventual eviction or removal O(1).
     #[inline]
-    fn track(&mut self, line: LineAddr) {
-        if !self.tracked.is_empty() && self.in_tracked(line) {
+    fn track_slot(&mut self, idx: usize, w: usize, line: LineAddr) {
+        if self.tracked.is_empty() {
+            return;
+        }
+        if self.in_tracked(line) {
+            self.tracked_bits[idx] |= 1 << w;
             self.tracked_resident += 1;
+        } else {
+            self.tracked_bits[idx] &= !(1 << w);
         }
     }
 
+    /// Clears the tracked bit of slot `(idx, w)` on eviction/removal,
+    /// decrementing the occupancy counter if the departing line was in a
+    /// tracked range.
     #[inline]
-    fn untrack(&mut self, line: LineAddr) {
-        if !self.tracked.is_empty() && self.in_tracked(line) {
+    fn untrack_slot(&mut self, idx: usize, w: usize) {
+        if self.tracked.is_empty() {
+            return;
+        }
+        if self.tracked_bits[idx] & (1 << w) != 0 {
+            self.tracked_bits[idx] &= !(1 << w);
             self.tracked_resident -= 1;
         }
     }

@@ -1,0 +1,283 @@
+//! Equivalence check for the SoA hot/cold cache layout: drive
+//! [`SetAssocCache`] and a deliberately naive reference model through the
+//! same randomized operation stream and demand identical observable
+//! behaviour — victims, placement ways, occupancy, dirty bits, and the
+//! incrementally-maintained tracked-range counter.
+//!
+//! The production array keeps tags and valid/dirty bitmasks in flat hot
+//! planes, replacement stamps in a flattened `Box<[u64]>`, and tracked
+//! membership in a cold per-set bitmask computed once at fill time. The
+//! reference model stores one struct per resident line and rescans the
+//! tracked ranges on every query — slow, but obviously correct. Any
+//! divergence in the layout plumbing (a stale `tracked_bits` bit, a wrong
+//! flattened index, a tie-break change in the allocation-free victim scan)
+//! shows up as a mismatch here.
+//!
+//! Driven by the in-repo deterministic harness (`idio_engine::check`).
+
+use idio_cache::addr::LineAddr;
+use idio_cache::set::{SetAssocCache, WayMask};
+use idio_engine::check::{Cases, Gen};
+
+/// One resident line in the reference model.
+#[derive(Debug, Clone, Copy)]
+struct RefLine {
+    line: u64,
+    dirty: bool,
+    /// Monotonic last-use stamp; mirrors the production LRU counter,
+    /// which advances once per insert or touch event.
+    stamp: u64,
+}
+
+/// Naive per-line reference: `Vec<Option<RefLine>>` per set, tracked
+/// ranges rescanned on demand.
+struct RefCache {
+    sets: Vec<Vec<Option<RefLine>>>,
+    ways: usize,
+    next_stamp: u64,
+    tracked: Vec<(u64, u64)>,
+}
+
+impl RefCache {
+    fn new(num_sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets: vec![vec![None; ways]; num_sets],
+            ways,
+            next_stamp: 0,
+            tracked: Vec::new(),
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    fn find_way(&self, idx: usize, line: u64) -> Option<usize> {
+        self.sets[idx]
+            .iter()
+            .position(|s| s.is_some_and(|e| e.line == line))
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Mirrors `SetAssocCache::insert` for the LRU policy: refresh in
+    /// place when resident, else lowest free permitted way, else evict
+    /// the permitted way with the smallest stamp (first minimum wins).
+    fn insert(&mut self, line: u64, dirty: bool, mask: u64) -> (Option<(u64, bool, usize)>, usize) {
+        let idx = self.set_index(line);
+        if let Some(w) = self.find_way(idx, line) {
+            let stamp = self.bump();
+            let e = self.sets[idx][w].as_mut().expect("resident");
+            e.dirty |= dirty;
+            e.stamp = stamp;
+            return (None, w);
+        }
+        let permitted = |w: usize| mask >> w & 1 == 1;
+        if let Some(w) = (0..self.ways).find(|&w| permitted(w) && self.sets[idx][w].is_none()) {
+            let stamp = self.bump();
+            self.sets[idx][w] = Some(RefLine { line, dirty, stamp });
+            return (None, w);
+        }
+        let w = (0..self.ways)
+            .filter(|&w| permitted(w))
+            .min_by_key(|&w| self.sets[idx][w].expect("full").stamp)
+            .expect("mask selects a way");
+        let old = self.sets[idx][w].expect("full");
+        let stamp = self.bump();
+        self.sets[idx][w] = Some(RefLine { line, dirty, stamp });
+        (Some((old.line, old.dirty, w)), w)
+    }
+
+    fn touch(&mut self, line: u64) -> Option<bool> {
+        let idx = self.set_index(line);
+        let w = self.find_way(idx, line)?;
+        let stamp = self.bump();
+        let e = self.sets[idx][w].as_mut().expect("resident");
+        e.stamp = stamp;
+        Some(e.dirty)
+    }
+
+    fn probe(&self, line: u64) -> Option<bool> {
+        let idx = self.set_index(line);
+        self.find_way(idx, line)
+            .map(|w| self.sets[idx][w].expect("resident").dirty)
+    }
+
+    fn remove(&mut self, line: u64) -> Option<bool> {
+        let idx = self.set_index(line);
+        let w = self.find_way(idx, line)?;
+        self.sets[idx][w].take().map(|e| e.dirty)
+    }
+
+    fn mark_dirty(&mut self, line: u64) -> bool {
+        let idx = self.set_index(line);
+        match self.find_way(idx, line) {
+            Some(w) => {
+                self.sets[idx][w].as_mut().expect("resident").dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn drain_dirty(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if let Some(e) = slot.take() {
+                    if e.dirty {
+                        out.push(e.line);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+
+    fn tracked_resident(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().flatten())
+            .filter(|e| {
+                self.tracked
+                    .iter()
+                    .any(|&(lo, hi)| e.line >= lo && e.line < hi)
+            })
+            .count()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, bool),
+    /// Insert restricted to a way sub-range (the DDIO/CAT partitioning
+    /// path — exercises the allocation-free masked victim scan).
+    InsertMasked(u64, bool, usize, usize),
+    Touch(u64),
+    Probe(u64),
+    Remove(u64),
+    MarkDirty(u64),
+    Retrack(u64, u64),
+    DrainDirty,
+}
+
+fn gen_op(g: &mut Gen, lines: u64, ways: usize) -> Op {
+    let l = g.u64(0..lines);
+    match g.u64(0..16) {
+        0..=4 => Op::Insert(l, g.bool()),
+        5..=6 => {
+            let lo = g.usize(0..ways);
+            let hi = g.usize(lo + 1..ways + 1);
+            Op::InsertMasked(l, g.bool(), lo, hi)
+        }
+        7..=8 => Op::Touch(l),
+        9..=10 => Op::Probe(l),
+        11..=12 => Op::Remove(l),
+        13 => Op::MarkDirty(l),
+        14 => {
+            let lo = g.u64(0..lines);
+            let hi = g.u64(lo..lines + 1);
+            Op::Retrack(lo, hi)
+        }
+        _ => Op::DrainDirty,
+    }
+}
+
+#[test]
+fn soa_layout_matches_reference_model() {
+    Cases::new(512).run(|g| {
+        let sets = g.usize(1..6);
+        let ways = g.usize(1..7);
+        let lines = (sets * ways * 3) as u64;
+        let ops = g.vec(1..250, |g| gen_op(g, lines, ways));
+
+        let mut real = SetAssocCache::new("prop-soa", sets, ways);
+        let mut model = RefCache::new(sets, ways);
+        // Start with a tracked window so the fill-time membership bits are
+        // live from the first op, not only after a Retrack.
+        real.track_ranges(&[(0, lines / 2)]);
+        model.tracked = vec![(0, lines / 2)];
+
+        for op in ops {
+            match op {
+                Op::Insert(l, d) => {
+                    let (victim, way) = real.insert(LineAddr::new(l), d, WayMask::all(ways));
+                    let (mv, mw) = model.insert(l, d, WayMask::all(ways).bits());
+                    assert_eq!(way, mw, "placement way for line {l}");
+                    assert_eq!(
+                        victim.map(|v| (v.line.get(), v.dirty, v.way)),
+                        mv,
+                        "victim for line {l}"
+                    );
+                }
+                Op::InsertMasked(l, d, lo, hi) => {
+                    let mask = WayMask::range(lo, hi);
+                    let (victim, way) = real.insert(LineAddr::new(l), d, mask);
+                    let (mv, mw) = model.insert(l, d, mask.bits());
+                    assert_eq!(way, mw, "masked placement way for line {l}");
+                    assert_eq!(
+                        victim.map(|v| (v.line.get(), v.dirty, v.way)),
+                        mv,
+                        "masked victim for line {l}"
+                    );
+                }
+                Op::Touch(l) => {
+                    assert_eq!(
+                        real.touch(LineAddr::new(l)).map(|e| e.dirty),
+                        model.touch(l),
+                        "touch {l}"
+                    );
+                }
+                Op::Probe(l) => {
+                    assert_eq!(
+                        real.probe(LineAddr::new(l)).map(|e| e.dirty),
+                        model.probe(l),
+                        "probe {l}"
+                    );
+                    assert_eq!(real.contains(LineAddr::new(l)), model.probe(l).is_some());
+                }
+                Op::Remove(l) => {
+                    assert_eq!(
+                        real.remove(LineAddr::new(l)).map(|e| e.dirty),
+                        model.remove(l),
+                        "remove {l}"
+                    );
+                }
+                Op::MarkDirty(l) => {
+                    assert_eq!(real.mark_dirty(LineAddr::new(l)), model.mark_dirty(l));
+                }
+                Op::Retrack(lo, hi) => {
+                    real.track_ranges(&[(lo, hi)]);
+                    model.tracked = vec![(lo, hi)];
+                }
+                Op::DrainDirty => {
+                    assert_eq!(
+                        real.drain_dirty(),
+                        model
+                            .drain_dirty()
+                            .into_iter()
+                            .map(LineAddr::new)
+                            .collect::<Vec<_>>(),
+                        "drain order"
+                    );
+                }
+            }
+            // The incrementally-maintained counters must agree with the
+            // rescan-everything model after every single operation.
+            assert_eq!(real.resident_lines(), model.resident(), "occupancy");
+            assert_eq!(
+                real.tracked_resident(),
+                model.tracked_resident(),
+                "tracked occupancy"
+            );
+        }
+    });
+}

@@ -182,6 +182,12 @@ pub struct SystemConfig {
     /// the wall-clock measurement is host noise and is opt-in so it never
     /// taxes—or leaks into—deterministic runs.
     pub profile_events: bool,
+    /// Record one NDJSON line per control tick (steering-mix delta, per-core
+    /// prefetch-FSM states, CAT timeline) into
+    /// [`RunReport::tick_metrics`](crate::report::RunReport::tick_metrics).
+    /// Off by default: the timeline is deterministic but verbose (one line
+    /// per microsecond of simulated time).
+    pub tick_metrics: bool,
     /// PRNG seed (antagonist access pattern).
     pub seed: u64,
 }
@@ -223,6 +229,7 @@ impl SystemConfig {
             sample_interval: Duration::from_us(10),
             trace: TraceFilter::off(),
             profile_events: false,
+            tick_metrics: false,
             seed: 0xD10,
         }
     }

@@ -190,6 +190,21 @@ impl IdioController {
         self.fsm[core.index()].status()
     }
 
+    /// The per-core FSM behind a steering decision, diagnosing a
+    /// descriptor that targets a core this controller was never sized for
+    /// (a mis-wired queue→core map) instead of a bare index panic.
+    #[inline]
+    fn fsm_checked(&mut self, core: CoreId, event: &'static str) -> &mut PrefetchFsm {
+        let cores = self.fsm.len();
+        match self.fsm.get_mut(core.index()) {
+            Some(f) => f,
+            None => panic!(
+                "{event}: steering descriptor targets {core}, but the controller \
+                 manages cores 0..{cores} (mis-wired queue→core map?)"
+            ),
+        }
+    }
+
     /// Current long-run MLC writeback average for `core` (per interval).
     pub fn mlc_wb_avg(&self, core: CoreId) -> u32 {
         self.telemetry[core.index()].wb_avg
@@ -212,7 +227,7 @@ impl IdioController {
 
         let core = meta.dest_core;
         if meta.is_burst {
-            self.fsm[core.index()].reset_on_burst();
+            self.fsm_checked(core, "steer").reset_on_burst();
         }
         if meta.is_header {
             return Placement::Mlc(core);
@@ -222,7 +237,7 @@ impl IdioController {
         }
         let steer_mlc = match mode {
             PrefetchMode::Always => true,
-            PrefetchMode::Dynamic => self.fsm[core.index()].status() == MlcStatus::Mlc,
+            PrefetchMode::Dynamic => self.fsm_checked(core, "steer").status() == MlcStatus::Mlc,
             PrefetchMode::Off => unreachable!("handled above"),
         };
         if steer_mlc {

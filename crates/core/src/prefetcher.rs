@@ -152,6 +152,94 @@ impl MlcPrefetcher {
     }
 }
 
+/// Arena-backed parked-hint storage for the CPU-paced prefetcher: one
+/// fixed-capacity FIFO ring per core, all carved from a single allocation.
+///
+/// Replaces the per-core `VecDeque<(seq, line)>` queues: parking a hint or
+/// releasing a window's worth of hints never allocates, and the per-core
+/// ring headers sit in one contiguous array next to each other. Capacity
+/// is provisioned from the RX ring geometry (`ring_slots *
+/// lines_per_slot`), a hard bound on parked hints: a packet parks at most
+/// one hint per buffer line, and at most `ring_slots` packets are ever in
+/// flight before the CPU pointer advances past them.
+#[derive(Debug, Clone)]
+pub struct HintArena {
+    /// Flat slot storage; core `c` owns `slots[c * cap .. (c + 1) * cap]`.
+    slots: Box<[(u64, LineAddr)]>,
+    /// Per-core ring capacity.
+    cap: usize,
+    /// Per-core `(head, len)` ring headers.
+    rings: Box<[(u32, u32)]>,
+}
+
+impl HintArena {
+    /// Creates rings for `cores` cores of `cap_per_core` slots each. A
+    /// zero capacity is valid for configurations that never park (the
+    /// default queued pacing) and allocates no slot storage.
+    pub fn new(cores: usize, cap_per_core: usize) -> Self {
+        assert!(
+            u32::try_from(cap_per_core).is_ok(),
+            "hint ring capacity exceeds u32"
+        );
+        HintArena {
+            slots: vec![(0, LineAddr::new(0)); cores * cap_per_core].into_boxed_slice(),
+            cap: cap_per_core,
+            rings: vec![(0u32, 0u32); cores].into_boxed_slice(),
+        }
+    }
+
+    /// Per-core ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Parked hints on `core`.
+    pub fn len(&self, core: usize) -> usize {
+        self.rings[core].1 as usize
+    }
+
+    /// Whether `core` has no parked hints.
+    pub fn is_empty(&self, core: usize) -> bool {
+        self.len(core) == 0
+    }
+
+    /// Parks `(seq, line)` at the tail of `core`'s ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics, naming the core and sequence number, if the ring is full.
+    /// The capacity is provisioned to the RX-ring bound, so an overflow
+    /// means the pacing invariant broke — it is diagnosed, not dropped.
+    pub fn park(&mut self, core: usize, seq: u64, line: LineAddr) {
+        let (head, len) = self.rings[core];
+        assert!(
+            (len as usize) < self.cap,
+            "parked-hint ring overflow on core{core} at seq {seq}: {len} hints \
+             parked, capacity {} (RX-ring pacing bound violated)",
+            self.cap
+        );
+        let slot = core * self.cap + (head as usize + len as usize) % self.cap;
+        self.slots[slot] = (seq, line);
+        self.rings[core].1 = len + 1;
+    }
+
+    /// Releases the oldest parked hint if its sequence number is within
+    /// `limit` (the CPU pointer plus the pacing window); `None` when the
+    /// ring is empty or the head is still too far ahead.
+    pub fn pop_ready(&mut self, core: usize, limit: u64) -> Option<LineAddr> {
+        let (head, len) = self.rings[core];
+        if len == 0 {
+            return None;
+        }
+        let (seq, line) = self.slots[core * self.cap + head as usize];
+        if seq > limit {
+            return None;
+        }
+        self.rings[core] = (((head as usize + 1) % self.cap) as u32, len - 1);
+        Some(line)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +287,69 @@ mod tests {
             issue_gap: Duration::from_ns(10),
             pacing: PrefetchPacing::Queued,
         });
+    }
+
+    #[test]
+    fn arena_rings_are_independent_fifos() {
+        let mut a = HintArena::new(2, 4);
+        a.park(0, 1, line(10));
+        a.park(1, 1, line(20));
+        a.park(0, 2, line(11));
+        assert_eq!(a.len(0), 2);
+        assert_eq!(a.len(1), 1);
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(10)));
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(11)));
+        assert_eq!(a.pop_ready(0, u64::MAX), None);
+        assert_eq!(a.pop_ready(1, u64::MAX), Some(line(20)));
+        assert!(a.is_empty(0) && a.is_empty(1));
+    }
+
+    #[test]
+    fn arena_pop_gated_by_sequence_limit() {
+        let mut a = HintArena::new(1, 4);
+        a.park(0, 5, line(1));
+        a.park(0, 9, line(2));
+        assert_eq!(a.pop_ready(0, 4), None);
+        assert_eq!(a.pop_ready(0, 5), Some(line(1)));
+        // The head advanced; the next hint still waits for its window.
+        assert_eq!(a.pop_ready(0, 8), None);
+        assert_eq!(a.pop_ready(0, 9), Some(line(2)));
+    }
+
+    #[test]
+    fn arena_ring_wraps_at_capacity_boundary() {
+        let mut a = HintArena::new(1, 3);
+        // Fill to capacity, drain two, refill two: the tail wraps past the
+        // end of the slot range and FIFO order must survive the wrap.
+        a.park(0, 1, line(1));
+        a.park(0, 2, line(2));
+        a.park(0, 3, line(3));
+        assert_eq!(a.len(0), a.capacity());
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(1)));
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(2)));
+        a.park(0, 4, line(4));
+        a.park(0, 5, line(5));
+        assert_eq!(a.len(0), 3);
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(3)));
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(4)));
+        assert_eq!(a.pop_ready(0, u64::MAX), Some(line(5)));
+        assert_eq!(a.pop_ready(0, u64::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "parked-hint ring overflow on core1 at seq 42")]
+    fn arena_overflow_panic_names_core_and_seq() {
+        let mut a = HintArena::new(2, 2);
+        a.park(1, 40, line(1));
+        a.park(1, 41, line(2));
+        a.park(1, 42, line(3));
+    }
+
+    #[test]
+    fn arena_zero_capacity_is_valid_but_parks_nothing() {
+        let mut a = HintArena::new(4, 0);
+        assert_eq!(a.capacity(), 0);
+        assert!(a.is_empty(3));
+        assert_eq!(a.pop_ready(3, u64::MAX), None);
     }
 }

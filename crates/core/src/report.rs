@@ -263,6 +263,12 @@ pub struct RunReport {
     /// Engine-loop dispatch profile, one entry per event type in stable
     /// order.
     pub profile: Vec<EventTypeProfile>,
+    /// Per-control-tick NDJSON timeline (empty unless
+    /// `SystemConfig::tick_metrics` is set). Each entry is one complete
+    /// JSON object: steering-mix delta since the previous tick, per-core
+    /// prefetch-FSM states, and the CAT allocator's state when one is
+    /// configured. Deterministic.
+    pub tick_metrics: Vec<String>,
 }
 
 impl RunReport {
