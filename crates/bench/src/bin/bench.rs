@@ -8,7 +8,7 @@
 //! cargo run -p idio-bench --release --bin bench -- --out BENCH_engine.json --label post --append
 //! ```
 //!
-//! Three workload families, all under fixed seeds so run-to-run variance
+//! Four workload families, all under fixed seeds so run-to-run variance
 //! is host noise only:
 //!
 //! * `event_queue/*` — scheduler throughput on the near-monotonic insert
@@ -16,6 +16,8 @@
 //!   stresses far-future inserts;
 //! * `cache/*` — `SetAssocCache` fill/probe/touch and a full
 //!   [`Hierarchy`] DMA-write/CPU-read loop;
+//! * `chain/*` — the end-to-end chained-NF system hot loop (UPF pipeline
+//!   on recycling mbuf pools);
 //! * `suite/quick_figures` — the complete 17-figure paper suite at
 //!   `Scale::quick()` on one worker, i.e. exactly what
 //!   `repro --quick --jobs 1` runs.
@@ -35,10 +37,17 @@ use idio_core::cache::addr::{CoreId, LineAddr};
 use idio_core::cache::config::HierarchyConfig;
 use idio_core::cache::hierarchy::{DmaPlacement, Hierarchy};
 use idio_core::cache::set::{SetAssocCache, WayMask};
+use idio_core::config::SystemConfig;
 use idio_core::experiments::Scale;
+use idio_core::net::gen::TrafficPattern;
+use idio_core::pool::PoolSpec;
+use idio_core::stack::nf::{NfChain, NfKind};
 use idio_core::sweep::{run_figures_detailed, SweepOptions};
+use idio_core::system::System;
+use idio_core::SteeringPolicy;
 use idio_engine::queue::EventQueue;
 use idio_engine::rng::SimRng;
+use idio_engine::time::Duration;
 use idio_engine::time::SimTime;
 
 /// Fixed seed for every randomised workload; results must not depend on
@@ -133,6 +142,23 @@ fn hierarchy_dma_loop() -> u64 {
     acc
 }
 
+/// The chained-NF hot loop, end to end: two cores running the UPF
+/// pipeline (parse → classify → rewrite → forward) on cache-resident
+/// recycling pools. Covers the per-stage mark segmentation in
+/// `execute_packet`, the stage histograms, and the completion-time pool
+/// free + self-invalidation path.
+fn chain_upf_pipeline() -> u64 {
+    let mut cfg = SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps: 12.0 });
+    cfg.duration = SimTime::from_ms(2);
+    cfg.drain_grace = Duration::from_us(500);
+    cfg.policy = SteeringPolicy::Idio;
+    for w in &mut cfg.workloads {
+        w.kind = NfKind::Chain(NfChain::upf());
+        w.pool = Some(PoolSpec::Recycle { slots: None });
+    }
+    System::new(cfg).run().totals.completed_packets
+}
+
 /// The full quick figure suite on one worker — the acceptance workload.
 fn quick_suite() -> usize {
     let specs = EXPERIMENTS
@@ -177,6 +203,11 @@ const WORKLOADS: &[Workload] = &[
         name: "cache/hierarchy_dma_loop",
         default_runs: 7,
         run: hierarchy_dma_loop,
+    },
+    Workload {
+        name: "chain/upf_pipeline",
+        default_runs: 7,
+        run: chain_upf_pipeline,
     },
     Workload {
         name: "suite/quick_figures",

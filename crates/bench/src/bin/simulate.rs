@@ -15,7 +15,8 @@ use idio_core::config::SystemConfig;
 use idio_core::net::gen::{BurstSpec, TrafficPattern};
 use idio_core::net::packet::Dscp;
 use idio_core::policy::{PolicySpec, SteeringPolicy};
-use idio_core::stack::nf::NfKind;
+use idio_core::pool::PoolSpec;
+use idio_core::stack::nf::{NfChain, NfKind};
 use idio_core::sweep::{run_cells, SweepCell, SweepOptions};
 use idio_core::system::System;
 use idio_engine::telemetry::{records_to_ndjson, TraceFilter};
@@ -25,6 +26,8 @@ struct Args {
     policy: SteeringPolicy,
     queue_policies: Vec<(usize, SteeringPolicy)>,
     nf: NfKind,
+    pool: Option<PoolSpec>,
+    queue_pools: Vec<(usize, PoolSpec)>,
     rate_gbps: f64,
     bursty: bool,
     poisson: bool,
@@ -50,6 +53,8 @@ impl Default for Args {
             policy: SteeringPolicy::Idio,
             queue_policies: Vec::new(),
             nf: NfKind::TouchDrop,
+            pool: None,
+            queue_pools: Vec::new(),
             rate_gbps: 25.0,
             bursty: true,
             poisson: false,
@@ -77,7 +82,12 @@ fn usage() {
          --policy ddio|invalidate|prefetch|static|idio|iat (default idio)\n\
          --queue-policy <q>=<policy>                     per-queue override of --policy\n\
                                                          (repeatable; queue q runs <policy>)\n\
-         --nf touchdrop|l2fwd|payload-drop|copy|deepfwd  (default touchdrop)\n\
+         --nf touchdrop|l2fwd|payload-drop|copy|deepfwd|chain\n\
+                                                         (default touchdrop; chain = the UPF\n\
+                                                         parse>classify>rewrite>forward pipeline)\n\
+         --pool dram|recycle|recycle:<slots>             mbuf pool for every queue (default: the\n\
+                                                         implicit status quo, no pool telemetry)\n\
+         --queue-pool <q>=<pool>                         per-queue override of --pool (repeatable)\n\
          --rate <gbps>                                   (default 25)\n\
          --bursty | --steady | --poisson                 (default bursty)\n\
          --ring <slots>                                  (default 1024)\n\
@@ -102,6 +112,27 @@ fn usage() {
          --tick-metrics-out <file>                       write the tick-metrics NDJSON to <file>\n\
                                                          instead of stdout (implies --tick-metrics)"
     );
+}
+
+/// Parses a pool spec: `dram`, `recycle`, or `recycle:<slots>` (the same
+/// shapes the scenario-file `pool` key accepts).
+fn parse_pool(s: &str) -> Result<PoolSpec, String> {
+    match s {
+        "dram" => Ok(PoolSpec::Dram),
+        "recycle" => Ok(PoolSpec::Recycle { slots: None }),
+        _ => match s.strip_prefix("recycle:") {
+            Some(n) => {
+                let slots: u32 = n.parse().map_err(|_| format!("bad slot count '{n}'"))?;
+                if slots == 0 {
+                    return Err("recycle pool needs at least one slot".into());
+                }
+                Ok(PoolSpec::Recycle { slots: Some(slots) })
+            }
+            None => Err(format!(
+                "unknown pool '{s}' (expected dram|recycle|recycle:<slots>)"
+            )),
+        },
+    }
 }
 
 fn parse() -> Result<Args, String> {
@@ -134,8 +165,20 @@ fn parse() -> Result<Args, String> {
                     "payload-drop" | "payloaddrop" => NfKind::L2FwdPayloadDrop,
                     "copy" => NfKind::TouchDropCopy,
                     "deepfwd" => NfKind::DeepFwd,
+                    "chain" => NfKind::Chain(NfChain::upf()),
                     other => return Err(format!("unknown nf '{other}'")),
                 }
+            }
+            "--pool" => args.pool = Some(parse_pool(&val("--pool")?)?),
+            "--queue-pool" => {
+                let spec = val("--queue-pool")?;
+                let (q, pool) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--queue-pool expects <q>=<pool>, got '{spec}'"))?;
+                let q: usize = q
+                    .parse()
+                    .map_err(|e| format!("bad queue index '{q}': {e}"))?;
+                args.queue_pools.push((q, parse_pool(pool)?));
             }
             "--rate" => args.rate_gbps = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
             "--bursty" => args.bursty = true,
@@ -259,9 +302,20 @@ fn main() -> ExitCode {
     for w in &mut cfg.workloads {
         w.kind = args.nf;
         w.packet_len = args.packet;
+        w.pool = args.pool;
         if args.class1 {
             w.dscp = Dscp::CLASS1_DEFAULT;
         }
+    }
+    for &(q, pool) in &args.queue_pools {
+        if q >= cfg.workloads.len() {
+            eprintln!(
+                "error: --queue-pool {q}=... names a nonexistent queue (have {})",
+                cfg.workloads.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        cfg.workloads[q].pool = Some(pool);
     }
     if let Some(thr) = args.mlc_thr_mtps {
         cfg.idio = cfg.idio.with_mlc_thr_mtps(thr);

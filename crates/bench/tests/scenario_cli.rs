@@ -93,7 +93,7 @@ fn check_rejects_each_bad_corpus_file_naming_line_and_column() {
         assert!(line >= 1 && col >= 1, "{}: {stderr}", path.display());
         rejected += 1;
     }
-    assert_eq!(rejected, 8, "the whole corpus was exercised");
+    assert_eq!(rejected, 10, "the whole corpus was exercised");
 }
 
 #[test]
@@ -113,7 +113,9 @@ fn list_output_is_stable() {
             "mixed-rate",
             "trace-replay",
             "llc-duel",
-            "cat-duel"
+            "cat-duel",
+            "upf-chain",
+            "recycle-duel"
         ],
         "built-in listing changed — update docs and this test together"
     );

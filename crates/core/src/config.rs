@@ -10,6 +10,7 @@ use idio_net::gen::{Arrival, TrafficPattern};
 use idio_net::packet::Dscp;
 use idio_nic::classifier::ClassifierConfig;
 use idio_nic::dma::DmaConfig;
+use idio_pool::PoolSpec;
 use idio_stack::nf::NfKind;
 use idio_stack::pmd::PmdConfig;
 use idio_stack::timing::TimingConfig;
@@ -48,6 +49,13 @@ pub struct WorkloadSpec {
     pub packet_len: u16,
     /// DSCP marking applied by the (simulated) sender.
     pub dscp: Dscp,
+    /// The queue's mbuf pool. `None` is the legacy implicit status quo
+    /// (per-slot buffers, no pool telemetry); `Some(PoolSpec::Dram)` is
+    /// the same working set *with* LLC-budget spill accounting;
+    /// `Some(PoolSpec::Recycle { .. })` is the RDCA cache-resident
+    /// recycling pool. Resolved against the DDIO partition and ring
+    /// geometry when the system is built.
+    pub pool: Option<PoolSpec>,
 }
 
 /// One tenant of a multi-tenant run: a group of workload instances
@@ -204,6 +212,7 @@ impl SystemConfig {
                 traffic,
                 packet_len: 1514,
                 dscp: Dscp::BEST_EFFORT,
+                pool: None,
             })
             .collect();
         SystemConfig {
@@ -336,6 +345,11 @@ impl SystemConfig {
         }
         if self.ring_size == 0 {
             return Err("ring size must be positive".into());
+        }
+        for (i, w) in self.workloads.iter().enumerate() {
+            if let Some(PoolSpec::Recycle { slots: Some(0) }) = w.pool {
+                return Err(format!("workload {i}: recycle pool with zero slots"));
+            }
         }
         for (&idx, arrivals) in &self.trace_replays {
             if idx >= self.workloads.len() {

@@ -1395,6 +1395,7 @@ pub fn workload(core: u16, kind: NfKind, traffic: TrafficPattern, len: u16) -> W
         traffic,
         packet_len: len,
         dscp: Dscp::BEST_EFFORT,
+        pool: None,
     }
 }
 

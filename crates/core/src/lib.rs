@@ -69,4 +69,5 @@ pub use idio_engine as engine;
 pub use idio_mem as mem;
 pub use idio_net as net;
 pub use idio_nic as nic;
+pub use idio_pool as pool;
 pub use idio_stack as stack;

@@ -28,8 +28,9 @@ use idio_nic::nic::{Nic, NicConfig, RingLayout};
 use idio_nic::ring::RxSlot;
 use idio_nic::tlp::TlpMeta;
 use idio_nic::tx::TxRing;
+use idio_pool::{BufPool, PoolMode};
 use idio_stack::antagonist::{AntagonistConfig, LlcAntagonist};
-use idio_stack::nf::{MemOp, NfKind, PacketAction, PacketCtx, PacketWork};
+use idio_stack::nf::{ChainStage, MemOp, NfKind, PacketAction, PacketCtx, PacketWork};
 use idio_stack::timing::CoreTiming;
 
 use crate::config::{FlowSteering, SystemConfig};
@@ -212,6 +213,10 @@ struct NfState {
     /// log2-bucketed; exported as `core{i}.pkt_latency_ns` (the scenario
     /// report's percentile source).
     lat_hist: Histogram,
+    /// Per-stage service time for chained NFs, indexed by
+    /// [`ChainStage::index`]; exported as `core{i}.stage.<name>_ns` only
+    /// for stages that ran, so single-NF cores add no metrics.
+    stage_hist: [Histogram; ChainStage::ALL.len()],
     /// Reusable per-packet program buffer: one NF program runs per packet,
     /// so building it in place removes a `Vec<MemOp>` allocation from the
     /// hot path.
@@ -507,6 +512,19 @@ impl System {
             }
         }
 
+        // --- explicit mbuf pools ------------------------------------------------
+        // RDCA sizing: a queue's pool budget is its equal share of the
+        // DDIO partition, so a Recycle pool's working set fits inside the
+        // I/O ways it recycles through. Dram pools carry the same budget
+        // for spill accounting only. Geometry is fixed at construction;
+        // the IAT tuner moving the boundary later does not resize pools.
+        let lines_per_buf = (idio_nic::ring::DEFAULT_BUF_BYTES / LINE_SIZE) as u32;
+        let pool_budget = {
+            let h = hier.config();
+            let ddio_lines = h.llc.lines() * h.ddio_ways as u64 / h.llc.ways as u64;
+            (ddio_lines / cfg.workloads.len().max(1) as u64).max(u64::from(lines_per_buf))
+        };
+
         // --- per-core software state -------------------------------------------
         let mut nf: Vec<Option<NfState>> = (0..num_cores).map(|_| None).collect();
         for (qi, w) in cfg.workloads.iter().enumerate() {
@@ -517,6 +535,16 @@ impl System {
                 regions[qi].buf_base,
                 u64::from(cfg.ring_size) * idio_nic::ring::DEFAULT_BUF_BYTES,
             );
+            if let Some(spec) = w.pool {
+                let mode = spec.resolve(pool_budget, lines_per_buf, cfg.ring_size);
+                nic.ring_mut(QueueId(qi as u16)).install_pool(BufPool::new(
+                    mode,
+                    regions[qi].buf_base,
+                    idio_nic::ring::DEFAULT_BUF_BYTES,
+                    lines_per_buf,
+                    pool_budget,
+                ));
+            }
             nf[w.core.index()] = Some(NfState {
                 kind: w.kind,
                 queue: QueueId(qi as u16),
@@ -526,6 +554,7 @@ impl System {
                 current: None,
                 latency: LatencyRecorder::new(),
                 lat_hist: Histogram::new(),
+                stage_hist: std::array::from_fn(|_| Histogram::new()),
                 scratch: PacketWork::empty(),
                 completed: 0,
                 rx_seq: 0,
@@ -1170,7 +1199,14 @@ impl System {
         kind.packet_work_into(&ctx, &mut work);
         let core_id = CoreId::new(core as u16);
         let mut service = self.timing.per_packet();
-        for op in &work.ops {
+        // Chain-stage attribution: each mark closes the segment of ops
+        // since the previous mark; segment service lands in that stage's
+        // histogram (empty for single NFs — `marks` is empty).
+        let mut seg = Duration::ZERO;
+        let mut segs = [(0usize, 0u64); idio_stack::MAX_CHAIN_STAGES];
+        let mut n_segs = 0usize;
+        let mut next_mark = 0usize;
+        for (oi, op) in work.ops.iter().enumerate() {
             let (addr, lines, is_write) = match *op {
                 MemOp::Read { addr, lines } => (addr, lines, false),
                 MemOp::Write { addr, lines } => (addr, lines, true),
@@ -1196,15 +1232,29 @@ impl System {
                 };
                 self.charge_dram(now, fx);
                 service += cost;
+                seg += cost;
+            }
+            while next_mark < work.marks.len() && work.marks[next_mark].op_end as usize == oi + 1 {
+                segs[n_segs] = (work.marks[next_mark].stage.index(), seg.as_ns());
+                n_segs += 1;
+                seg = Duration::ZERO;
+                next_mark += 1;
             }
         }
         // The self-invalidate instructions run as part of the packet's
-        // service when the buffer is freed inline (drop path).
-        if self.queue_caps(queue).invalidate && work.action == PacketAction::Drop {
+        // service when the buffer is freed inline (drop path). Recycle
+        // pools self-invalidate on every free regardless of policy caps.
+        let free_inval =
+            self.queue_caps(queue).invalidate || self.nic.ring(queue).pool().invalidate_on_free();
+        if free_inval && work.action == PacketAction::Drop {
             service += self.timing.invalidate(ctx.frame_lines());
         }
         let action = work.action;
-        self.nf_state(core, "CoreWake").scratch = work;
+        let st = self.nf_state(core, "CoreWake");
+        for &(si, ns) in &segs[..n_segs] {
+            st.stage_hist[si].record(ns);
+        }
+        st.scratch = work;
         (service, action)
     }
 
@@ -1233,10 +1283,15 @@ impl System {
         let queue = self.nf_state(core, "CoreWake").queue;
         match action {
             PacketAction::Drop => {
-                if self.queue_caps(queue).invalidate {
+                if self.queue_caps(queue).invalidate
+                    || self.nic.ring(queue).pool().invalidate_on_free()
+                {
                     self.invalidate_buffer(now, core, slot.buf, slot.packet.lines());
                 }
-                self.nic.ring_mut(queue).free(1);
+                // The free returns this buffer to the queue's pool at the
+                // completion event (not steer time), so a recycle pool's
+                // LIFO list sees the true release order.
+                self.nic.ring_mut(queue).release(slot.buf);
                 self.record_completion(now, core, &slot);
             }
             PacketAction::Tx { lines } => {
@@ -1306,10 +1361,12 @@ impl System {
                 .pcie_write(done.desc.line().offset(l), DmaPlacement::Llc);
             self.charge_dram(now, w.effects);
         }
-        if self.queue_caps(queue).invalidate {
+        if self.queue_caps(queue).invalidate || self.nic.ring(queue).pool().invalidate_on_free() {
             self.invalidate_buffer(now, core, buf, lines);
         }
-        self.nic.ring_mut(queue).free(1);
+        // TX-completion-time free: the buffer re-enters the pool only now
+        // that the NIC has read it out, never at steer or post time.
+        self.nic.ring_mut(queue).release(buf);
         let st = self.nf_state(core, "TxComplete");
         let lat = now.saturating_since(arrival);
         st.latency.record(lat);
@@ -1521,6 +1578,33 @@ impl System {
             }
             line.push_str("]}");
         }
+        // Pool occupancy follows the `cat` discipline: the section exists
+        // only when some workload configured an explicit pool, so legacy
+        // tick logs stay byte-identical.
+        if self.cfg.workloads.iter().any(|w| w.pool.is_some()) {
+            line.push_str(",\"pool\":{");
+            let mut first = true;
+            for (q, w) in self.cfg.workloads.iter().enumerate() {
+                if w.pool.is_none() {
+                    continue;
+                }
+                let p = self.nic.ring(QueueId(q as u16)).pool();
+                let s = p.stats();
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    line,
+                    "\"q{q}\":{{\"live\":{},\"recycled\":{},\"starved\":{},\"spilled\":{}}}",
+                    p.live_bufs(),
+                    s.recycled,
+                    s.starved,
+                    s.spilled,
+                );
+            }
+            line.push('}');
+        }
         line.push('}');
         self.tick_log.push(line);
     }
@@ -1689,6 +1773,26 @@ impl System {
             self.metrics
                 .counter_set(&format!("queue{q}.rx.drops"), qs.rx_drops.get());
         }
+        // Mbuf-pool outcome, exported only for queues that configured an
+        // explicit pool — implicit status-quo rings add no metrics, so
+        // pre-pool goldens stay byte-identical.
+        for (q, w) in self.cfg.workloads.iter().enumerate() {
+            if w.pool.is_none() {
+                continue;
+            }
+            let p = self.nic.ring(QueueId(q as u16)).pool();
+            let s = p.stats();
+            if let PoolMode::Recycle { slots } = p.mode() {
+                self.metrics
+                    .counter_set(&format!("pool.q{q}.slots"), u64::from(slots));
+            }
+            self.metrics
+                .counter_set(&format!("pool.q{q}.recycled"), s.recycled);
+            self.metrics
+                .counter_set(&format!("pool.q{q}.starved"), s.starved);
+            self.metrics
+                .counter_set(&format!("pool.q{q}.spilled"), s.spilled);
+        }
         for (i, st) in self.nf.iter().enumerate() {
             if let Some(st) = st {
                 self.metrics
@@ -1696,6 +1800,14 @@ impl System {
                 if st.lat_hist.count() > 0 {
                     self.metrics
                         .histogram_merge(&format!("core{i}.pkt_latency_ns"), &st.lat_hist);
+                }
+                for (si, stage) in ChainStage::ALL.iter().enumerate() {
+                    if st.stage_hist[si].count() > 0 {
+                        self.metrics.histogram_merge(
+                            &format!("core{i}.stage.{}_ns", stage.name()),
+                            &st.stage_hist[si],
+                        );
+                    }
                 }
             }
         }
@@ -2203,5 +2315,171 @@ mod tests {
         // Observation is free: the observed run's results are identical.
         assert_eq!(on.totals, off.totals);
         assert_eq!(on.metrics.to_json(), off.metrics.to_json());
+    }
+
+    #[test]
+    fn recycle_pool_frees_at_completion_and_never_leaks() {
+        // Satellite audit: buffers return to the pool at the completion
+        // event (TX writeback for forwarding NFs), never at steer time.
+        // A 32-slot recycle pool under L2Fwd wraps its free list many
+        // times over; the pool's own double-free / slot-leak asserts
+        // would abort the run if a buffer were freed twice or dropped on
+        // the floor, and the final recycled count must equal every
+        // buffer the NIC ever handed out.
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 10.0 });
+        cfg.duration = SimTime::from_us(500);
+        cfg.drain_grace = Duration::from_us(400);
+        cfg.policy = SteeringPolicy::Idio;
+        cfg.workloads[0].kind = NfKind::L2Fwd;
+        cfg.workloads[0].pool = Some(idio_pool::PoolSpec::Recycle { slots: Some(32) });
+        let report = System::new(cfg).run();
+        assert!(
+            report.totals.completed_packets > 64,
+            "pool wrapped at least twice, got {}",
+            report.totals.completed_packets
+        );
+        assert_eq!(report.metrics.counter("pool.q0.slots"), 32);
+        // No leak: every reserved buffer was recycled exactly once by the
+        // end of the drain grace.
+        assert_eq!(
+            report.metrics.counter("pool.q0.recycled"),
+            report.totals.rx_packets
+        );
+        // A 32-buffer working set never exceeds the per-queue DDIO budget.
+        assert_eq!(report.metrics.counter("pool.q0.spilled"), 0);
+    }
+
+    #[test]
+    fn starved_recycle_pool_drops_instead_of_growing() {
+        // A deliberately tiny pool under a high rate: allocation outruns
+        // recycling, the NIC drops at reserve time, and the starvation
+        // counter — not the footprint — absorbs the pressure.
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 40.0 });
+        cfg.duration = SimTime::from_us(300);
+        cfg.drain_grace = Duration::from_us(300);
+        cfg.policy = SteeringPolicy::Ddio;
+        cfg.workloads[0].kind = NfKind::TouchDrop;
+        cfg.workloads[0].pool = Some(idio_pool::PoolSpec::Recycle { slots: Some(2) });
+        let report = System::new(cfg).run();
+        let starved = report.metrics.counter("pool.q0.starved");
+        assert!(starved > 0, "2 slots at 40 Gbps must starve");
+        assert!(
+            report.totals.rx_drops >= starved,
+            "every starvation is a dropped packet: drops {} < starved {starved}",
+            report.totals.rx_drops
+        );
+        assert_eq!(
+            report.metrics.counter("pool.q0.recycled"),
+            report.totals.rx_packets,
+            "the buffers that were granted still all come back"
+        );
+    }
+
+    #[test]
+    fn chained_nf_exports_per_stage_histograms() {
+        use idio_stack::nf::{ChainStage, NfChain};
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 8.0 });
+        cfg.duration = SimTime::from_us(300);
+        cfg.drain_grace = Duration::from_us(200);
+        cfg.policy = SteeringPolicy::Idio;
+        cfg.workloads[0].kind = NfKind::Chain(NfChain::upf());
+        cfg.workloads[0].pool = Some(idio_pool::PoolSpec::Recycle { slots: None });
+        let report = System::new(cfg).run();
+        let completed = report.totals.completed_packets;
+        assert!(completed > 0);
+        // Every stage of the UPF chain ran once per completed packet and
+        // carries real service time; stages not in the chain export
+        // nothing.
+        for stage in [
+            ChainStage::Parse,
+            ChainStage::Classify,
+            ChainStage::Rewrite,
+            ChainStage::Forward,
+        ] {
+            let h = report
+                .metrics
+                .histogram(&format!("core0.stage.{}_ns", stage.name()))
+                .unwrap_or_else(|| panic!("missing histogram for stage {}", stage.name()));
+            assert_eq!(h.count(), completed, "stage {}", stage.name());
+            assert!(
+                h.mean() > 0.0,
+                "stage {} has real service time",
+                stage.name()
+            );
+        }
+        assert!(
+            report.metrics.histogram("core0.stage.inspect_ns").is_none(),
+            "stages outside the chain are not exported"
+        );
+    }
+
+    #[test]
+    fn tick_metrics_diverge_between_recycle_and_dram_pools() {
+        // The acceptance shape of the recycle-vs-dram duel: under the
+        // same chained workload, the recycling queue's live footprint is
+        // pinned at its slot bound with starvation drops absorbing the
+        // pressure, while the dram twin never recycles and lets its
+        // footprint float.
+        use idio_stack::nf::NfChain;
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(2, TrafficPattern::Steady { rate_gbps: 40.0 });
+        cfg.duration = SimTime::from_us(400);
+        cfg.drain_grace = Duration::from_us(300);
+        cfg.policy = SteeringPolicy::Idio;
+        for w in &mut cfg.workloads {
+            w.kind = NfKind::Chain(NfChain::upf());
+        }
+        cfg.workloads[0].pool = Some(idio_pool::PoolSpec::Recycle { slots: Some(8) });
+        cfg.workloads[1].pool = Some(idio_pool::PoolSpec::Dram);
+        cfg.tick_metrics = true;
+        let report = System::new(cfg).run();
+
+        let field = |line: &str, queue: &str, key: &str| -> u64 {
+            let q = line.split(queue).nth(1).expect("queue present");
+            q.split(key)
+                .nth(1)
+                .and_then(|r| {
+                    r.chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .ok()
+                })
+                .expect("pool field")
+        };
+        for line in &report.tick_metrics {
+            assert!(
+                field(line, "\"q0\":", "\"live\":") <= 8,
+                "recycle footprint stays inside its bound: {line}"
+            );
+            assert_eq!(
+                field(line, "\"q1\":", "\"recycled\":"),
+                0,
+                "dram mbufs are never re-identified"
+            );
+        }
+        let last = report.tick_metrics.last().expect("ticks recorded");
+        assert!(field(last, "\"q0\":", "\"recycled\":") > 0);
+        assert!(
+            field(last, "\"q0\":", "\"starved\":") > 0,
+            "8 slots at 40 Gbps starve: {last}"
+        );
+    }
+
+    #[test]
+    fn unpooled_runs_export_no_pool_metrics() {
+        // The telemetry contract behind golden stability: without an
+        // explicit pool there is no pool.* surface at all.
+        let report = System::new(steady_cfg(10.0, SteeringPolicy::Idio)).run();
+        assert!(
+            !report
+                .metrics
+                .counters()
+                .any(|(n, _)| n.starts_with("pool.")),
+            "legacy runs must not grow pool counters"
+        );
     }
 }

@@ -26,6 +26,6 @@ pub use classifier::{ClassifierConfig, IdioClassifier, PacketClass};
 pub use dma::{DmaConfig, DmaEngine, DmaSchedule};
 pub use flow_director::{FlowDirector, QueueId, SteeringSource, DEFAULT_FILTER_TABLE_ENTRIES};
 pub use nic::{Nic, NicConfig, NicStats, RingLayout, RxDma};
-pub use ring::{RingFullError, RxRing, RxSlot, DEFAULT_BUF_BYTES, DESC_BYTES};
+pub use ring::{ReserveError, RxRing, RxSlot, DEFAULT_BUF_BYTES, DESC_BYTES};
 pub use tlp::{AppClass, CoreRangeError, TlpHeader, TlpMeta};
 pub use tx::{TxRing, TxRingFullError, TxSlot, TX_DESC_BYTES};

@@ -16,7 +16,7 @@ use idio_net::packet::Packet;
 use crate::classifier::{ClassifierConfig, IdioClassifier, PacketClass};
 use crate::dma::{DmaConfig, DmaEngine, DmaSchedule};
 use crate::flow_director::{FlowDirector, QueueId, DEFAULT_FILTER_TABLE_ENTRIES};
-use crate::ring::{RingFullError, RxRing, RxSlot, DESC_BYTES};
+use crate::ring::{RxRing, RxSlot, DESC_BYTES};
 #[cfg(test)]
 use crate::tlp::AppClass;
 use crate::tlp::{TlpHeader, TlpMeta};
@@ -299,7 +299,9 @@ impl Nic {
 
         let slot = match self.rings[queue.index()].reserve(packet, now) {
             Ok(s) => s,
-            Err(RingFullError) => {
+            // Ring-full and pool-starved drops both land here; the pool's
+            // own `starved` counter attributes the cause.
+            Err(_) => {
                 self.stats.rx_drops.inc();
                 self.queue_stats[queue.index()].rx_drops.inc();
                 return None;

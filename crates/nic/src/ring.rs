@@ -12,26 +12,36 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use idio_cache::addr::Addr;
+use idio_cache::addr::{Addr, LINE_SIZE};
 use idio_engine::time::SimTime;
 use idio_net::packet::Packet;
+use idio_pool::BufPool;
 
 /// Default DMA buffer entry size: MTU packets round up to 2 KiB (Sec. IV-A).
 pub const DEFAULT_BUF_BYTES: u64 = 2048;
 /// Descriptor record size (Sec. III, observation 1).
 pub const DESC_BYTES: u64 = 128;
 
-/// Error: the ring had no free descriptor — the packet is dropped.
+/// Why [`RxRing::reserve`] dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RingFullError;
+pub enum ReserveError {
+    /// The ring had no free descriptor.
+    RingFull,
+    /// The queue's recycling mbuf pool had no free buffer (allocation
+    /// outran recycling; counted in the pool's `starved` stat).
+    PoolStarved,
+}
 
-impl fmt::Display for RingFullError {
+impl fmt::Display for ReserveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("rx ring full; packet dropped")
+        match self {
+            ReserveError::RingFull => f.write_str("rx ring full; packet dropped"),
+            ReserveError::PoolStarved => f.write_str("mbuf pool starved; packet dropped"),
+        }
     }
 }
 
-impl Error for RingFullError {}
+impl Error for ReserveError {}
 
 /// A filled RX descriptor handed to the software stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,15 +81,15 @@ pub struct RxSlot {
 /// let batch = ring.pop_completed(32);
 /// assert_eq!(batch.len(), 1);
 /// ring.free(1);
-/// # Ok::<(), idio_nic::ring::RingFullError>(())
+/// # Ok::<(), idio_nic::ring::ReserveError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct RxRing {
     size: u32,
-    buf_base: Addr,
-    buf_stride: u64,
     desc_base: Addr,
     desc_stride: u64,
+    /// The queue's mbuf pool: buffer allocation per reserved descriptor.
+    pool: BufPool,
     /// NIC producer cursor (absolute count of reservations).
     head: u64,
     /// Software free cursor (absolute count of freed slots).
@@ -92,24 +102,56 @@ pub struct RxRing {
 
 impl RxRing {
     /// Creates a ring of `size` slots with buffers at `buf_base` (2 KiB
-    /// stride) and descriptors at `desc_base` (128 B stride).
+    /// stride) and descriptors at `desc_base` (128 B stride). The implicit
+    /// mbuf pool is the status quo: one fixed buffer per ring slot, no
+    /// LLC budget.
     ///
     /// # Panics
     ///
     /// Panics if `size` is zero.
     pub fn new(size: u32, buf_base: Addr, desc_base: Addr) -> Self {
+        let pool = BufPool::unbudgeted_dram(
+            buf_base,
+            DEFAULT_BUF_BYTES,
+            (DEFAULT_BUF_BYTES / LINE_SIZE) as u32,
+        );
+        RxRing::with_pool(size, desc_base, pool)
+    }
+
+    /// Creates a ring of `size` slots drawing buffers from `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_pool(size: u32, desc_base: Addr, pool: BufPool) -> Self {
         assert!(size > 0, "ring must have at least one slot");
         RxRing {
             size,
-            buf_base,
-            buf_stride: DEFAULT_BUF_BYTES,
             desc_base,
             desc_stride: DESC_BYTES,
+            pool,
             head: 0,
             tail: 0,
             inflight: VecDeque::new(),
             completed: VecDeque::new(),
         }
+    }
+
+    /// Replaces the ring's mbuf pool. Only legal before any packet has
+    /// been reserved (the system installs configured pools right after
+    /// NIC construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring has already seen traffic.
+    pub fn install_pool(&mut self, pool: BufPool) {
+        assert_eq!(self.head, 0, "pool installed on a ring with traffic");
+        self.pool = pool;
+    }
+
+    /// The ring's mbuf pool (stats, budget, mode).
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// Ring capacity in slots.
@@ -134,7 +176,7 @@ impl RxRing {
 
     /// Byte span of all DMA buffers (for address-map layout).
     pub fn buf_region_bytes(&self) -> u64 {
-        self.buf_stride * u64::from(self.size)
+        DEFAULT_BUF_BYTES * u64::from(self.size)
     }
 
     /// Byte span of the descriptor array.
@@ -142,10 +184,10 @@ impl RxRing {
         self.desc_stride * u64::from(self.size)
     }
 
-    /// Buffer base address of `slot`.
+    /// Buffer base address of pool slot `slot`.
     pub fn buf_addr(&self, slot: u32) -> Addr {
         debug_assert!(slot < self.size);
-        self.buf_base + self.buf_stride * u64::from(slot)
+        self.pool.buf_addr(slot)
     }
 
     /// Descriptor base address of `slot`.
@@ -154,25 +196,28 @@ impl RxRing {
         self.desc_base + self.desc_stride * u64::from(slot)
     }
 
-    /// NIC side: reserves the next slot for `packet`.
+    /// NIC side: reserves the next slot for `packet` and allocates its
+    /// DMA buffer from the queue's pool.
     ///
     /// # Errors
     ///
-    /// Returns [`RingFullError`] when no free descriptor exists (the packet
-    /// is dropped — the caller must count it).
-    pub fn reserve(
-        &mut self,
-        packet: Packet,
-        arrived_at: SimTime,
-    ) -> Result<RxSlot, RingFullError> {
+    /// Returns [`ReserveError::RingFull`] when no free descriptor exists,
+    /// or [`ReserveError::PoolStarved`] when a recycling pool has no free
+    /// buffer. Either way the packet is dropped — the caller must count
+    /// it — and neither the descriptor cursor nor the pool advance.
+    pub fn reserve(&mut self, packet: Packet, arrived_at: SimTime) -> Result<RxSlot, ReserveError> {
         if self.free_slots() == 0 {
-            return Err(RingFullError);
+            return Err(ReserveError::RingFull);
         }
         let slot = (self.head % u64::from(self.size)) as u32;
+        let buf = self
+            .pool
+            .alloc(slot)
+            .map_err(|_| ReserveError::PoolStarved)?;
         self.head += 1;
         let rx = RxSlot {
             slot,
-            buf: self.buf_addr(slot),
+            buf,
             desc: self.desc_addr(slot),
             packet,
             arrived_at,
@@ -209,12 +254,37 @@ impl RxRing {
     }
 
     /// Software side: returns `n` processed buffers to the NIC (tail
-    /// advance).
+    /// advance) without naming them — only legal on status-quo `Dram`
+    /// pools, where buffer identity is the ring slot.
     ///
     /// # Panics
     ///
-    /// Panics if freeing more slots than are consumed-but-unfreed.
+    /// Panics if freeing more slots than are consumed-but-unfreed, or if
+    /// the queue uses a recycling pool (free by address via
+    /// [`release`](Self::release) instead).
     pub fn free(&mut self, n: u32) {
+        self.advance_tail(n);
+        self.pool.free_n(n);
+    }
+
+    /// Software side: returns one processed buffer to the NIC *and* to
+    /// the mbuf pool, identified by its base address. This is the
+    /// completion-time free: for recycling pools the buffer goes back on
+    /// top of the LIFO free list here, and the caller self-invalidates
+    /// its payload lines when [`BufPool::invalidate_on_free`] says so.
+    ///
+    /// Returns the freed pool slot id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on tail over-advance, on a buffer the pool never handed
+    /// out, or on a double free (recycling pools track per-slot liveness).
+    pub fn release(&mut self, buf: Addr) -> u32 {
+        self.advance_tail(1);
+        self.pool.free_buf(buf)
+    }
+
+    fn advance_tail(&mut self, n: u32) {
         let consumed =
             self.head - self.tail - self.inflight.len() as u64 - self.completed.len() as u64;
         assert!(
@@ -255,7 +325,10 @@ mod tests {
             let s = r.reserve(pkt(i), SimTime::ZERO).unwrap();
             assert_eq!(s.slot, i as u32);
         }
-        assert_eq!(r.reserve(pkt(9), SimTime::ZERO), Err(RingFullError));
+        assert_eq!(
+            r.reserve(pkt(9), SimTime::ZERO),
+            Err(ReserveError::RingFull)
+        );
         assert_eq!(r.use_distance(), 4);
         for i in 0..4 {
             r.complete(i);
@@ -329,5 +402,67 @@ mod tests {
         let t = SimTime::from_us(7);
         let s = r.reserve(pkt(0), t).unwrap();
         assert_eq!(s.arrived_at, t);
+    }
+
+    fn recycle_ring(size: u32, slots: u32) -> RxRing {
+        let pool = BufPool::new(
+            idio_pool::PoolMode::Recycle { slots },
+            Addr::new(0x100000),
+            DEFAULT_BUF_BYTES,
+            32,
+            u64::from(slots) * 32,
+        );
+        RxRing::with_pool(size, Addr::new(0x200000), pool)
+    }
+
+    #[test]
+    fn recycle_pool_starves_before_the_ring_fills() {
+        let mut r = recycle_ring(4, 2);
+        let a = r.reserve(pkt(0), SimTime::ZERO).unwrap();
+        let b = r.reserve(pkt(1), SimTime::ZERO).unwrap();
+        // Two descriptors still free, but the pool is out of buffers.
+        assert_eq!(
+            r.reserve(pkt(2), SimTime::ZERO),
+            Err(ReserveError::PoolStarved)
+        );
+        assert_eq!(r.pool().stats().starved, 1);
+        // The failed reserve consumed neither a descriptor nor a buffer.
+        assert_eq!(r.free_slots(), 2);
+        // Completion-time release puts b back on top of the LIFO list.
+        r.complete(a.slot);
+        r.complete(b.slot);
+        r.pop_completed(32);
+        r.release(b.buf);
+        let c = r.reserve(pkt(3), SimTime::ZERO).unwrap();
+        assert_eq!(c.buf, b.buf, "hottest buffer reused first");
+        assert_eq!(r.pool().stats().recycled, 1);
+    }
+
+    #[test]
+    fn release_returns_buffers_by_address_on_dram_pools_too() {
+        let mut r = ring(4);
+        let s = r.reserve(pkt(0), SimTime::ZERO).unwrap();
+        r.complete(s.slot);
+        r.pop_completed(32);
+        assert_eq!(r.release(s.buf), s.slot);
+        assert_eq!(r.free_slots(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "free by buffer address")]
+    fn anonymous_free_on_recycle_pool_panics() {
+        let mut r = recycle_ring(4, 2);
+        let s = r.reserve(pkt(0), SimTime::ZERO).unwrap();
+        r.complete(s.slot);
+        r.pop_completed(32);
+        r.free(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring with traffic")]
+    fn late_pool_install_panics() {
+        let mut r = ring(4);
+        r.reserve(pkt(0), SimTime::ZERO).unwrap();
+        r.install_pool(BufPool::unbudgeted_dram(Addr::new(0), 2048, 32));
     }
 }

@@ -1,0 +1,140 @@
+//! Randomized property tests for the mbuf pool, checked against a naive
+//! reference model: a `VecDeque` used as a LIFO stack of free slot ids
+//! plus a live list. Every interleaving of allocs and frees must agree
+//! with the model on the buffer handed out (LIFO hot-reuse order), the
+//! occupancy accounting, and all three monotonic counters — and the
+//! slot-count invariant `live + free == slots` must hold after every
+//! step. Driven by the in-repo deterministic harness
+//! (`idio_engine::check`).
+
+use std::collections::VecDeque;
+
+use idio_cache::addr::Addr;
+use idio_engine::check::Cases;
+use idio_pool::{BufPool, PoolMode};
+
+const BASE: u64 = 0x10_0000;
+
+#[test]
+fn recycle_pool_matches_reference_model() {
+    Cases::new(256).run(|g| {
+        let slots = g.u32(1..48);
+        let lines_per_buf = g.u32(1..64);
+        let budget_lines = g.u64(1..2048);
+        let stride = u64::from(lines_per_buf) * 64;
+        let mut pool = BufPool::new(
+            PoolMode::Recycle { slots },
+            Addr::new(BASE),
+            stride,
+            lines_per_buf,
+            budget_lines,
+        );
+
+        // Reference model. `free` holds slot ids with the hottest (most
+        // recently freed) at the back; the initial order makes the
+        // cold-start allocation walk 0, 1, 2, ... like the real pool.
+        let mut free: VecDeque<u32> = (0..slots).rev().collect();
+        let mut live: Vec<u32> = Vec::new(); // live slot ids, any order
+        let (mut recycled, mut starved, mut spilled) = (0u64, 0u64, 0u64);
+
+        let ops = g.vec(1..400, |g| g.u64(0..2));
+        for op in ops {
+            if op == 0 {
+                // Alloc: the pool must hand out exactly the model's
+                // hottest free slot, or starve exactly when the model
+                // has none left.
+                let got = pool.alloc(0);
+                match free.pop_back() {
+                    Some(s) => {
+                        let addr = got.expect("model has a free buffer");
+                        assert_eq!(
+                            addr,
+                            Addr::new(BASE + stride * u64::from(s)),
+                            "LIFO hot-reuse order"
+                        );
+                        live.push(s);
+                        if live.len() as u64 * u64::from(lines_per_buf) > budget_lines {
+                            spilled += 1;
+                        }
+                    }
+                    None => {
+                        got.expect_err("model is empty, pool must starve");
+                        starved += 1;
+                    }
+                }
+            } else if !live.is_empty() {
+                // Free a random live buffer (completion order is not
+                // allocation order).
+                let i = g.u64(0..live.len() as u64) as usize;
+                let s = live.swap_remove(i);
+                let freed = pool.free_buf(Addr::new(BASE + stride * u64::from(s)));
+                assert_eq!(freed, s, "free returns the buffer's slot id");
+                free.push_back(s);
+                recycled += 1;
+            }
+
+            // Slot-count invariant and full accounting after every step.
+            assert_eq!(pool.live_bufs() as usize, live.len());
+            assert_eq!(pool.available(), Some(free.len() as u32));
+            assert_eq!(
+                pool.live_bufs() + pool.available().unwrap(),
+                slots,
+                "live + free == slots"
+            );
+            assert_eq!(
+                pool.live_lines(),
+                live.len() as u64 * u64::from(lines_per_buf)
+            );
+            let st = pool.stats();
+            assert_eq!(
+                (st.recycled, st.starved, st.spilled),
+                (recycled, starved, spilled)
+            );
+        }
+    });
+}
+
+#[test]
+fn dram_pool_never_starves_and_counts_spills_past_budget() {
+    Cases::new(256).run(|g| {
+        let ring_size = g.u32(1..64);
+        let lines_per_buf = g.u32(1..64);
+        let budget_lines = g.u64(1..2048);
+        let stride = u64::from(lines_per_buf) * 64;
+        let mut pool = BufPool::new(
+            PoolMode::Dram,
+            Addr::new(BASE),
+            stride,
+            lines_per_buf,
+            budget_lines,
+        );
+
+        let mut live = 0u64;
+        let mut spilled = 0u64;
+        let mut next_slot = 0u32;
+        let ops = g.vec(1..300, |g| g.u64(0..2));
+        for op in ops {
+            if op == 0 && live < u64::from(ring_size) {
+                // Dram mode hands out the ring slot's fixed buffer and
+                // never fails.
+                let slot = next_slot % ring_size;
+                let addr = pool.alloc(slot).expect("dram pools never starve");
+                assert_eq!(addr, Addr::new(BASE + stride * u64::from(slot)));
+                next_slot = next_slot.wrapping_add(1);
+                live += 1;
+                if live * u64::from(lines_per_buf) > budget_lines {
+                    spilled += 1;
+                }
+            } else if op == 1 && live > 0 {
+                pool.free_n(1);
+                live -= 1;
+            }
+            assert_eq!(u64::from(pool.live_bufs()), live);
+            assert_eq!(pool.available(), None, "dram pools never run out");
+            let st = pool.stats();
+            assert_eq!(st.starved, 0);
+            assert_eq!(st.recycled, 0, "dram buffers are never re-identified");
+            assert_eq!(st.spilled, spilled);
+        }
+    });
+}

@@ -10,7 +10,8 @@ use idio_core::net::gen::{Arrival, BurstSpec, FlowSpec, MultiFlowGen, TrafficPat
 use idio_core::net::packet::Dscp;
 use idio_core::net::trace::{read_trace, write_trace};
 use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, SteeringPolicy};
-use idio_core::stack::nf::NfKind;
+use idio_core::pool::PoolSpec;
+use idio_core::stack::nf::{ChainStage, NfChain, NfKind};
 use idio_engine::time::{Duration, SimTime};
 
 use crate::spec::{Scenario, SloSpec, TenantDef};
@@ -29,7 +30,7 @@ const GRACE: Duration = Duration::from_us(300);
 const CAT_HORIZON: SimTime = SimTime::from_us(1500);
 
 /// Names of the built-in scenarios, in listing order.
-pub fn builtin_names() -> [&'static str; 6] {
+pub fn builtin_names() -> [&'static str; 8] {
     [
         "noisy-neighbor",
         "incast",
@@ -37,6 +38,8 @@ pub fn builtin_names() -> [&'static str; 6] {
         "trace-replay",
         "llc-duel",
         "cat-duel",
+        "upf-chain",
+        "recycle-duel",
     ]
 }
 
@@ -57,6 +60,8 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "trace-replay" => Some(trace_replay()),
         "llc-duel" => Some(llc_duel()),
         "cat-duel" => Some(cat_duel()),
+        "upf-chain" => Some(upf_chain()),
+        "recycle-duel" => Some(recycle_duel()),
         _ => None,
     }
 }
@@ -369,6 +374,84 @@ fn cat_duel() -> Scenario {
                 1514,
             )
             .with_policy(SteeringPolicy::Ddio),
+        ],
+    }
+}
+
+/// The 5GC²ache shape: a chained UPF pipeline (parse → classify →
+/// rewrite → forward) on a recycling mbuf pool, next to a deep-inspection
+/// chain that drops — the two chain flavours (TX-freeing and drop-freeing)
+/// in one mixed run, both with per-stage latency telemetry.
+fn upf_chain() -> Scenario {
+    Scenario {
+        name: "upf-chain".into(),
+        description: "chained UPF pipeline on a recycling pool next to a DPI drop chain".into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            TenantDef::new(
+                "upf",
+                NfKind::Chain(NfChain::upf()),
+                vec![0, 1],
+                8,
+                5000,
+                TrafficPattern::Poisson {
+                    rate_gbps: 8.0,
+                    seed: 0x56C2,
+                },
+                1514,
+            )
+            .with_pool(PoolSpec::Recycle { slots: None }),
+            TenantDef::new(
+                "dpi",
+                NfKind::Chain(
+                    NfChain::new(&[ChainStage::Parse, ChainStage::Classify, ChainStage::Inspect])
+                        .expect("static chain is valid"),
+                ),
+                vec![2],
+                4,
+                6000,
+                TrafficPattern::Steady { rate_gbps: 6.0 },
+                1024,
+            ),
+        ],
+    }
+}
+
+/// RDCA's question as a controlled twin experiment: two identical
+/// forwarding-chain tenants with the same Poisson arrival process (same
+/// seed), one on an LLC-resident recycling pool, one on an explicit
+/// status-quo DRAM pool. The Recycle tenant's DMA working set stays
+/// bounded by its DDIO share while the Dram twin's buffers sprawl —
+/// `pool.*` counters and `--tick-metrics` show the divergence directly.
+fn recycle_duel() -> Scenario {
+    let twin = |name: &str, cores: Vec<u16>, port: u16, pool: PoolSpec| {
+        TenantDef::new(
+            name,
+            NfKind::Chain(NfChain::upf()),
+            cores,
+            8,
+            port,
+            TrafficPattern::Poisson {
+                rate_gbps: 12.0,
+                seed: 0x2DCA,
+            },
+            1514,
+        )
+        .with_pool(pool)
+    };
+    Scenario {
+        name: "recycle-duel".into(),
+        description: "identical UPF-chain twins: recycling pool vs status-quo DRAM buffers".into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        drain_grace: GRACE,
+        tenants: vec![
+            twin("recycle", vec![0], 5000, PoolSpec::Recycle { slots: None }),
+            twin("dram", vec![1], 6000, PoolSpec::Dram),
         ],
     }
 }

@@ -23,7 +23,8 @@
 use idio_core::net::gen::TrafficPattern;
 use idio_core::net::packet::Dscp;
 use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
-use idio_core::stack::nf::NfKind;
+use idio_core::pool::PoolSpec;
+use idio_core::stack::nf::{ChainStage, NfChain, NfKind};
 use idio_engine::rng::{derive_seed, SimRng};
 
 use crate::spec::{Scenario, SloSpec, TenantDef};
@@ -270,19 +271,29 @@ impl GenSpec {
                     },
                     256,
                 ),
+                // A real multi-stage service chain (the class's namesake):
+                // half the tenants run the forwarding UPF pipeline, half a
+                // deep-inspection drop chain, and all of them recycle
+                // their mbufs from an LLC-resident pool.
                 AppClass::NfChain => TenantDef::new(
                     name,
-                    if rng.below(2) == 0 {
-                        NfKind::L2Fwd
+                    NfKind::Chain(if rng.below(2) == 0 {
+                        NfChain::upf()
                     } else {
-                        NfKind::DeepFwd
-                    },
+                        NfChain::new(&[
+                            ChainStage::Parse,
+                            ChainStage::Classify,
+                            ChainStage::Inspect,
+                        ])
+                        .expect("static chain is valid")
+                    }),
                     cores,
                     self.flows_per_tenant,
                     base_port,
                     TrafficPattern::Steady { rate_gbps: rate },
                     512,
-                ),
+                )
+                .with_pool(PoolSpec::Recycle { slots: None }),
                 AppClass::Bulk => TenantDef::new(
                     name,
                     if rng.below(2) == 0 {

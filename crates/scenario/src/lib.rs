@@ -55,8 +55,8 @@ pub mod spec_file;
 pub use builtin::{builtin, builtin_names, builtins};
 pub use gen::{AppClass, GenSpec, RateDist};
 pub use report::{
-    Interference, LatencyStats, ScenarioReport, ScenarioReportBuilder, SloOutcome, SteerMix,
-    TenantReport,
+    Interference, LatencyStats, PoolAgg, ScenarioReport, ScenarioReportBuilder, SloOutcome,
+    SteerMix, TenantReport,
 };
 pub use run::{run_scenario, scenario_cells};
 pub use spec::{Scenario, SloSpec, TenantDef};

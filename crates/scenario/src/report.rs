@@ -131,6 +131,32 @@ impl Interference {
     }
 }
 
+/// Buffer-pool aggregates of one tenant's queues (mixed run), summed
+/// from the engine's `pool.q{q}.*` counters. Present only for tenants
+/// that declared an explicit pool, so pool-free reports render exactly
+/// as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolAgg {
+    /// Buffers returned to the recycle free list (always 0 for `dram`
+    /// pools, which never re-use buffer identity).
+    pub recycled: u64,
+    /// Allocation attempts that found the recycle pool empty — each one
+    /// is a dropped packet.
+    pub starved: u64,
+    /// Allocations made past the cache-resident budget — the latent-bloat
+    /// measure of an unbounded `dram` pool.
+    pub spilled: u64,
+}
+
+impl PoolAgg {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"recycled\": {}, \"starved\": {}, \"spilled\": {}}}",
+            self.recycled, self.starved, self.spilled
+        )
+    }
+}
+
 /// The evaluation of one tenant's [`crate::spec::SloSpec`] against the
 /// mixed run: the bounds, what was actually measured, and the violations
 /// (empty = the tenant met its objectives).
@@ -207,6 +233,9 @@ pub struct TenantReport {
     /// SLO evaluation, when the tenant declared bounds (omitted from the
     /// JSON otherwise).
     pub slo: Option<SloOutcome>,
+    /// Buffer-pool aggregates, when the tenant declared an explicit pool
+    /// (omitted from the JSON otherwise).
+    pub pool: Option<PoolAgg>,
 }
 
 impl TenantReport {
@@ -226,6 +255,9 @@ impl TenantReport {
         }
         if let Some(s) = &self.slo {
             extra.push_str(&format!(",\n{pad}\"slo\": {}", s.to_json()));
+        }
+        if let Some(p) = &self.pool {
+            extra.push_str(&format!(",\n{pad}\"pool\": {}", p.to_json()));
         }
         format!(
             "{{\n\
@@ -365,6 +397,9 @@ pub struct TenantMixed {
     pub steer: SteerMix,
     /// Merged latency summary of the tenant's cores.
     pub latency: Option<LatencyStats>,
+    /// Buffer-pool aggregates of the tenant's queues (explicit pools
+    /// only).
+    pub pool: Option<PoolAgg>,
 }
 
 /// The mixed cell reduced to run totals plus per-tenant aggregates.
@@ -411,6 +446,9 @@ struct TenantSlot {
     packet_len: u16,
     policy: Option<String>,
     slo: Option<SloSpec>,
+    /// Whether the tenant declared an explicit buffer pool — gates the
+    /// `pool.q{q}.*` counter sums so pool-free tenants render unchanged.
+    has_pool: bool,
     mixed: Option<TenantMixed>,
     /// `Some(...)` once the solo cell folded (its inner value may still be
     /// `None` when the solo run completed no packets).
@@ -458,6 +496,7 @@ impl ScenarioReportBuilder {
                     packet_len: t.packet_len,
                     policy: t.policy.map(|p| p.label()),
                     slo: t.slo.filter(SloSpec::is_bounded),
+                    has_pool: t.pool.is_some(),
                     mixed: None,
                     solo_latency: None,
                 }
@@ -527,6 +566,20 @@ impl ScenarioReportBuilder {
                         ),
                     },
                     latency: merged_latency(report, &slot.cores),
+                    pool: slot.has_pool.then(|| PoolAgg {
+                        recycled: sum_counters(
+                            report,
+                            slot.queues.clone().map(|q| format!("pool.q{q}.recycled")),
+                        ),
+                        starved: sum_counters(
+                            report,
+                            slot.queues.clone().map(|q| format!("pool.q{q}.starved")),
+                        ),
+                        spilled: sum_counters(
+                            report,
+                            slot.queues.clone().map(|q| format!("pool.q{q}.spilled")),
+                        ),
+                    }),
                 })
                 .collect();
             CellFold::Mixed(MixedFold {
@@ -658,6 +711,7 @@ impl ScenarioReportBuilder {
                 interference,
                 policy: slot.policy,
                 slo,
+                pool: mixed.pool,
             });
         }
         Ok(ScenarioReport {
@@ -706,6 +760,7 @@ mod tests {
             interference: None,
             policy: None,
             slo: None,
+            pool: None,
         }
     }
 
@@ -755,6 +810,21 @@ mod tests {
         assert!(json.contains("\"max_p99_ns\": 10000"));
         assert!(json.contains("\"max_drop_rate\": null"));
         assert!(json.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn pool_renders_only_when_present() {
+        let plain = tenant().to_json("");
+        assert!(!plain.contains("\"pool\""));
+
+        let mut t = tenant();
+        t.pool = Some(PoolAgg {
+            recycled: 90,
+            starved: 3,
+            spilled: 0,
+        });
+        let json = t.to_json("");
+        assert!(json.contains("\"pool\": {\"recycled\": 90, \"starved\": 3, \"spilled\": 0}"));
     }
 
     #[test]

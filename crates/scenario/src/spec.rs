@@ -13,6 +13,7 @@ use idio_core::config::{FlowSteering, SystemConfig, TenantSpec, WorkloadSpec};
 use idio_core::net::gen::{Arrival, TrafficPattern};
 use idio_core::net::packet::Dscp;
 use idio_core::policy::{PolicySpec, SteeringPolicy};
+use idio_core::pool::PoolSpec;
 use idio_core::stack::nf::NfKind;
 use idio_engine::time::{Duration, SimTime};
 
@@ -71,6 +72,11 @@ pub struct TenantDef {
     pub policy: Option<PolicySpec>,
     /// Optional service-level objectives checked against the mixed run.
     pub slo: Option<SloSpec>,
+    /// Mbuf-pool mode of every one of the tenant's queues. `None` keeps
+    /// the legacy implicit DRAM-backed pool (no pool telemetry); an
+    /// explicit spec turns on per-queue `pool.*` accounting and, for
+    /// [`PoolSpec::Recycle`], the LLC-resident recycling pool.
+    pub pool: Option<PoolSpec>,
 }
 
 impl TenantDef {
@@ -96,6 +102,7 @@ impl TenantDef {
             replay: None,
             policy: None,
             slo: None,
+            pool: None,
         }
     }
 
@@ -122,6 +129,12 @@ impl TenantDef {
     /// Returns the tenant with service-level objectives attached.
     pub fn with_slo(mut self, slo: SloSpec) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    /// Returns the tenant with an explicit mbuf-pool mode on its queues.
+    pub fn with_pool(mut self, pool: PoolSpec) -> Self {
+        self.pool = Some(pool);
         self
     }
 }
@@ -181,6 +194,7 @@ impl Scenario {
                 traffic: t.traffic,
                 packet_len: t.packet_len,
                 dscp: t.dscp,
+                pool: t.pool,
             });
         }
         cfg.tenants.push(TenantSpec {

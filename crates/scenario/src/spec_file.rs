@@ -41,7 +41,8 @@ use idio_core::net::gen::{BurstSpec, TrafficPattern};
 use idio_core::net::packet::{Dscp, MIN_FRAME_BYTES};
 use idio_core::net::trace::read_trace;
 use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
-use idio_core::stack::nf::NfKind;
+use idio_core::pool::PoolSpec;
+use idio_core::stack::nf::{ChainStage, NfChain, NfKind, MAX_CHAIN_STAGES};
 use idio_engine::time::{wire_time, Duration, SimTime};
 
 use crate::gen::{AppClass, GenSpec, RateDist};
@@ -787,7 +788,81 @@ fn nf_file_name(nf: NfKind) -> &'static str {
         NfKind::L2FwdPayloadDrop => "l2fwd-payload-drop",
         NfKind::TouchDropCopy => "touch-drop-copy",
         NfKind::DeepFwd => "deep-fwd",
+        NfKind::Chain(_) => unreachable!("chains serialize as 'chain = [...]'"),
     }
+}
+
+/// Parses a `chain = ["parse", ...]` stage list into a chained NF.
+fn parse_chain(e: &Entry) -> Result<NfKind, SpecError> {
+    let list = match &e.val {
+        Value::Strs(list) => list,
+        Value::Ints(list) if list.is_empty() => {
+            return Err(SpecError::new(
+                e.val_pos,
+                "chain must name at least one stage",
+            ));
+        }
+        other => {
+            return Err(SpecError::new(
+                e.val_pos,
+                format!(
+                    "key 'chain' expects a string array, found {}",
+                    other.type_name()
+                ),
+            ));
+        }
+    };
+    if list.len() > MAX_CHAIN_STAGES {
+        return Err(SpecError::new(
+            e.val_pos,
+            format!(
+                "chain has {} stages; at most {MAX_CHAIN_STAGES} supported",
+                list.len()
+            ),
+        ));
+    }
+    let mut stages = Vec::with_capacity(list.len());
+    for (i, (s, pos)) in list.iter().enumerate() {
+        let stage = ChainStage::from_name(s).ok_or_else(|| {
+            SpecError::new(
+                *pos,
+                format!(
+                    "unknown chain stage '{s}' (expected parse|classify|inspect|rewrite|forward)"
+                ),
+            )
+        })?;
+        if stage == ChainStage::Forward && i + 1 != list.len() {
+            return Err(SpecError::new(
+                *pos,
+                "'forward' must be the last stage of a chain",
+            ));
+        }
+        stages.push(stage);
+    }
+    let chain = NfChain::new(&stages).map_err(|err| SpecError::new(e.val_pos, err))?;
+    Ok(NfKind::Chain(chain))
+}
+
+/// Parses a `pool` spelling: `"dram"`, `"recycle"`, or `"recycle:N"`.
+fn parse_pool(s: &str, pos: Pos) -> Result<PoolSpec, SpecError> {
+    match s {
+        "dram" => return Ok(PoolSpec::Dram),
+        "recycle" => return Ok(PoolSpec::Recycle { slots: None }),
+        _ => {}
+    }
+    if let Some(n) = s.strip_prefix("recycle:") {
+        let slots: u32 = n
+            .parse()
+            .map_err(|_| SpecError::new(pos, format!("recycle pool size '{n}' is not a u32")))?;
+        if slots == 0 {
+            return Err(SpecError::new(pos, "recycle pool needs at least one slot"));
+        }
+        return Ok(PoolSpec::Recycle { slots: Some(slots) });
+    }
+    Err(SpecError::new(
+        pos,
+        format!("unknown pool '{s}' (expected dram|recycle|recycle:<slots>)"),
+    ))
 }
 
 fn policy_file_name(spec: PolicySpec) -> String {
@@ -826,6 +901,8 @@ const TOP_KEYS: &[&str] = &[
 const TENANT_KEYS: &[&str] = &[
     "name",
     "nf",
+    "chain",
+    "pool",
     "cores",
     "flows",
     "base_port",
@@ -1007,8 +1084,21 @@ fn build_tenant(
         let e = t.get("name").expect("checked above");
         return Err(SpecError::new(e.val_pos, "tenant name must not be empty"));
     }
-    let nf_entry = t.get("nf").ok_or_else(|| missing(t, "tenant", "nf"))?;
-    let nf = parse_nf(want_str(nf_entry)?, nf_entry.val_pos)?;
+    let nf = match (t.get("nf"), t.get("chain")) {
+        (Some(_), Some(chain_entry)) => {
+            return Err(SpecError::new(
+                chain_entry.key_pos,
+                "give 'nf' or 'chain', not both",
+            ));
+        }
+        (Some(nf_entry), None) => parse_nf(want_str(nf_entry)?, nf_entry.val_pos)?,
+        (None, Some(chain_entry)) => parse_chain(chain_entry)?,
+        (None, None) => return Err(missing(t, "tenant", "nf")),
+    };
+    let pool = match t.get("pool") {
+        Some(e) => Some(parse_pool(want_str(e)?, e.val_pos)?),
+        None => None,
+    };
     let cores_entry = t
         .get("cores")
         .ok_or_else(|| missing(t, "tenant", "cores"))?;
@@ -1155,6 +1245,7 @@ fn build_tenant(
         replay,
         policy,
         slo: tenant_slo(t)?,
+        pool,
     })
 }
 
@@ -1500,7 +1591,18 @@ pub fn to_file_string(scenario: &Scenario) -> String {
         let _ = writeln!(w);
         let _ = writeln!(w, "[[tenant]]");
         let _ = writeln!(w, "name = {}", fmt_str(&t.name));
-        let _ = writeln!(w, "nf = {}", fmt_str(nf_file_name(t.nf)));
+        match t.nf {
+            NfKind::Chain(c) => {
+                let stages: Vec<String> = c.stages().iter().map(|s| fmt_str(s.name())).collect();
+                let _ = writeln!(w, "chain = [{}]", stages.join(", "));
+            }
+            other => {
+                let _ = writeln!(w, "nf = {}", fmt_str(nf_file_name(other)));
+            }
+        }
+        if let Some(pool) = t.pool {
+            let _ = writeln!(w, "pool = {}", fmt_str(&pool.file_name()));
+        }
         let cores: Vec<String> = t.cores.iter().map(|c| c.to_string()).collect();
         let _ = writeln!(w, "cores = [{}]", cores.join(", "));
         let _ = writeln!(w, "flows = {}", t.flows);

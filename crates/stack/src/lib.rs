@@ -37,6 +37,9 @@ pub mod timing;
 pub(crate) const DESC_BYTES_FOR_WORK: u64 = idio_nic::ring::DESC_BYTES;
 
 pub use antagonist::{AntagonistConfig, AntagonistStats, LlcAntagonist};
-pub use nf::{MemOp, NfKind, PacketAction, PacketCtx, PacketWork, MBUF_META_BYTES};
+pub use nf::{
+    ChainStage, MemOp, NfChain, NfKind, PacketAction, PacketCtx, PacketWork, StageMark,
+    MAX_CHAIN_STAGES, MBUF_META_BYTES,
+};
 pub use pmd::{PmdConfig, DEFAULT_BATCH};
 pub use timing::{CoreTiming, TimingConfig};

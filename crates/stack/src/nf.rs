@@ -56,11 +56,25 @@ pub enum PacketAction {
     },
 }
 
+/// A stage boundary inside a chained program: ops up to (but excluding)
+/// `op_end` since the previous mark belong to `stage`. Single-NF programs
+/// carry no marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageMark {
+    /// The stage the preceding ops belong to.
+    pub stage: ChainStage,
+    /// Index one past the stage's last op in `PacketWork::ops`.
+    pub op_end: u32,
+}
+
 /// The per-packet program of an NF.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketWork {
     /// Memory operations, in program order.
     pub ops: Vec<MemOp>,
+    /// Stage boundaries, in program order (empty for single-NF programs).
+    /// The executor uses them to attribute service time per chain stage.
+    pub marks: Vec<StageMark>,
     /// Post-processing action.
     pub action: PacketAction,
 }
@@ -71,6 +85,7 @@ impl PacketWork {
     pub fn empty() -> Self {
         PacketWork {
             ops: Vec::new(),
+            marks: Vec::new(),
             action: PacketAction::Drop,
         }
     }
@@ -109,6 +124,138 @@ impl PacketCtx {
     }
 }
 
+/// Maximum stages of an [`NfChain`] (fixed array so the chain stays
+/// `Copy` and hashable in config/scenario types).
+pub const MAX_CHAIN_STAGES: usize = 8;
+
+/// One stage of a chained NF service pipeline (5GC²ache's UPF shape).
+/// Each stage has its own line-touch profile, so a packet's lines are
+/// touched multiple times at different reuse distances — the access shape
+/// that makes too-slow buffer recycling produce the paper's DMA-leak and
+/// latent-bloat signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainStage {
+    /// Header parse: read the header line, stamp the mbuf metadata.
+    Parse,
+    /// Flow classification: header line + a 2-line flow-table lookup in
+    /// application space, result written to the metadata.
+    Classify,
+    /// Deep inspection: read every frame line (DPI / UPF usage counting).
+    Inspect,
+    /// Header rewrite in place (GTP-U encap/decap style).
+    Rewrite,
+    /// Forward: re-read the verdict, stamp the TX header, transmit
+    /// zero-copy. Only legal as the last stage.
+    Forward,
+}
+
+impl ChainStage {
+    /// Every stage, in enum order (index order for per-stage telemetry).
+    pub const ALL: [ChainStage; 5] = [
+        ChainStage::Parse,
+        ChainStage::Classify,
+        ChainStage::Inspect,
+        ChainStage::Rewrite,
+        ChainStage::Forward,
+    ];
+
+    /// The scenario-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChainStage::Parse => "parse",
+            ChainStage::Classify => "classify",
+            ChainStage::Inspect => "inspect",
+            ChainStage::Rewrite => "rewrite",
+            ChainStage::Forward => "forward",
+        }
+    }
+
+    /// Parses a scenario-file spelling.
+    pub fn from_name(s: &str) -> Option<ChainStage> {
+        ChainStage::ALL.into_iter().find(|st| st.name() == s)
+    }
+
+    /// Dense index for per-stage telemetry arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A validated chain of up to [`MAX_CHAIN_STAGES`] stages. Stored as a
+/// fixed array (unused slots canonically zero-padded with `Parse`) so the
+/// chain is `Copy`, and derived equality/hashing see only canonical forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NfChain {
+    stages: [ChainStage; MAX_CHAIN_STAGES],
+    len: u8,
+}
+
+impl NfChain {
+    /// Builds a chain from `stages`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the chain is empty, longer than
+    /// [`MAX_CHAIN_STAGES`], or places `forward` anywhere but last.
+    pub fn new(stages: &[ChainStage]) -> Result<NfChain, String> {
+        if stages.is_empty() {
+            return Err("chain needs at least one stage".into());
+        }
+        if stages.len() > MAX_CHAIN_STAGES {
+            return Err(format!(
+                "chain has {} stages; at most {MAX_CHAIN_STAGES} supported",
+                stages.len()
+            ));
+        }
+        if let Some(i) = stages[..stages.len() - 1]
+            .iter()
+            .position(|s| *s == ChainStage::Forward)
+        {
+            return Err(format!(
+                "'forward' must be the last stage (found at position {})",
+                i + 1
+            ));
+        }
+        let mut arr = [ChainStage::Parse; MAX_CHAIN_STAGES];
+        arr[..stages.len()].copy_from_slice(stages);
+        Ok(NfChain {
+            stages: arr,
+            len: stages.len() as u8,
+        })
+    }
+
+    /// The canonical UPF pipeline: parse → classify → rewrite → forward.
+    pub fn upf() -> NfChain {
+        NfChain::new(&[
+            ChainStage::Parse,
+            ChainStage::Classify,
+            ChainStage::Rewrite,
+            ChainStage::Forward,
+        ])
+        .expect("static chain is valid")
+    }
+
+    /// The stages, in execution order.
+    pub fn stages(&self) -> &[ChainStage] {
+        &self.stages[..usize::from(self.len)]
+    }
+
+    /// Whether the chain transmits (ends in `forward`) rather than drops.
+    pub fn ends_with_forward(&self) -> bool {
+        self.stages().last() == Some(&ChainStage::Forward)
+    }
+
+    /// Display name: the canonical UPF pipeline reports as `UpfChain`,
+    /// anything else as `Chain`.
+    pub fn display_name(&self) -> &'static str {
+        if *self == NfChain::upf() {
+            "UpfChain"
+        } else {
+            "Chain"
+        }
+    }
+}
+
 /// The Table II workload selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NfKind {
@@ -128,6 +275,10 @@ pub enum NfKind {
     /// of Sec. II-B): inspects every payload byte, then forwards the same
     /// buffer zero-copy.
     DeepFwd,
+    /// A chained service pipeline ([`NfChain`]): every packet runs each
+    /// stage's program in order, touching its lines at multiple reuse
+    /// distances (5GC²ache's UPF shape).
+    Chain(NfChain),
 }
 
 impl NfKind {
@@ -139,12 +290,25 @@ impl NfKind {
             NfKind::L2FwdPayloadDrop => "L2FwdPayloadDrop",
             NfKind::TouchDropCopy => "TouchDropCopy",
             NfKind::DeepFwd => "DeepFwd",
+            NfKind::Chain(c) => c.display_name(),
+        }
+    }
+
+    /// The chain, when this NF is one.
+    pub fn chain(self) -> Option<NfChain> {
+        match self {
+            NfKind::Chain(c) => Some(c),
+            _ => None,
         }
     }
 
     /// Whether the DMA buffer is recycled only after TX completion.
     pub fn frees_on_tx(self) -> bool {
-        matches!(self, NfKind::L2Fwd | NfKind::DeepFwd)
+        match self {
+            NfKind::L2Fwd | NfKind::DeepFwd => true,
+            NfKind::Chain(c) => c.ends_with_forward(),
+            _ => false,
+        }
     }
 
     /// Builds the per-packet program for a packet at `ctx`.
@@ -166,6 +330,16 @@ impl NfKind {
     pub fn packet_work_into(self, ctx: &PacketCtx, work: &mut PacketWork) {
         let desc_lines = (crate::DESC_BYTES_FOR_WORK / 64) as u32;
         let meta_lines = (MBUF_META_BYTES / 64) as u32;
+        work.marks.clear();
+        // Chain-stage marks are staged in a fixed local buffer and flushed
+        // after the match (`ops` holds the mutable borrow of `work` until
+        // then); the buffer is stack-only so scratch reuse stays
+        // allocation-free.
+        let mut chain_marks = [StageMark {
+            stage: ChainStage::Parse,
+            op_end: 0,
+        }; MAX_CHAIN_STAGES];
+        let mut n_marks = 0usize;
         let ops = &mut work.ops;
         ops.clear();
         ops.push(MemOp::Read {
@@ -243,7 +417,78 @@ impl NfKind {
                 });
                 PacketAction::Drop
             }
+            NfKind::Chain(chain) => {
+                // The receive-side preamble is attributed to the first
+                // stage's segment (its mark covers ops[0..op_end]).
+                for &stage in chain.stages() {
+                    match stage {
+                        ChainStage::Parse => {
+                            ops.push(MemOp::Read {
+                                addr: ctx.buf,
+                                lines: 1,
+                            });
+                            ops.push(MemOp::Write {
+                                addr: ctx.meta,
+                                lines: 1,
+                            });
+                        }
+                        ChainStage::Classify => {
+                            ops.push(MemOp::Read {
+                                addr: ctx.buf,
+                                lines: 1,
+                            });
+                            ops.push(MemOp::Read {
+                                addr: ctx.app,
+                                lines: 2,
+                            });
+                            ops.push(MemOp::Write {
+                                addr: ctx.meta,
+                                lines: 1,
+                            });
+                        }
+                        ChainStage::Inspect => {
+                            ops.push(MemOp::Read {
+                                addr: ctx.buf,
+                                lines: ctx.frame_lines(),
+                            });
+                        }
+                        ChainStage::Rewrite => {
+                            ops.push(MemOp::Read {
+                                addr: ctx.buf,
+                                lines: 1,
+                            });
+                            ops.push(MemOp::Write {
+                                addr: ctx.buf,
+                                lines: 1,
+                            });
+                        }
+                        ChainStage::Forward => {
+                            ops.push(MemOp::Read {
+                                addr: ctx.meta,
+                                lines: 1,
+                            });
+                            ops.push(MemOp::Write {
+                                addr: ctx.buf,
+                                lines: 1,
+                            });
+                        }
+                    }
+                    chain_marks[n_marks] = StageMark {
+                        stage,
+                        op_end: ops.len() as u32,
+                    };
+                    n_marks += 1;
+                }
+                if chain.ends_with_forward() {
+                    PacketAction::Tx {
+                        lines: ctx.frame_lines(),
+                    }
+                } else {
+                    PacketAction::Drop
+                }
+            }
         };
+        work.marks.extend_from_slice(&chain_marks[..n_marks]);
         work.action = action;
     }
 }
@@ -351,5 +596,77 @@ mod tests {
     fn names_match_table2() {
         assert_eq!(NfKind::TouchDrop.name(), "TouchDrop");
         assert_eq!(format!("{}", NfKind::L2Fwd), "L2Fwd");
+    }
+
+    #[test]
+    fn upf_chain_touches_lines_at_multiple_reuse_distances() {
+        let kind = NfKind::Chain(NfChain::upf());
+        let w = kind.packet_work(&ctx(1514));
+        // Ends in forward => transmits the whole frame, frees on TX.
+        assert_eq!(w.action, PacketAction::Tx { lines: 24 });
+        assert!(kind.frees_on_tx());
+        assert_eq!(kind.name(), "UpfChain");
+        // One mark per stage, strictly increasing, covering all ops.
+        let stages: Vec<ChainStage> = w.marks.iter().map(|m| m.stage).collect();
+        assert_eq!(stages, NfChain::upf().stages());
+        assert!(w.marks.windows(2).all(|p| p[0].op_end < p[1].op_end));
+        assert_eq!(w.marks.last().unwrap().op_end as usize, w.ops.len());
+        // The header line is touched by parse, classify, rewrite, and
+        // forward — four distinct reuse distances on the same line.
+        let header_touches = w
+            .ops
+            .iter()
+            .filter(|op| match op {
+                MemOp::Read { addr, .. } | MemOp::Write { addr, .. } => addr.get() == 0x10000,
+            })
+            .count();
+        assert_eq!(header_touches, 5);
+    }
+
+    #[test]
+    fn chain_without_forward_drops() {
+        let chain = NfChain::new(&[ChainStage::Parse, ChainStage::Inspect]).unwrap();
+        let kind = NfKind::Chain(chain);
+        let w = kind.packet_work(&ctx(1514));
+        assert_eq!(w.action, PacketAction::Drop);
+        assert!(!kind.frees_on_tx());
+        assert_eq!(kind.name(), "Chain");
+        assert_eq!(w.marks.len(), 2);
+    }
+
+    #[test]
+    fn chain_validation_rejects_bad_shapes() {
+        assert!(NfChain::new(&[]).is_err());
+        assert!(NfChain::new(&[ChainStage::Parse; MAX_CHAIN_STAGES + 1]).is_err());
+        let err = NfChain::new(&[ChainStage::Forward, ChainStage::Parse]).unwrap_err();
+        assert!(err.contains("last stage"), "{err}");
+        // Max-length chains without forward are fine.
+        assert!(NfChain::new(&[ChainStage::Inspect; MAX_CHAIN_STAGES]).is_ok());
+    }
+
+    #[test]
+    fn chain_padding_is_canonical_for_eq_and_hash() {
+        let a = NfChain::new(&[ChainStage::Rewrite]).unwrap();
+        let b = NfChain::new(&[ChainStage::Rewrite]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, NfChain::new(&[ChainStage::Rewrite; 2]).unwrap());
+        assert_eq!(
+            ChainStage::from_name("classify"),
+            Some(ChainStage::Classify)
+        );
+        assert_eq!(ChainStage::from_name("nope"), None);
+        for s in ChainStage::ALL {
+            assert_eq!(ChainStage::from_name(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_clears_stale_chain_marks() {
+        let mut scratch = PacketWork::empty();
+        NfKind::Chain(NfChain::upf()).packet_work_into(&ctx(1514), &mut scratch);
+        assert_eq!(scratch.marks.len(), 4);
+        NfKind::L2Fwd.packet_work_into(&ctx(1024), &mut scratch);
+        assert!(scratch.marks.is_empty(), "marks from the chain must clear");
+        assert_eq!(scratch, NfKind::L2Fwd.packet_work(&ctx(1024)));
     }
 }

@@ -176,6 +176,32 @@ attacker_frac = 0.25
     assert_eq!(renders[0], renders[2], "jobs 1 vs 8");
 }
 
+/// The chained-pipeline golden guarantee: `upf-chain` — recycling pools,
+/// chained NFs, per-stage histograms and all — renders the byte-identical
+/// blessed golden at every worker count.
+#[test]
+fn upf_chain_golden_is_byte_identical_at_any_worker_count() {
+    if blessing() {
+        return; // goldens are blessed by golden_scenarios.rs
+    }
+    let scenario = builtin("upf-chain").expect("upf-chain is a builtin");
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/scenario_upf-chain.json");
+    let expected = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden.display()));
+    for jobs in [1, 2, 8] {
+        let opts = SweepOptions {
+            jobs,
+            ..SweepOptions::default()
+        };
+        let report = run_scenario(&scenario, &opts).expect("upf-chain is valid");
+        assert_eq!(
+            expected,
+            format!("{}\n", report.to_json()),
+            "upf-chain at --jobs {jobs} diverged from the blessed golden"
+        );
+    }
+}
+
 #[test]
 fn bad_corpus_errors_name_line_and_column() {
     // (file, line, col, message fragment)
@@ -193,6 +219,13 @@ fn bad_corpus_errors_name_line_and_column() {
             "either [[tenant]] tables or one [generate] table",
         ),
         ("bad-way-mask.toml", 15, 12, "overlaps the 2 DDIO ways"),
+        (
+            "unknown-chain-stage.toml",
+            8,
+            19,
+            "unknown chain stage 'classfy'",
+        ),
+        ("bad-pool.toml", 9, 8, "unknown pool 'hugepages'"),
     ];
     let dir = bad_dir();
     for (file, line, col, needle) in cases {
