@@ -8,7 +8,7 @@
 //! cargo run -p idio-bench --release --bin bench -- --out BENCH_engine.json --label post --append
 //! ```
 //!
-//! Four workload families, all under fixed seeds so run-to-run variance
+//! Five workload families, all under fixed seeds so run-to-run variance
 //! is host noise only:
 //!
 //! * `event_queue/*` — scheduler throughput on the near-monotonic insert
@@ -18,6 +18,9 @@
 //!   [`Hierarchy`] DMA-write/CPU-read loop;
 //! * `chain/*` — the end-to-end chained-NF system hot loop (UPF pipeline
 //!   on recycling mbuf pools);
+//! * `fd/steer_lookup` — the flow-director lookup hot path over a
+//!   streaming one-million-flow set (perfect / ATR / RSS tiers plus
+//!   lazy aging under table pressure);
 //! * `suite/quick_figures` — the complete 17-figure paper suite at
 //!   `Scale::quick()` on one worker, i.e. exactly what
 //!   `repro --quick --jobs 1` runs.
@@ -159,6 +162,47 @@ fn chain_upf_pipeline() -> u64 {
     System::new(cfg).run().totals.completed_packets
 }
 
+/// The flow-director steering hot path at scale: two passes of lookups
+/// over a streaming one-million-flow set with a bounded perfect-filter
+/// budget and sampled ATR learning, so every resolution tier — perfect
+/// match, filter-table hit/collision, RSS fallback — and the lazy ATR
+/// aging path run under realistic table pressure.
+fn fd_steer_lookup() -> u64 {
+    use idio_core::net::gen::FlowSet;
+    use idio_core::net::packet::Dscp;
+    use idio_core::nic::flow_director::{FlowDirector, QueueId};
+
+    const FLOWS: u32 = 1 << 20;
+    const PINS: u32 = 4096;
+    let set = FlowSet::new(7, FLOWS, 5000, 256, Dscp::BEST_EFFORT);
+    let mut fd = FlowDirector::with_tables(8, PINS as usize, 8192);
+    fd.set_atr_lifetime(Some(Duration::from_us(150)));
+    // Pin a strided subset up to the perfect-filter budget, exactly as
+    // the system layer budgets pins per tenant.
+    for p in 0..PINS {
+        let idx = p * (FLOWS / PINS);
+        let _ = fd.install_perfect_evicting(set.tuple_of(idx), QueueId((p % 8) as u16));
+    }
+    let mut now = SimTime::ZERO;
+    let mut acc = 0u64;
+    for i in 0..2 * FLOWS {
+        let flow = set.tuple_of(i % FLOWS);
+        let (q, src) = fd.lookup(now, &flow);
+        acc = acc.wrapping_add(u64::from(q.0)).wrapping_add(src as u64);
+        // Sampled completion feedback: every fourth packet reports its
+        // landing queue back, as the completion path does.
+        if i % 4 == 0 {
+            fd.learn(now, &flow, q);
+        }
+        now += Duration::from_ns(1);
+    }
+    let s = fd.stats();
+    acc.wrapping_add(s.perfect_hits)
+        .wrapping_add(s.atr_hits)
+        .wrapping_add(s.atr_aged)
+        .wrapping_add(s.rss_fallbacks)
+}
+
 /// The full quick figure suite on one worker — the acceptance workload.
 fn quick_suite() -> usize {
     let specs = EXPERIMENTS
@@ -208,6 +252,11 @@ const WORKLOADS: &[Workload] = &[
         name: "chain/upf_pipeline",
         default_runs: 7,
         run: chain_upf_pipeline,
+    },
+    Workload {
+        name: "fd/steer_lookup",
+        default_runs: 7,
+        run: fd_steer_lookup,
     },
     Workload {
         name: "suite/quick_figures",

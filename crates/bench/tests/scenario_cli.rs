@@ -93,7 +93,7 @@ fn check_rejects_each_bad_corpus_file_naming_line_and_column() {
         assert!(line >= 1 && col >= 1, "{}: {stderr}", path.display());
         rejected += 1;
     }
-    assert_eq!(rejected, 10, "the whole corpus was exercised");
+    assert_eq!(rejected, 12, "the whole corpus was exercised");
 }
 
 #[test]
@@ -115,7 +115,8 @@ fn list_output_is_stable() {
             "llc-duel",
             "cat-duel",
             "upf-chain",
-            "recycle-duel"
+            "recycle-duel",
+            "flow-churn"
         ],
         "built-in listing changed — update docs and this test together"
     );

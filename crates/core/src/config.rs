@@ -75,12 +75,26 @@ pub struct TenantSpec {
     /// Indices into [`SystemConfig::workloads`] owned by this tenant.
     /// A workload belongs to at most one tenant.
     pub workloads: Vec<usize>,
-    /// Number of distinct flows (five-tuples) the tenant's load is dealt
-    /// over. Ignored when `replay` is set (the trace brings its own flows).
-    pub flows: u16,
-    /// First UDP destination port; flow `i` targets `base_port + i`.
-    /// Tenants must use disjoint port ranges so their flows stay distinct.
+    /// Number of concurrently-active flows (five-tuples) the tenant's load
+    /// is dealt over — up to [`idio_net::gen::MAX_FLOW_SET_FLOWS`] (16M),
+    /// derived on demand by a streaming [`idio_net::gen::FlowSet`] rather
+    /// than materialised. Ignored when `replay` is set (the trace brings
+    /// its own flows).
+    pub flows: u32,
+    /// First UDP destination port. Small flow counts use the legacy
+    /// derivation (flow `i` targets `base_port + i`; tenants must then use
+    /// disjoint port ranges); counts past the port range (or churning
+    /// tenants) spill the flow index into the source address, keyed by the
+    /// tenant's index, and cannot alias other tenants.
     pub base_port: u16,
+    /// Flow lifetime: each active-flow slot retires its flow and starts a
+    /// fresh five-tuple after this long (staggered across slots), so the
+    /// working set turns over like a real tenant's connection table.
+    /// `None` = the flow population is fixed for the whole run.
+    pub churn: Option<Duration>,
+    /// Packets dealt to one flow per visit before rotating to the next
+    /// (a packet train). 1 = plain round-robin.
+    pub train: u32,
     /// Aggregate arrival pattern of the whole tenant (independent of
     /// `flows`: the flow count only changes how the load is dealt out).
     pub traffic: TrafficPattern,
@@ -141,6 +155,19 @@ pub struct SystemConfig {
     pub pmd: PmdConfig,
     /// NIC ring depth per queue.
     pub ring_size: u32,
+    /// Flow Director perfect-match (EP) filter capacity. Tenant flows are
+    /// pinned up to this bound (sampled evenly across each tenant's flow
+    /// index space); the rest steer via ATR learning and RSS. Sec. II-C
+    /// puts the real table at ~8K entries.
+    pub perfect_filter_entries: usize,
+    /// ATR filter-table entry lifetime: learned entries past this age are
+    /// dropped on next touch and the flow falls back to RSS until
+    /// re-learned. `None` = entries never age (legacy behavior).
+    pub atr_lifetime: Option<Duration>,
+    /// Idle window after which a `Recycle` pool self-invalidates its
+    /// buffers and releases its LLC footprint (checked at control ticks).
+    /// `None` = pools hold their footprint forever (legacy behavior).
+    pub pool_idle_flush: Option<Duration>,
     /// NIC-side classifier settings.
     pub classifier: ClassifierConfig,
     /// PCIe/DMA settings.
@@ -221,6 +248,9 @@ impl SystemConfig {
             timing: TimingConfig::default(),
             pmd: PmdConfig::default(),
             ring_size: 1024,
+            perfect_filter_entries: idio_nic::DEFAULT_FILTER_TABLE_ENTRIES,
+            atr_lifetime: None,
+            pool_idle_flush: None,
             classifier: ClassifierConfig::paper_default(),
             dma: DmaConfig::default(),
             policy: SteeringPolicy::Ddio,
@@ -397,15 +427,26 @@ impl SystemConfig {
         Ok(())
     }
 
+    /// Whether tenant `t` uses the wide (source-address-spilling) flow
+    /// derivation: churn always does; so does a flow count that exceeds
+    /// the tenant's port range. Everything else keeps the legacy
+    /// port-offset derivation byte-for-byte.
+    pub(crate) fn tenant_is_wide(t: &TenantSpec) -> bool {
+        t.churn.is_some() || u32::from(t.base_port) + t.flows > 65536
+    }
+
     /// Tenant-mode invariants: every tenant owns at least one existing
-    /// workload, no workload has two tenants, names are unique, and the
-    /// synthetic flow port ranges do not collide (colliding ranges would
-    /// make two tenants share a five-tuple and merge at the flow director).
+    /// workload, no workload has two tenants, names are unique, flow
+    /// counts fit the streaming `FlowSet`, and *narrow* tenants' synthetic
+    /// flow port ranges do not collide (colliding ranges would make two
+    /// tenants share a five-tuple and merge at the flow director). Wide
+    /// tenants embed their tenant index in the source address and cannot
+    /// alias anything.
     fn validate_tenants(&self) -> Result<(), String> {
         let mut names = std::collections::HashSet::new();
         let mut owned = std::collections::HashSet::new();
-        let mut port_ranges: Vec<(String, u16, u16)> = Vec::new();
-        for t in &self.tenants {
+        let mut port_ranges: Vec<(String, u32, u32)> = Vec::new();
+        for (ti, t) in self.tenants.iter().enumerate() {
             if t.name.is_empty() {
                 return Err("tenant with empty name".into());
             }
@@ -423,6 +464,12 @@ impl SystemConfig {
                     return Err(format!("workload {wi} belongs to two tenants"));
                 }
             }
+            if t.train == 0 {
+                return Err(format!("tenant '{}' has a zero-packet train", t.name));
+            }
+            if t.churn == Some(Duration::ZERO) {
+                return Err(format!("tenant '{}' has a zero flow lifetime", t.name));
+            }
             if let Some(arrivals) = &t.replay {
                 if arrivals.windows(2).any(|w| w[0].at > w[1].at) {
                     return Err(format!("tenant '{}' replay is not time-ordered", t.name));
@@ -431,19 +478,34 @@ impl SystemConfig {
                 if t.flows == 0 {
                     return Err(format!("tenant '{}' has zero flows", t.name));
                 }
-                let end = t
-                    .base_port
-                    .checked_add(t.flows)
-                    .ok_or_else(|| format!("tenant '{}' flow ports overflow u16", t.name))?;
-                for (other, lo, hi) in &port_ranges {
-                    if t.base_port < *hi && *lo < end {
+                if t.flows > idio_net::MAX_FLOW_SET_FLOWS {
+                    return Err(format!(
+                        "tenant '{}' has {} flows; the streaming flow set caps at {}",
+                        t.name,
+                        t.flows,
+                        idio_net::MAX_FLOW_SET_FLOWS
+                    ));
+                }
+                if Self::tenant_is_wide(t) {
+                    if ti > usize::from(idio_net::MAX_FLOW_SET_TAG) {
                         return Err(format!(
-                            "tenants '{}' and '{other}' have overlapping flow ports",
-                            t.name
+                            "tenant '{}': at most {} tenants may use wide flow sets",
+                            t.name,
+                            usize::from(idio_net::MAX_FLOW_SET_TAG) + 1
                         ));
                     }
+                } else {
+                    let end = u32::from(t.base_port) + t.flows;
+                    for (other, lo, hi) in &port_ranges {
+                        if u32::from(t.base_port) < *hi && *lo < end {
+                            return Err(format!(
+                                "tenants '{}' and '{other}' have overlapping flow ports",
+                                t.name
+                            ));
+                        }
+                    }
+                    port_ranges.push((t.name.clone(), u32::from(t.base_port), end));
                 }
-                port_ranges.push((t.name.clone(), t.base_port, end));
             }
         }
         Ok(())
@@ -510,6 +572,8 @@ mod tests {
             workloads,
             flows: 4,
             base_port,
+            churn: None,
+            train: 1,
             traffic: TrafficPattern::Steady { rate_gbps: 10.0 },
             packet_len: 1514,
             dscp: Dscp::BEST_EFFORT,

@@ -21,9 +21,9 @@ use idio_engine::stats::{LatencyRecorder, RateSampler};
 use idio_engine::telemetry::{Histogram, MetricsRegistry, Tracer, DEFAULT_TRACE_CAPACITY};
 use idio_engine::time::{Duration, SimTime};
 use idio_mem::{DramModel, DramOp};
-use idio_net::gen::{Arrival, FlowSpec, MultiFlowGen, TrafficGen, TrafficPattern};
+use idio_net::gen::{Arrival, FlowSet, FlowSpec, MultiFlowGen, TrafficGen, TrafficPattern};
 use idio_net::packet::Packet;
-use idio_nic::flow_director::QueueId;
+use idio_nic::flow_director::{QueueId, SteeringSource};
 use idio_nic::nic::{Nic, NicConfig, RingLayout};
 use idio_nic::ring::RxSlot;
 use idio_nic::tlp::TlpMeta;
@@ -169,6 +169,46 @@ impl Iterator for ArrivalSource {
             ArrivalSource::Multi(g) => g.next(),
             ArrivalSource::Replay(it) => it.next(),
         }
+    }
+}
+
+/// Flow-director bookkeeping for one streaming tenant: the flow set its
+/// arrivals derive from, its queue group, and which flow slots the driver
+/// holds perfect filters for.
+struct FdTenant {
+    set: FlowSet,
+    queues: Vec<QueueId>,
+    /// Pinned flow slots with the flow index last installed for each —
+    /// the driver's view of its own filters. Under churn, a slot whose
+    /// live index moved past the pinned one is refreshed at the next
+    /// control tick (install the new incarnation, evicting if full).
+    pinned: Vec<(u32, u32)>,
+}
+
+/// Flow-director-pressure accounting (active only when some tenant's flow
+/// population can outrun the NIC's steering state: wide/churning flow
+/// sets or more flows than perfect-filter budget). Tracks, per *home*
+/// queue, how arrivals were actually steered — and how many landed on the
+/// wrong queue and therefore polluted the wrong core's caches.
+struct FdState {
+    /// One entry per arrival source; `None` for replay tenants (their
+    /// flows are not derivable, so they keep the legacy pin-all path).
+    tenants: Vec<Option<FdTenant>>,
+    /// Per home queue: `[perfect, atr, collision, rss, mis_steered]`
+    /// packet counts.
+    mix: Vec<[u64; 5]>,
+}
+
+impl FdState {
+    /// The tenant and home queue a five-tuple belongs to (O(1) per
+    /// tenant: streaming sets are invertible).
+    fn home_of(&self, flow: &idio_net::packet::FiveTuple) -> Option<QueueId> {
+        for t in self.tenants.iter().flatten() {
+            if let Some(slot) = t.set.slot_of(flow) {
+                return Some(t.queues[slot as usize % t.queues.len()]);
+            }
+        }
+        None
     }
 }
 
@@ -351,6 +391,21 @@ pub struct System {
     /// Steering-mix totals at the previous control tick (delta source for
     /// the tick log).
     tick_last_steer: [u64; 3],
+    /// Flow-director-pressure accounting; `None` whenever every tenant's
+    /// flows fit the NIC's steering state (legacy behavior, no new
+    /// metrics).
+    fd: Option<FdState>,
+    /// Flow-director mix totals at the previous control tick (delta
+    /// source for the tick log's `fd` section).
+    tick_last_fd: [u64; 5],
+    /// Per-queue last pool activity (RX accept or buffer release), for
+    /// the idle-flush window.
+    pool_last_active: Vec<SimTime>,
+    /// Whether each queue's pool is currently flushed (idle); cleared on
+    /// the next activity.
+    pool_flushed: Vec<bool>,
+    /// Per-queue idle-flush count (`pool.q{q}.idle_flushed`).
+    pool_idle_flushed: Vec<u64>,
 }
 
 impl System {
@@ -405,7 +460,9 @@ impl System {
                     queue_core: vec![CoreId::new(0)],
                     classifier: cfg.classifier.clone(),
                     dma: cfg.dma,
+                    perfect_filter_entries: cfg.perfect_filter_entries,
                     filter_table_entries: idio_nic::flow_director::DEFAULT_FILTER_TABLE_ENTRIES,
+                    atr_lifetime: cfg.atr_lifetime,
                     queue_policy_domain: vec![0],
                 },
                 vec![RingLayout {
@@ -420,7 +477,9 @@ impl System {
                     queue_core: queue_cores,
                     classifier: cfg.classifier.clone(),
                     dma: cfg.dma,
+                    perfect_filter_entries: cfg.perfect_filter_entries,
                     filter_table_entries: idio_nic::flow_director::DEFAULT_FILTER_TABLE_ENTRIES,
+                    atr_lifetime: cfg.atr_lifetime,
                     queue_policy_domain: policy.queue_domains().to_vec(),
                 },
                 layouts,
@@ -429,6 +488,7 @@ impl System {
 
         // --- traffic generators & flow pinning --------------------------------
         let mut gens = Vec::new();
+        let mut fd: Option<FdState> = None;
         if cfg.tenants.is_empty() {
             // Legacy wiring: one flow per workload, pinned to its queue.
             for (qi, w) in cfg.workloads.iter().enumerate() {
@@ -467,8 +527,17 @@ impl System {
         } else {
             // Tenant wiring: one aggregate source per tenant, its flows
             // spread round-robin over the tenant's queues via the flow
-            // director (or left to RSS/ATR learning).
-            for t in &cfg.tenants {
+            // director (or left to RSS/ATR learning). Flow populations
+            // stream from a `FlowSet` — five-tuples derived on demand, so
+            // memory stays O(1) at any flow count. Perfect-filter slots
+            // are a shared resource: each tenant may pin at most its
+            // equal share of the NIC's table, sampled evenly across its
+            // flow index space; the rest of its flows steer via ATR
+            // learning and RSS (Sec. II-C's capacity pressure).
+            let pin_budget = (cfg.perfect_filter_entries / cfg.tenants.len()).max(1);
+            let mut fd_tenants: Vec<Option<FdTenant>> = Vec::new();
+            let mut fd_active = false;
+            for (ti, t) in cfg.tenants.iter().enumerate() {
                 let queues: Vec<QueueId> =
                     t.workloads.iter().map(|&wi| QueueId(wi as u16)).collect();
                 if let Some(arrivals) = &t.replay {
@@ -490,25 +559,50 @@ impl System {
                             }
                         }
                     }
+                    fd_tenants.push(None);
                     gens.push(ArrivalSource::Replay(clipped.into_iter()));
                 } else {
-                    let flows: Vec<FlowSpec> = (0..t.flows)
-                        .map(|i| {
-                            FlowSpec::udp_to_port(t.base_port + i, t.packet_len).with_dscp(t.dscp)
-                        })
-                        .collect();
+                    let mut set =
+                        FlowSet::new(ti as u16, t.flows, t.base_port, t.packet_len, t.dscp)
+                            .with_train(t.train);
+                    if let Some(life) = t.churn {
+                        set = set.with_churn(life);
+                    }
+                    let pins = (t.flows as usize).min(pin_budget) as u32;
+                    let mut pinned = Vec::with_capacity(pins as usize);
                     if cfg.steering == FlowSteering::Perfect {
-                        for (i, f) in flows.iter().enumerate() {
+                        for p in 0..u64::from(pins) {
+                            // Stride the pins across the whole index space
+                            // so perfect coverage interleaves with
+                            // ATR/RSS-steered flows instead of truncating
+                            // at the budget boundary.
+                            let slot = (p * u64::from(t.flows) / u64::from(pins)) as u32;
+                            let q = queues[slot as usize % queues.len()];
                             nic.flow_director_mut()
-                                .install_perfect(f.tuple, queues[i % queues.len()]);
+                                .install_perfect(set.tuple_of(slot), q);
+                            pinned.push((slot, slot));
                         }
                     }
-                    gens.push(ArrivalSource::Multi(Box::new(MultiFlowGen::new(
-                        flows,
+                    if set.is_wide() || t.flows as usize > pin_budget {
+                        fd_active = true;
+                    }
+                    fd_tenants.push(Some(FdTenant {
+                        set,
+                        queues,
+                        pinned,
+                    }));
+                    gens.push(ArrivalSource::Multi(Box::new(MultiFlowGen::streaming(
+                        set,
                         t.traffic,
                         cfg.duration,
                     ))));
                 }
+            }
+            if fd_active {
+                fd = Some(FdState {
+                    tenants: fd_tenants,
+                    mix: vec![[0; 5]; cfg.workloads.len()],
+                });
             }
         }
 
@@ -681,6 +775,11 @@ impl System {
             ctrl_fsm_before: Vec::new(),
             tick_log: Vec::new(),
             tick_last_steer: [0; 3],
+            fd,
+            tick_last_fd: [0; 5],
+            pool_last_active: vec![SimTime::ZERO; cfg.workloads.len()],
+            pool_flushed: vec![false; cfg.workloads.len()],
+            pool_idle_flushed: vec![0; cfg.workloads.len()],
             cfg,
         };
         // The occupancy gauge counts DMA-buffer lines resident in the
@@ -856,7 +955,37 @@ impl System {
         let packet = self.pending_arrival[gen]
             .take()
             .expect("arrival event without pending packet");
+        // Resolve the packet's *home* queue (where its flow's NF runs)
+        // before the NIC steers it; comparing against the steered queue
+        // is what detects flow-director mis-steers.
+        let home = self.fd.as_ref().and_then(|fd| {
+            let t = fd.tenants.get(gen)?.as_ref()?;
+            let slot = t.set.slot_of(&packet.flow)?;
+            Some(t.queues[slot as usize % t.queues.len()])
+        });
         if let Some(dma) = self.nic.rx_packet(now, packet) {
+            if let (Some(home), Some(fd)) = (home, self.fd.as_mut()) {
+                let m = &mut fd.mix[home.index()];
+                match dma.steer {
+                    SteeringSource::PerfectMatch => m[0] += 1,
+                    SteeringSource::FilterTable => m[1] += 1,
+                    SteeringSource::FilterTableCollision => m[2] += 1,
+                    SteeringSource::Rss => m[3] += 1,
+                }
+                if dma.queue != home {
+                    // Mis-steer: the packet's lines land in (and its NF
+                    // work charges) the wrong core's caches.
+                    m[4] += 1;
+                    if self.tracer.enabled("fd") {
+                        let (src, got) = (dma.steer, dma.queue);
+                        self.tracer.record(now, "fd", "mis_steer", move || {
+                            format!("home=q{} got=q{} via={src:?}", home.index(), got.index())
+                        });
+                    }
+                }
+            }
+            self.pool_last_active[dma.queue.index()] = now;
+            self.pool_flushed[dma.queue.index()] = false;
             let core = dma.dest_core.index();
             let seq = {
                 let st = self.nf_state(core, "Arrival");
@@ -1292,6 +1421,8 @@ impl System {
                 // completion event (not steer time), so a recycle pool's
                 // LIFO list sees the true release order.
                 self.nic.ring_mut(queue).release(slot.buf);
+                self.pool_last_active[queue.index()] = now;
+                self.pool_flushed[queue.index()] = false;
                 self.record_completion(now, core, &slot);
             }
             PacketAction::Tx { lines } => {
@@ -1319,6 +1450,20 @@ impl System {
     }
 
     fn record_completion(&mut self, now: SimTime, core: usize, slot: &RxSlot) {
+        // aRFS-style learning: when flow-director pressure is being
+        // modelled, completing a packet lets the driver program the NIC's
+        // filter table with the flow's *home* queue (where its consumer
+        // actually runs — not where this packet happened to land), so
+        // unpinned flows converge onto ATR steering after their first
+        // completion. Drop-type NFs never transmit, so the hook lives at
+        // completion rather than TX.
+        if let Some(fd) = &self.fd {
+            if let Some(home) = fd.home_of(&slot.packet.flow) {
+                self.nic
+                    .flow_director_mut()
+                    .learn(now, &slot.packet.flow, home);
+            }
+        }
         let st = self.nf_state(core, "CoreWake");
         let lat = now.saturating_since(slot.arrived_at);
         st.latency.record(lat);
@@ -1342,10 +1487,14 @@ impl System {
         arrival: SimTime,
         flow: idio_net::packet::FiveTuple,
     ) {
-        if self.cfg.steering == FlowSteering::Atr {
+        if let Some(home) = self.fd.as_ref().and_then(|fd| fd.home_of(&flow)) {
+            // Under flow-director pressure the driver refreshes the filter
+            // table with the flow's home queue (see record_completion).
+            self.nic.flow_director_mut().learn(now, &flow, home);
+        } else if self.cfg.steering == FlowSteering::Atr {
             // ATR: the NIC observes the TX and learns which queue (and
             // therefore core) serves this flow.
-            self.nic.flow_director_mut().learn(&flow, queue);
+            self.nic.flow_director_mut().learn(now, &flow, queue);
         }
         for l in 0..u64::from(lines) {
             let r = self.hier.pcie_read(buf.line().offset(l));
@@ -1367,6 +1516,8 @@ impl System {
         // TX-completion-time free: the buffer re-enters the pool only now
         // that the NIC has read it out, never at steer or post time.
         self.nic.ring_mut(queue).release(buf);
+        self.pool_last_active[queue.index()] = now;
+        self.pool_flushed[queue.index()] = false;
         let st = self.nf_state(core, "TxComplete");
         let lat = now.saturating_since(arrival);
         st.latency.record(lat);
@@ -1403,6 +1554,63 @@ impl System {
         self.antagonist.as_mut().unwrap().1.record(elapsed);
         if now + elapsed <= self.hard_stop {
             self.queue.schedule_at(now + elapsed, Event::AntagonistNext);
+        }
+    }
+
+    /// Control-tick driver refresh: for churning tenants, re-install the
+    /// perfect filter of any pinned slot whose flow turned over since the
+    /// filter was programmed (evicting the oldest co-resident entry when
+    /// its filter set is full, exactly as a real driver's install would).
+    /// The stale filter for the retired flow is left behind to age out or
+    /// be evicted — matching drivers that do not garbage-collect rules.
+    fn fd_refresh(&mut self, now: SimTime) {
+        let Some(fd) = self.fd.as_mut() else { return };
+        for t in fd.tenants.iter_mut().flatten() {
+            if t.set.churn().is_none() || t.pinned.is_empty() {
+                continue;
+            }
+            for (slot, last) in &mut t.pinned {
+                let idx = t.set.index_at(*slot, now);
+                if idx != *last {
+                    let q = t.queues[*slot as usize % t.queues.len()];
+                    self.nic
+                        .flow_director_mut()
+                        .install_perfect_evicting(t.set.tuple_of(idx), q);
+                    *last = idx;
+                }
+            }
+        }
+    }
+
+    /// Latency-aware recycler flush: a queue whose pool saw no RX or
+    /// buffer-release activity for the configured idle window
+    /// self-invalidates its DMA buffers, releasing the pool's LLC
+    /// footprint to other tenants until traffic resumes.
+    fn pool_idle_flush_tick(&mut self, now: SimTime) {
+        let Some(window) = self.cfg.pool_idle_flush else {
+            return;
+        };
+        let lines_per_buf = (idio_nic::ring::DEFAULT_BUF_BYTES / LINE_SIZE) as u32;
+        for q in 0..self.cfg.workloads.len() {
+            if self.pool_flushed[q] {
+                continue;
+            }
+            let queue = QueueId(q as u16);
+            if !matches!(self.nic.ring(queue).pool().mode(), PoolMode::Recycle { .. }) {
+                continue;
+            }
+            if now.saturating_since(self.pool_last_active[q]) <= window {
+                continue;
+            }
+            let core = self.cfg.workloads[q].core.index();
+            let buf_base = self.nf[core]
+                .as_ref()
+                .expect("pooled queue without an NF")
+                .regions
+                .buf_base;
+            self.invalidate_buffer(now, core, buf_base, self.cfg.ring_size * lines_per_buf);
+            self.pool_flushed[q] = true;
+            self.pool_idle_flushed[q] += 1;
         }
     }
 
@@ -1515,6 +1723,8 @@ impl System {
         if replan {
             self.apply_cat_masks();
         }
+        self.fd_refresh(now);
+        self.pool_idle_flush_tick(now);
         if self.cfg.tick_metrics {
             self.record_tick_metrics(now);
         }
@@ -1577,6 +1787,21 @@ impl System {
                 }
             }
             line.push_str("]}");
+        }
+        // Flow-director mix delta, present only under flow-director
+        // pressure accounting so legacy tick logs stay byte-identical.
+        if let Some(fd) = self.fd.as_ref() {
+            let total = fd
+                .mix
+                .iter()
+                .fold([0u64; 5], |acc, m| std::array::from_fn(|i| acc[i] + m[i]));
+            let d: [u64; 5] = std::array::from_fn(|i| total[i] - self.tick_last_fd[i]);
+            self.tick_last_fd = total;
+            let _ = write!(
+                line,
+                ",\"fd\":{{\"perfect\":{},\"atr\":{},\"collision\":{},\"rss\":{},\"mis\":{}}}",
+                d[0], d[1], d[2], d[3], d[4],
+            );
         }
         // Pool occupancy follows the `cat` discipline: the section exists
         // only when some workload configured an explicit pool, so legacy
@@ -1747,6 +1972,40 @@ impl System {
                     .counter_set(&format!("cat.domain{d}.ways"), ways as u64);
             }
         }
+        // Flow-director pressure outcome. Exported only when the bounded
+        // steering state is actually under pressure (some tenant's flows
+        // exceed its filter budget, or churn/wide sets are in play), so
+        // fully-pinned runs keep a byte-identical metric set.
+        if let Some(fd) = self.fd.as_ref() {
+            let s = self.nic.flow_director().stats();
+            self.metrics.counter_set("fd.perfect_hits", s.perfect_hits);
+            self.metrics.counter_set("fd.atr_hits", s.atr_hits);
+            self.metrics
+                .counter_set("fd.atr_collisions", s.atr_collisions);
+            self.metrics
+                .counter_set("fd.rss_fallbacks", s.rss_fallbacks);
+            self.metrics
+                .counter_set("fd.perfect_installed", s.perfect_installed);
+            self.metrics
+                .counter_set("fd.perfect_updated", s.perfect_updated);
+            self.metrics
+                .counter_set("fd.perfect_evicted", s.perfect_evicted);
+            self.metrics
+                .counter_set("fd.perfect_rejected", s.perfect_rejected);
+            self.metrics.counter_set("fd.atr_learned", s.atr_learned);
+            self.metrics.counter_set("fd.atr_aged", s.atr_aged);
+            let mut mis = 0;
+            for (q, m) in fd.mix.iter().enumerate() {
+                self.metrics.counter_set(&format!("fd.q{q}.perfect"), m[0]);
+                self.metrics.counter_set(&format!("fd.q{q}.atr"), m[1]);
+                self.metrics
+                    .counter_set(&format!("fd.q{q}.collision"), m[2]);
+                self.metrics.counter_set(&format!("fd.q{q}.rss"), m[3]);
+                self.metrics.counter_set(&format!("fd.q{q}.mis"), m[4]);
+                mis += m[4];
+            }
+            self.metrics.counter_set("fd.mis_steered", mis);
+        }
         self.metrics
             .counter_set("packets.completed", totals.completed_packets);
         self.metrics
@@ -1792,6 +2051,14 @@ impl System {
                 .counter_set(&format!("pool.q{q}.starved"), s.starved);
             self.metrics
                 .counter_set(&format!("pool.q{q}.spilled"), s.spilled);
+            // Idle-flush outcome, gated on the knob so pre-flush goldens
+            // keep a byte-identical metric set.
+            if self.cfg.pool_idle_flush.is_some() {
+                self.metrics.counter_set(
+                    &format!("pool.q{q}.idle_flushed"),
+                    self.pool_idle_flushed[q],
+                );
+            }
         }
         for (i, st) in self.nf.iter().enumerate() {
             if let Some(st) = st {
@@ -2166,6 +2433,8 @@ mod tests {
                 workloads: vec![0, 1],
                 flows: 6,
                 base_port: 5000,
+                churn: None,
+                train: 1,
                 traffic: TrafficPattern::Steady { rate_gbps: 8.0 },
                 packet_len: 1514,
                 dscp: Dscp::BEST_EFFORT,
@@ -2177,6 +2446,8 @@ mod tests {
                 workloads: vec![2, 3],
                 flows: 4,
                 base_port: 6000,
+                churn: None,
+                train: 1,
                 traffic: TrafficPattern::Steady { rate_gbps: 20.0 },
                 packet_len: 1514,
                 dscp: Dscp::CLASS1_DEFAULT,
@@ -2375,6 +2646,102 @@ mod tests {
             report.totals.rx_packets,
             "the buffers that were granted still all come back"
         );
+    }
+
+    #[test]
+    fn flow_director_pressure_degrades_steering_and_counts_mis_steers() {
+        use crate::config::TenantSpec;
+        use idio_net::packet::Dscp;
+        // One tenant, 64 churning flows over 4 queues, but only 8 perfect
+        // filters: pinned flows hit perfectly, the rest spread by RSS
+        // until aRFS-style learning converges them onto ATR — and churn
+        // keeps invalidating both, so every steering source and the
+        // mis-steer path are exercised.
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(4, TrafficPattern::Steady { rate_gbps: 20.0 });
+        cfg.duration = SimTime::from_us(300);
+        cfg.drain_grace = Duration::from_us(200);
+        cfg.perfect_filter_entries = 8;
+        cfg.atr_lifetime = Some(Duration::from_us(200));
+        cfg.tenants = vec![TenantSpec {
+            name: "churny".into(),
+            workloads: vec![0, 1, 2, 3],
+            flows: 32,
+            base_port: 5000,
+            churn: Some(Duration::from_us(60)),
+            train: 1,
+            traffic: TrafficPattern::Steady { rate_gbps: 20.0 },
+            packet_len: 1514,
+            dscp: Dscp::BEST_EFFORT,
+            replay: None,
+            policy: None,
+        }];
+        let report = System::new(cfg).run();
+        let m = &report.metrics;
+        assert!(m.counter("fd.perfect_hits") > 0, "pinned flows hit EP");
+        assert!(m.counter("fd.rss_fallbacks") > 0, "unpinned start on RSS");
+        assert!(m.counter("fd.atr_learned") > 0, "completions program ATR");
+        assert!(m.counter("fd.atr_hits") > 0, "learned flows steer by ATR");
+        assert!(
+            m.counter("fd.mis_steered") > 0,
+            "RSS spreads some flows off their home queue"
+        );
+        assert!(
+            m.counter("fd.perfect_evicted") > 0,
+            "churn refresh into a full 8-entry table evicts"
+        );
+        // Conservation: every accepted packet was steered exactly once.
+        let total = m.counter("fd.perfect_hits")
+            + m.counter("fd.atr_hits")
+            + m.counter("fd.atr_collisions")
+            + m.counter("fd.rss_fallbacks");
+        assert_eq!(total, report.totals.rx_packets + report.totals.rx_drops);
+        // Per-queue mix sums to the global counters.
+        let mis: u64 = (0..4).map(|q| m.counter(&format!("fd.q{q}.mis"))).sum();
+        assert_eq!(mis, m.counter("fd.mis_steered"));
+    }
+
+    #[test]
+    fn fully_pinned_tenants_export_no_fd_metrics() {
+        // Flow populations that fit the filter budget keep the legacy
+        // pin-everything behavior and add no fd.* keys (golden
+        // compatibility).
+        let report = System::new(tenant_cfg()).run();
+        assert_eq!(report.metrics.counter("fd.perfect_hits"), 0);
+        assert!(report
+            .metrics
+            .counters()
+            .all(|(k, _)| !k.starts_with("fd.")));
+    }
+
+    #[test]
+    fn idle_recycle_pool_flushes_after_the_configured_window() {
+        // Traffic stops at `duration`; the pool sits idle through the
+        // drain grace and must self-invalidate once the window elapses.
+        let mut cfg =
+            SystemConfig::touchdrop_scenario(1, TrafficPattern::Steady { rate_gbps: 10.0 });
+        cfg.duration = SimTime::from_us(150);
+        cfg.drain_grace = Duration::from_us(300);
+        cfg.policy = SteeringPolicy::Ddio;
+        cfg.workloads[0].pool = Some(idio_pool::PoolSpec::Recycle { slots: Some(32) });
+        cfg.pool_idle_flush = Some(Duration::from_us(100));
+        let report = System::new(cfg.clone()).run();
+        assert_eq!(
+            report.metrics.counter("pool.q0.idle_flushed"),
+            1,
+            "one idle window elapses inside the drain grace"
+        );
+        // The flush is an invalidation pass: it must show up in the
+        // self-invalidation totals even under a policy that never
+        // invalidates on free.
+        assert!(report.totals.self_inval > 0);
+        // Without the knob the counter is not exported at all.
+        cfg.pool_idle_flush = None;
+        let legacy = System::new(cfg).run();
+        assert!(legacy
+            .metrics
+            .counters()
+            .all(|(k, _)| k != "pool.q0.idle_flushed"));
     }
 
     #[test]

@@ -229,8 +229,238 @@ impl Iterator for TrafficGen {
     }
 }
 
+/// Maximum concurrently-active flows one [`FlowSet`] can carry.
+pub const MAX_FLOW_SET_FLOWS: u32 = 1 << 24;
+
+/// Maximum tenant tag a wide [`FlowSet`] accepts (the tag occupies the
+/// first source-IP octet above the `11.0.0.0` base).
+pub const MAX_FLOW_SET_TAG: u16 = 239;
+
+/// Number of flow generations a churning [`FlowSet`] distinguishes before
+/// flow identifiers repeat (port/address reuse, as on real networks).
+const CHURN_GENERATIONS: u64 = 256;
+
+/// A streaming flow population: derives each flow's five-tuple on demand
+/// from `(tenant tag, flow index)` instead of materialising a `Vec`, so a
+/// tenant can carry millions of flows with O(1) memory.
+///
+/// Two derivations exist, picked automatically:
+///
+/// * **narrow** — the flow count fits the tenant's port range
+///   (`base_port + flows <= 65536`) and no churn is configured. The
+///   five-tuples are exactly [`FlowSpec::udp_to_port`]`(base_port + i)`,
+///   byte-compatible with the materialised flow lists earlier versions
+///   built.
+/// * **wide** — larger populations (or churning ones) spill the flow
+///   index into the source address: the low 16 bits offset the ports, the
+///   high bits land in the source IP together with the tenant tag, so
+///   tenants can never alias each other's flows.
+///
+/// With churn configured, each of the `flows` active slots hosts a
+/// sequence of flow *incarnations*: slot `j` retires its flow and starts
+/// a fresh one (new index, new five-tuple) every `lifetime`, staggered
+/// across slots so the population turns over smoothly. The mapping is a
+/// pure function of `(slot, time)` — no per-flow state exists anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use idio_engine::time::{Duration, SimTime};
+/// use idio_net::gen::{FlowSet, FlowSpec};
+/// use idio_net::packet::Dscp;
+///
+/// // A small set is byte-compatible with the legacy materialised list.
+/// let small = FlowSet::new(0, 4, 5000, 1514, Dscp::BEST_EFFORT);
+/// assert_eq!(small.tuple_of(2), FlowSpec::udp_to_port(5002, 1514).tuple);
+///
+/// // A million-flow set derives tuples on demand and inverts them.
+/// let big = FlowSet::new(3, 1_000_000, 5000, 1514, Dscp::BEST_EFFORT);
+/// let t = big.tuple_of(900_001);
+/// assert_eq!(big.slot_of(&t), Some(900_001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSet {
+    /// Tenant tag disambiguating wide sets (unused by narrow sets).
+    tag: u16,
+    /// Concurrently-active flows (the working-set width).
+    flows: u32,
+    base_port: u16,
+    packet_len: u16,
+    dscp: Dscp,
+    /// Packets dealt to a flow per visit before rotating to the next
+    /// (a packet train; 1 = plain round-robin).
+    train: u32,
+    /// Flow lifetime: how long a slot keeps one flow before churning to a
+    /// fresh one. `None` = the population never turns over.
+    churn: Option<Duration>,
+}
+
+impl FlowSet {
+    /// Source address of every narrow flow (shared with
+    /// [`FlowSpec::udp_to_port`]).
+    const NARROW_SRC_IP: u32 = 0x0a00_0001;
+    /// Destination of every synthetic flow.
+    const DST_IP: u32 = 0x0a00_0002;
+    /// Base of the wide source-address space (`11.0.0.1`); the tenant tag
+    /// selects the first octet above it.
+    const WIDE_SRC_BASE: u32 = 0x0b00_0001;
+    /// Source ports sit this far above the destination port.
+    const SRC_PORT_BASE: u16 = 40_000;
+
+    /// Creates a flow set of `flows` active flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or exceeds [`MAX_FLOW_SET_FLOWS`], or if
+    /// `tag` exceeds [`MAX_FLOW_SET_TAG`].
+    pub fn new(tag: u16, flows: u32, base_port: u16, packet_len: u16, dscp: Dscp) -> Self {
+        assert!(flows > 0, "a tenant needs at least one flow");
+        assert!(
+            flows <= MAX_FLOW_SET_FLOWS,
+            "flow set of {flows} exceeds the {MAX_FLOW_SET_FLOWS} maximum"
+        );
+        assert!(
+            tag <= MAX_FLOW_SET_TAG,
+            "tenant tag {tag} exceeds the {MAX_FLOW_SET_TAG} maximum"
+        );
+        FlowSet {
+            tag,
+            flows,
+            base_port,
+            packet_len,
+            dscp,
+            train: 1,
+            churn: None,
+        }
+    }
+
+    /// Sets the packet-train length: how many consecutive packets each
+    /// flow receives per visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is zero.
+    pub fn with_train(mut self, train: u32) -> Self {
+        assert!(train > 0, "packet train must hold at least one packet");
+        self.train = train;
+        self
+    }
+
+    /// Enables churn: each flow lives `lifetime`, then its slot starts a
+    /// fresh flow. Forces the wide derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lifetime` is zero.
+    pub fn with_churn(mut self, lifetime: Duration) -> Self {
+        assert!(lifetime > Duration::ZERO, "flow lifetime must be positive");
+        self.churn = Some(lifetime);
+        self
+    }
+
+    /// Number of concurrently-active flows.
+    pub fn flows(&self) -> u32 {
+        self.flows
+    }
+
+    /// The packet-train length.
+    pub fn train(&self) -> u32 {
+        self.train
+    }
+
+    /// The flow lifetime, when churn is enabled.
+    pub fn churn(&self) -> Option<Duration> {
+        self.churn
+    }
+
+    /// Frame length of every packet in the set.
+    pub fn packet_len(&self) -> u16 {
+        self.packet_len
+    }
+
+    /// Whether the set uses the wide (source-address-spilling) derivation.
+    pub fn is_wide(&self) -> bool {
+        self.churn.is_some() || u32::from(self.base_port) + self.flows > 65536
+    }
+
+    /// The five-tuple of flow `idx`.
+    pub fn tuple_of(&self, idx: u32) -> FiveTuple {
+        let lo = (idx & 0xffff) as u16;
+        let dst_port = self.base_port.wrapping_add(lo);
+        let src_port = Self::SRC_PORT_BASE.wrapping_add(dst_port);
+        let src_ip = if self.is_wide() {
+            Self::WIDE_SRC_BASE + (u32::from(self.tag) << 24) + (idx >> 16)
+        } else {
+            Self::NARROW_SRC_IP
+        };
+        FiveTuple::udp(src_ip, Self::DST_IP, src_port, dst_port)
+    }
+
+    /// The flow index slot `slot` hosts at time `at` (its current
+    /// incarnation under churn; `slot` itself without).
+    ///
+    /// Incarnation `k` of slot `j` is flow index `j + flows * k`: always
+    /// congruent to `j` modulo `flows`, so the slot (and with it the home
+    /// queue) is recoverable from any index.
+    pub fn index_at(&self, slot: u32, at: SimTime) -> u32 {
+        debug_assert!(slot < self.flows);
+        match self.churn {
+            None => slot,
+            Some(life) => {
+                // Stagger slot churn uniformly across one lifetime so the
+                // population turns over smoothly instead of in lockstep.
+                let stagger = life.as_ps() / u64::from(self.flows) * u64::from(slot);
+                let k = (at.as_ps() + stagger) / life.as_ps() % CHURN_GENERATIONS;
+                slot + self.flows * k as u32
+            }
+        }
+    }
+
+    /// Inverts [`FlowSet::tuple_of`]: the active slot a five-tuple
+    /// belongs to, or `None` if the tuple is not from this set.
+    pub fn slot_of(&self, flow: &FiveTuple) -> Option<u32> {
+        if flow.proto != 17 || flow.dst_ip != Self::DST_IP {
+            return None;
+        }
+        let lo = flow.dst_port.wrapping_sub(self.base_port);
+        if flow.src_port != Self::SRC_PORT_BASE.wrapping_add(flow.dst_port) {
+            return None;
+        }
+        let idx = if self.is_wide() {
+            let rel = flow
+                .src_ip
+                .wrapping_sub(Self::WIDE_SRC_BASE + (u32::from(self.tag) << 24));
+            if rel > 0xffff {
+                return None;
+            }
+            (rel << 16) | u32::from(lo)
+        } else {
+            if flow.src_ip != Self::NARROW_SRC_IP {
+                return None;
+            }
+            u32::from(lo)
+        };
+        let slot = idx % self.flows;
+        // Narrow sets cover exactly [0, flows); wide indices wrap by
+        // construction.
+        if !self.is_wide() && idx >= self.flows {
+            return None;
+        }
+        Some(slot)
+    }
+}
+
+/// How a [`MultiFlowGen`] produces its flow population.
+#[derive(Debug, Clone)]
+enum FlowBacking {
+    /// A materialised flow list (legacy small populations and replay).
+    Explicit(Vec<FlowSpec>),
+    /// A streaming [`FlowSet`] (O(1) memory at any flow count).
+    Stream(FlowSet),
+}
+
 /// A deterministic multi-flow generator: one aggregate arrival pattern
-/// dealt round-robin across a set of flows.
+/// dealt over a flow population.
 ///
 /// The timing of the merged stream is *exactly* that of a single
 /// [`TrafficGen`] driven by `pattern` (so a tenant's aggregate offered
@@ -239,6 +469,10 @@ impl Iterator for TrafficGen {
 /// tenant's load across many queues: each flow is pinned to a queue via
 /// the flow director (or hashed there by RSS), so consecutive packets
 /// fan out over the tenant's cores.
+///
+/// The population is either an explicit [`FlowSpec`] list (dealt
+/// round-robin) or a streaming [`FlowSet`], which adds packet trains and
+/// flow churn on top of the same rotation.
 ///
 /// Packet ids stay monotonic across the merged stream.
 ///
@@ -258,13 +492,17 @@ impl Iterator for TrafficGen {
 #[derive(Debug, Clone)]
 pub struct MultiFlowGen {
     inner: TrafficGen,
-    flows: Vec<FlowSpec>,
-    next_flow: usize,
+    backing: FlowBacking,
+    /// Rotation cursor: index into the explicit list, or the active slot
+    /// of a streaming set.
+    cursor: u32,
+    /// Packets left before the cursor rotates (streaming trains).
+    train_left: u32,
 }
 
 impl MultiFlowGen {
-    /// Creates a generator dealing `pattern` arrivals over `flows` until
-    /// `until` (exclusive).
+    /// Creates a generator dealing `pattern` arrivals round-robin over an
+    /// explicit `flows` list until `until` (exclusive).
     ///
     /// # Panics
     ///
@@ -278,14 +516,43 @@ impl MultiFlowGen {
         );
         MultiFlowGen {
             inner: TrafficGen::new(flows[0], pattern, until),
-            flows,
-            next_flow: 0,
+            backing: FlowBacking::Explicit(flows),
+            cursor: 0,
+            train_left: 1,
         }
     }
 
-    /// The flow specifications this generator rotates through.
+    /// Creates a generator dealing `pattern` arrivals over a streaming
+    /// [`FlowSet`] until `until` (exclusive).
+    pub fn streaming(set: FlowSet, pattern: TrafficPattern, until: SimTime) -> Self {
+        let timing = FlowSpec {
+            tuple: set.tuple_of(0),
+            dscp: set.dscp,
+            packet_len: set.packet_len,
+        };
+        MultiFlowGen {
+            inner: TrafficGen::new(timing, pattern, until),
+            backing: FlowBacking::Stream(set),
+            cursor: 0,
+            train_left: set.train,
+        }
+    }
+
+    /// The explicit flow list, when one backs this generator (empty for
+    /// streaming sets — their population is derived, not stored).
     pub fn flows(&self) -> &[FlowSpec] {
-        &self.flows
+        match &self.backing {
+            FlowBacking::Explicit(flows) => flows,
+            FlowBacking::Stream(_) => &[],
+        }
+    }
+
+    /// The streaming flow set, when one backs this generator.
+    pub fn flow_set(&self) -> Option<&FlowSet> {
+        match &self.backing {
+            FlowBacking::Explicit(_) => None,
+            FlowBacking::Stream(set) => Some(set),
+        }
     }
 }
 
@@ -294,11 +561,26 @@ impl Iterator for MultiFlowGen {
 
     fn next(&mut self) -> Option<Arrival> {
         let a = self.inner.next()?;
-        let spec = self.flows[self.next_flow];
-        self.next_flow = (self.next_flow + 1) % self.flows.len();
+        let (tuple, dscp, len) = match &self.backing {
+            FlowBacking::Explicit(flows) => {
+                let spec = flows[self.cursor as usize];
+                self.cursor = (self.cursor + 1) % flows.len() as u32;
+                (spec.tuple, spec.dscp, spec.packet_len)
+            }
+            FlowBacking::Stream(set) => {
+                let idx = set.index_at(self.cursor, a.at);
+                let tuple = set.tuple_of(idx);
+                self.train_left -= 1;
+                if self.train_left == 0 {
+                    self.cursor = (self.cursor + 1) % set.flows;
+                    self.train_left = set.train;
+                }
+                (tuple, set.dscp, set.packet_len)
+            }
+        };
         Some(Arrival {
             at: a.at,
-            packet: Packet::new(a.packet.id, spec.packet_len, spec.tuple, spec.dscp),
+            packet: Packet::new(a.packet.id, len, tuple, dscp),
         })
     }
 }
@@ -467,5 +749,102 @@ mod tests {
             SimTime::from_us(10),
         );
         assert_eq!(g.next().unwrap().packet.dscp, Dscp::CLASS1_DEFAULT);
+    }
+
+    #[test]
+    fn narrow_flow_set_matches_legacy_flow_specs() {
+        let set = FlowSet::new(7, 64, 6000, 1514, Dscp::CLASS1_DEFAULT);
+        assert!(!set.is_wide(), "64 flows at port 6000 fit the port range");
+        for i in 0..64u32 {
+            let legacy = FlowSpec::udp_to_port(6000 + i as u16, 1514);
+            assert_eq!(set.tuple_of(i), legacy.tuple, "flow {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_narrow_set_is_byte_identical_to_explicit_list() {
+        let until = SimTime::from_us(50);
+        let pattern = TrafficPattern::Poisson {
+            rate_gbps: 25.0,
+            seed: 9,
+        };
+        let flows: Vec<_> = (0..5)
+            .map(|i| FlowSpec::udp_to_port(6000 + i, 1514).with_dscp(Dscp::CLASS1_DEFAULT))
+            .collect();
+        let explicit: Vec<_> = MultiFlowGen::new(flows, pattern, until).collect();
+        let set = FlowSet::new(0, 5, 6000, 1514, Dscp::CLASS1_DEFAULT);
+        let streamed: Vec<_> = MultiFlowGen::streaming(set, pattern, until).collect();
+        assert_eq!(explicit, streamed);
+    }
+
+    #[test]
+    fn wide_flow_set_round_trips_every_index_shape() {
+        let set = FlowSet::new(3, 1_000_000, 5000, 1514, Dscp::BEST_EFFORT);
+        assert!(set.is_wide());
+        for idx in [0u32, 1, 65_535, 65_536, 131_072, 999_999] {
+            let t = set.tuple_of(idx);
+            assert_eq!(set.slot_of(&t), Some(idx), "index {idx}");
+        }
+    }
+
+    #[test]
+    fn flow_sets_of_distinct_tenants_never_alias() {
+        let a = FlowSet::new(0, 100_000, 5000, 1514, Dscp::BEST_EFFORT);
+        let b = FlowSet::new(1, 100_000, 5000, 1514, Dscp::BEST_EFFORT);
+        let narrow = FlowSet::new(2, 64, 5000, 1514, Dscp::BEST_EFFORT);
+        for idx in [0u32, 63, 65_536, 99_999] {
+            assert_eq!(b.slot_of(&a.tuple_of(idx)), None);
+            assert_eq!(a.slot_of(&b.tuple_of(idx)), None);
+        }
+        assert_eq!(a.slot_of(&narrow.tuple_of(3)), None, "narrow vs wide");
+        assert_eq!(narrow.slot_of(&a.tuple_of(3)), None, "wide vs narrow");
+    }
+
+    #[test]
+    fn churn_turns_the_population_over_and_keeps_slots_invertible() {
+        let life = Duration::from_us(10);
+        let set = FlowSet::new(0, 8, 5000, 1514, Dscp::BEST_EFFORT).with_churn(life);
+        assert!(set.is_wide(), "churn forces the wide derivation");
+        let early = set.index_at(2, SimTime::from_us(1));
+        let late = set.index_at(2, SimTime::from_us(21));
+        assert_ne!(early, late, "slot 2 churned to a fresh flow");
+        assert_eq!(early % 8, 2, "incarnations stay congruent to the slot");
+        assert_eq!(late % 8, 2);
+        assert_eq!(set.slot_of(&set.tuple_of(late)), Some(2));
+        // Stagger: not every slot churns at the same instant.
+        let at = SimTime::from_us(5);
+        let gens: Vec<_> = (0..8).map(|j| set.index_at(j, at) / 8).collect();
+        assert!(
+            gens.iter().any(|&g| g != gens[0]),
+            "staggered churn: generations {gens:?} should be mixed"
+        );
+    }
+
+    #[test]
+    fn packet_trains_deal_consecutive_packets_to_one_flow() {
+        let set = FlowSet::new(0, 4, 6000, 1514, Dscp::BEST_EFFORT).with_train(3);
+        let g = MultiFlowGen::streaming(
+            set,
+            TrafficPattern::Steady { rate_gbps: 25.0 },
+            SimTime::from_us(20),
+        );
+        let arrivals: Vec<_> = g.collect();
+        assert!(arrivals.len() > 12);
+        for (i, a) in arrivals.iter().enumerate() {
+            let slot = (i as u32 / 3) % 4;
+            assert_eq!(a.packet.flow, set.tuple_of(slot), "packet {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16777216 maximum")]
+    fn oversized_flow_set_rejected() {
+        let _ = FlowSet::new(0, MAX_FLOW_SET_FLOWS + 1, 5000, 1514, Dscp::BEST_EFFORT);
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant tag 240 exceeds")]
+    fn oversized_tenant_tag_rejected() {
+        let _ = FlowSet::new(240, 64, 5000, 1514, Dscp::BEST_EFFORT);
     }
 }

@@ -33,7 +33,10 @@ pub mod headers;
 pub mod packet;
 pub mod trace;
 
-pub use gen::{Arrival, BurstSpec, FlowSpec, TrafficGen, TrafficPattern};
+pub use gen::{
+    Arrival, BurstSpec, FlowSet, FlowSpec, MultiFlowGen, TrafficGen, TrafficPattern,
+    MAX_FLOW_SET_FLOWS, MAX_FLOW_SET_TAG,
+};
 pub use headers::{
     parse_wire_header, wire_header, EthernetHeader, Ipv4Header, MacAddr, ParseError, UdpHeader,
 };

@@ -24,7 +24,10 @@ pub mod tx;
 
 pub use classifier::{ClassifierConfig, IdioClassifier, PacketClass};
 pub use dma::{DmaConfig, DmaEngine, DmaSchedule};
-pub use flow_director::{FlowDirector, QueueId, SteeringSource, DEFAULT_FILTER_TABLE_ENTRIES};
+pub use flow_director::{
+    FdStats, FilterInstall, FlowDirector, QueueId, SteeringSource, DEFAULT_FILTER_TABLE_ENTRIES,
+    PERFECT_WAYS,
+};
 pub use nic::{Nic, NicConfig, NicStats, RingLayout, RxDma};
 pub use ring::{ReserveError, RxRing, RxSlot, DEFAULT_BUF_BYTES, DESC_BYTES};
 pub use tlp::{AppClass, CoreRangeError, TlpHeader, TlpMeta};

@@ -10,12 +10,12 @@
 
 use idio_cache::addr::CoreId;
 use idio_engine::stats::Counter;
-use idio_engine::time::SimTime;
+use idio_engine::time::{Duration, SimTime};
 use idio_net::packet::Packet;
 
 use crate::classifier::{ClassifierConfig, IdioClassifier, PacketClass};
 use crate::dma::{DmaConfig, DmaEngine, DmaSchedule};
-use crate::flow_director::{FlowDirector, QueueId, DEFAULT_FILTER_TABLE_ENTRIES};
+use crate::flow_director::{FlowDirector, QueueId, SteeringSource, DEFAULT_FILTER_TABLE_ENTRIES};
 use crate::ring::{RxRing, RxSlot, DESC_BYTES};
 #[cfg(test)]
 use crate::tlp::AppClass;
@@ -41,8 +41,13 @@ pub struct NicConfig {
     pub classifier: ClassifierConfig,
     /// DMA/PCIe settings.
     pub dma: DmaConfig,
-    /// Flow Director filter-table entries.
+    /// Flow Director ATR filter-table entries.
     pub filter_table_entries: usize,
+    /// Flow Director perfect-match (EP) filter slots.
+    pub perfect_filter_entries: usize,
+    /// ATR entries older than this age out on first touch; `None`
+    /// disables aging.
+    pub atr_lifetime: Option<Duration>,
     /// Steering-policy domain of each queue, parallel to `queue_core`.
     /// Domains are opaque ids resolved by the host: the NIC only stamps
     /// them into each packet's DMA plan so the receive path can look up
@@ -61,6 +66,8 @@ impl NicConfig {
             classifier: ClassifierConfig::paper_default(),
             dma: DmaConfig::default(),
             filter_table_entries: DEFAULT_FILTER_TABLE_ENTRIES,
+            perfect_filter_entries: DEFAULT_FILTER_TABLE_ENTRIES,
+            atr_lifetime: None,
             queue_policy_domain: Vec::new(),
         }
     }
@@ -116,6 +123,9 @@ pub struct RxDma {
     /// Steering-policy domain of the queue the packet landed on (from
     /// [`NicConfig::queue_policy_domain`]; 0 when unconfigured).
     pub policy_domain: u16,
+    /// How the Flow Director resolved the queue, so the host can account
+    /// the perfect/ATR/RSS steering mix and attribute mis-steers.
+    pub steer: SteeringSource,
 }
 
 impl RxDma {
@@ -226,8 +236,12 @@ impl Nic {
             .map(|c| c.index() + 1)
             .max()
             .unwrap_or(1);
-        let flow_director =
-            FlowDirector::new(cfg.queue_core.len() as u16, cfg.filter_table_entries);
+        let mut flow_director = FlowDirector::with_tables(
+            cfg.queue_core.len() as u16,
+            cfg.perfect_filter_entries,
+            cfg.filter_table_entries,
+        );
+        flow_director.set_atr_lifetime(cfg.atr_lifetime);
         let classifier = IdioClassifier::new(cfg.classifier.clone(), num_cores);
         let dma = DmaEngine::new(cfg.dma);
         let queue_stats = (0..cfg.queue_core.len())
@@ -258,6 +272,11 @@ impl Nic {
     /// Per-queue receive counters, indexed by queue.
     pub fn queue_stats(&self) -> &[QueueStats] {
         &self.queue_stats
+    }
+
+    /// The Flow Director (steering-mix counters and table occupancy).
+    pub fn flow_director(&self) -> &FlowDirector {
+        &self.flow_director
     }
 
     /// The Flow Director (to install EP filters or drive ATR learning).
@@ -293,7 +312,7 @@ impl Nic {
     /// and pace its DMA. Returns `None` (and counts a drop) when the
     /// destination ring is full.
     pub fn rx_packet(&mut self, now: SimTime, packet: Packet) -> Option<RxDma> {
-        let (queue, _) = self.flow_director.lookup(&packet.flow);
+        let (queue, steer) = self.flow_director.lookup(now, &packet.flow);
         let dest_core = self.cfg.queue_core[queue.index()];
         let class = self.classifier.classify(now, &packet, dest_core);
 
@@ -346,6 +365,7 @@ impl Nic {
             descriptor,
             head_meta,
             policy_domain,
+            steer,
         })
     }
 

@@ -30,7 +30,7 @@ const GRACE: Duration = Duration::from_us(300);
 const CAT_HORIZON: SimTime = SimTime::from_us(1500);
 
 /// Names of the built-in scenarios, in listing order.
-pub fn builtin_names() -> [&'static str; 8] {
+pub fn builtin_names() -> [&'static str; 9] {
     [
         "noisy-neighbor",
         "incast",
@@ -40,6 +40,7 @@ pub fn builtin_names() -> [&'static str; 8] {
         "cat-duel",
         "upf-chain",
         "recycle-duel",
+        "flow-churn",
     ]
 }
 
@@ -62,6 +63,7 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "cat-duel" => Some(cat_duel()),
         "upf-chain" => Some(upf_chain()),
         "recycle-duel" => Some(recycle_duel()),
+        "flow-churn" => Some(flow_churn()),
         _ => None,
     }
 }
@@ -83,6 +85,9 @@ fn noisy_neighbor() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
@@ -120,6 +125,9 @@ fn incast() -> Scenario {
         policy: SteeringPolicy::Ddio,
         steering: FlowSteering::Perfect,
         duration: HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
@@ -153,6 +161,9 @@ fn mixed_rate() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
@@ -220,6 +231,9 @@ fn trace_replay() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
@@ -261,6 +275,9 @@ fn llc_duel() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: CAT_HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
@@ -356,6 +373,9 @@ fn cat_duel() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: CAT_HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             latency("iat", vec![0], 5000, 0xCA70).with_policy(SteeringPolicy::IatDynamic),
@@ -389,6 +409,9 @@ fn upf_chain() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             TenantDef::new(
@@ -448,10 +471,84 @@ fn recycle_duel() -> Scenario {
         policy: SteeringPolicy::Idio,
         steering: FlowSteering::Perfect,
         duration: HORIZON,
+        perfect_filters: None,
+        atr_lifetime: None,
+        pool_idle_flush: None,
         drain_grace: GRACE,
         tenants: vec![
             twin("recycle", vec![0], 5000, PoolSpec::Recycle { slots: None }),
             twin("dram", vec![1], 6000, PoolSpec::Dram),
+        ],
+    }
+}
+
+/// The flow-scale sweep: three tenants whose flow counts span three
+/// orders of magnitude (1 K → 64 K → 1 M) against a deliberately small
+/// perfect-filter table, so the report shows the Sec. II-C steering
+/// shift directly — the 1 K tenant mostly rides pinned perfect filters
+/// and ATR re-learning, the 64 K churning tenant keeps evicting and
+/// re-installing filters, and the 1 M tenant falls through to RSS with
+/// the p99 cost of landing in the wrong core's MLC. Flow state is
+/// streamed (no per-flow allocation), so the 1 M tenant costs the same
+/// memory as the 1 K one.
+fn flow_churn() -> Scenario {
+    Scenario {
+        name: "flow-churn".into(),
+        description: "1K/64K/1M-flow tenants degrading from perfect filters through ATR to RSS"
+            .into(),
+        policy: SteeringPolicy::Idio,
+        steering: FlowSteering::Perfect,
+        duration: HORIZON,
+        // 384 perfect filters across three tenants: a 128-filter budget
+        // each, far under every tenant's flow count.
+        perfect_filters: Some(384),
+        atr_lifetime: Some(Duration::from_us(150)),
+        pool_idle_flush: None,
+        drain_grace: GRACE,
+        tenants: vec![
+            // 1 K flows at a revisit period (~105 us) inside the ATR
+            // lifetime: unpinned flows are learned on first completion
+            // and steer by filter table from their second visit on.
+            TenantDef::new(
+                "small-1k",
+                NfKind::TouchDrop,
+                vec![0, 1, 2],
+                1 << 10,
+                5000,
+                TrafficPattern::Steady { rate_gbps: 20.0 },
+                256,
+            ),
+            // 64 K churning flows: the working set turns over every
+            // 100 us, so the control tick keeps re-installing pinned
+            // slots into a full table (perfect_evicted) while the rest
+            // age out of the filter table between visits.
+            TenantDef::new(
+                "churn-64k",
+                NfKind::TouchDrop,
+                vec![3, 4],
+                1 << 16,
+                6000,
+                TrafficPattern::Steady { rate_gbps: 15.0 },
+                512,
+            )
+            .with_churn(Duration::from_us(100))
+            .with_train(4),
+            // 1 M flows: each packet is a fresh flow, so almost every
+            // lookup misses both tables and falls back to RSS — the
+            // millions-of-flows regime where steering is effectively
+            // random and mis-steers dominate.
+            TenantDef::new(
+                "huge-1m",
+                NfKind::TouchDrop,
+                vec![5],
+                1 << 20,
+                7000,
+                TrafficPattern::Poisson {
+                    rate_gbps: 10.0,
+                    seed: 0xF10C,
+                },
+                1514,
+            ),
         ],
     }
 }

@@ -135,8 +135,12 @@ pub struct GenSpec {
     /// starting at `i * cores_per_tenant`.
     pub cores_per_tenant: u16,
     /// Flows per tenant; tenant `i` owns the port block starting at
-    /// `base_port + i * flows_per_tenant`.
-    pub flows_per_tenant: u16,
+    /// `base_port + i * flows_per_tenant`. Counts past the 16-bit port
+    /// space (up to [`idio_core::net::gen::MAX_FLOW_SET_FLOWS`]) switch
+    /// every tenant to a *wide* flow set — tenants then share `base_port`
+    /// and are told apart by the per-tenant source-address block instead
+    /// of disjoint port ranges.
+    pub flows_per_tenant: u32,
     /// First port of the first tenant's flow block.
     pub base_port: u16,
     /// Aggregate offered load split across tenants by `rate_dist`.
@@ -215,8 +219,13 @@ impl GenSpec {
                 u16::MAX as usize + 1
             ));
         }
+        // A tenant whose own flow block overruns the port space is *wide*
+        // (five-tuples spread over a per-tenant source-address block), so
+        // tenants share `base_port` instead of owning disjoint port
+        // ranges. Narrow tenants still need disjoint blocks.
+        let wide = u32::from(self.base_port) + self.flows_per_tenant > u16::MAX as u32 + 1;
         let port_span = n * self.flows_per_tenant as usize;
-        if self.base_port as usize + port_span > u16::MAX as usize + 1 {
+        if !wide && self.base_port as usize + port_span > u16::MAX as usize + 1 {
             return Err(format!(
                 "{n} tenants x {} flows from port {} exceed the 16-bit port space",
                 self.flows_per_tenant, self.base_port
@@ -255,7 +264,11 @@ impl GenSpec {
             let attacker = rng.unit_f64() < self.attacker_frac;
             let first_core = i as u16 * self.cores_per_tenant;
             let cores: Vec<u16> = (first_core..first_core + self.cores_per_tenant).collect();
-            let base_port = self.base_port + i as u16 * self.flows_per_tenant;
+            let base_port = if wide {
+                self.base_port
+            } else {
+                self.base_port + (i as u32 * self.flows_per_tenant) as u16
+            };
             let suffix = if attacker { "-atk" } else { "" };
             let name = format!("t{i:03}-{}{suffix}", class.name());
             let mut tenant = match class {
@@ -419,6 +432,9 @@ mod tests {
             steering: FlowSteering::Perfect,
             duration: SimTime::from_us(60),
             drain_grace: Duration::from_us(60),
+            perfect_filters: None,
+            atr_lifetime: None,
+            pool_idle_flush: None,
             tenants: Vec::new(),
         }
     }

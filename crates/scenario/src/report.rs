@@ -131,6 +131,36 @@ impl Interference {
     }
 }
 
+/// Flow-director steering mix of one tenant's queues (mixed run), summed
+/// from the engine's `fd.q{q}.*` counters. Present only when the run
+/// exported flow-director metrics (some tenant's flows outgrew its
+/// perfect-filter budget), so filter-resident scenarios render exactly
+/// as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FdMix {
+    /// Packets steered by a pinned perfect-match filter.
+    pub perfect: u64,
+    /// Packets steered by a live ATR filter-table entry for their flow.
+    pub atr: u64,
+    /// Packets steered by a colliding filter-table entry (some *other*
+    /// flow's queue).
+    pub collision: u64,
+    /// Packets that fell through to the RSS hash.
+    pub rss: u64,
+    /// Packets that landed on a queue other than their flow's home —
+    /// their payloads warm the wrong core's MLC.
+    pub mis_steered: u64,
+}
+
+impl FdMix {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"perfect\": {}, \"atr\": {}, \"collision\": {}, \"rss\": {}, \"mis_steered\": {}}}",
+            self.perfect, self.atr, self.collision, self.rss, self.mis_steered
+        )
+    }
+}
+
 /// Buffer-pool aggregates of one tenant's queues (mixed run), summed
 /// from the engine's `pool.q{q}.*` counters. Present only for tenants
 /// that declared an explicit pool, so pool-free reports render exactly
@@ -236,6 +266,9 @@ pub struct TenantReport {
     /// Buffer-pool aggregates, when the tenant declared an explicit pool
     /// (omitted from the JSON otherwise).
     pub pool: Option<PoolAgg>,
+    /// Flow-director steering mix, when the run exported `fd.*` metrics
+    /// (omitted from the JSON otherwise).
+    pub fd: Option<FdMix>,
 }
 
 impl TenantReport {
@@ -258,6 +291,9 @@ impl TenantReport {
         }
         if let Some(p) = &self.pool {
             extra.push_str(&format!(",\n{pad}\"pool\": {}", p.to_json()));
+        }
+        if let Some(f) = &self.fd {
+            extra.push_str(&format!(",\n{pad}\"fd\": {}", f.to_json()));
         }
         format!(
             "{{\n\
@@ -400,6 +436,9 @@ pub struct TenantMixed {
     /// Buffer-pool aggregates of the tenant's queues (explicit pools
     /// only).
     pub pool: Option<PoolAgg>,
+    /// Flow-director steering mix of the tenant's queues (`fd.*`-exporting
+    /// runs only).
+    pub fd: Option<FdMix>,
 }
 
 /// The mixed cell reduced to run totals plus per-tenant aggregates.
@@ -580,6 +619,32 @@ impl ScenarioReportBuilder {
                             slot.queues.clone().map(|q| format!("pool.q{q}.spilled")),
                         ),
                     }),
+                    fd: report
+                        .metrics
+                        .counters()
+                        .any(|(k, _)| k.starts_with("fd."))
+                        .then(|| FdMix {
+                            perfect: sum_counters(
+                                report,
+                                slot.queues.clone().map(|q| format!("fd.q{q}.perfect")),
+                            ),
+                            atr: sum_counters(
+                                report,
+                                slot.queues.clone().map(|q| format!("fd.q{q}.atr")),
+                            ),
+                            collision: sum_counters(
+                                report,
+                                slot.queues.clone().map(|q| format!("fd.q{q}.collision")),
+                            ),
+                            rss: sum_counters(
+                                report,
+                                slot.queues.clone().map(|q| format!("fd.q{q}.rss")),
+                            ),
+                            mis_steered: sum_counters(
+                                report,
+                                slot.queues.clone().map(|q| format!("fd.q{q}.mis")),
+                            ),
+                        }),
                 })
                 .collect();
             CellFold::Mixed(MixedFold {
@@ -712,6 +777,7 @@ impl ScenarioReportBuilder {
                 policy: slot.policy,
                 slo,
                 pool: mixed.pool,
+                fd: mixed.fd,
             });
         }
         Ok(ScenarioReport {
@@ -761,6 +827,7 @@ mod tests {
             policy: None,
             slo: None,
             pool: None,
+            fd: None,
         }
     }
 

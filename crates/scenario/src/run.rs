@@ -78,6 +78,9 @@ mod tests {
             steering: FlowSteering::Perfect,
             duration: SimTime::from_us(200),
             drain_grace: Duration::from_us(200),
+            perfect_filters: None,
+            atr_lifetime: None,
+            pool_idle_flush: None,
             tenants: vec![
                 TenantDef::new(
                     "a",

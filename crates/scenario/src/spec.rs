@@ -48,13 +48,25 @@ pub struct TenantDef {
     pub nf: NfKind,
     /// The cores (and therefore NIC queues) the tenant owns.
     pub cores: Vec<u16>,
-    /// Distinct five-tuples the tenant's aggregate load is dealt over;
-    /// the flow director spreads them round-robin across the cores.
-    /// Ignored when `replay` is set (the trace brings its own flows).
-    pub flows: u16,
+    /// Concurrently-active five-tuples the tenant's aggregate load is
+    /// dealt over — up to 16M, derived on demand by a streaming flow set
+    /// (memory stays O(1) in the flow count). The flow director spreads
+    /// them round-robin across the cores. Ignored when `replay` is set
+    /// (the trace brings its own flows).
+    pub flows: u32,
     /// First UDP destination port of the synthetic flows (`base_port + i`
-    /// for flow `i`); tenants must use disjoint ranges.
+    /// for flow `i`); tenants with small flow counts must use disjoint
+    /// ranges. Flow counts past the port range (and churning tenants)
+    /// spill into per-tenant source addresses and cannot collide.
     pub base_port: u16,
+    /// Flow lifetime: each active-flow slot retires its five-tuple and
+    /// starts a fresh one after this long (staggered across slots), so
+    /// the population turns over like a real connection table. `None` =
+    /// fixed population.
+    pub churn: Option<Duration>,
+    /// Packets dealt to one flow per visit before rotating to the next
+    /// (a packet train); 1 = plain round-robin.
+    pub train: u32,
     /// Aggregate arrival pattern of the whole tenant.
     pub traffic: TrafficPattern,
     /// Frame length in bytes (all of the tenant's flows share it).
@@ -85,7 +97,7 @@ impl TenantDef {
         name: impl Into<String>,
         nf: NfKind,
         cores: Vec<u16>,
-        flows: u16,
+        flows: u32,
         base_port: u16,
         traffic: TrafficPattern,
         packet_len: u16,
@@ -96,6 +108,8 @@ impl TenantDef {
             cores,
             flows,
             base_port,
+            churn: None,
+            train: 1,
             traffic,
             packet_len,
             dscp: Dscp::BEST_EFFORT,
@@ -109,6 +123,20 @@ impl TenantDef {
     /// Returns the tenant with a different DSCP marking.
     pub fn with_dscp(mut self, dscp: Dscp) -> Self {
         self.dscp = dscp;
+        self
+    }
+
+    /// Returns the tenant with flow churn: each active flow lives
+    /// `lifetime`, then its slot starts a fresh five-tuple.
+    pub fn with_churn(mut self, lifetime: Duration) -> Self {
+        self.churn = Some(lifetime);
+        self
+    }
+
+    /// Returns the tenant dealing `train` consecutive packets per flow
+    /// visit instead of rotating every packet.
+    pub fn with_train(mut self, train: u32) -> Self {
+        self.train = train;
         self
     }
 
@@ -154,6 +182,16 @@ pub struct Scenario {
     pub duration: SimTime,
     /// Extra drain time after traffic stops.
     pub drain_grace: Duration,
+    /// Flow Director perfect-match filter capacity. `None` keeps the
+    /// hardware default (~8K, Sec. II-C); small values put the table
+    /// under pressure so steering degrades perfect -> ATR -> RSS.
+    pub perfect_filters: Option<usize>,
+    /// ATR filter-table entry lifetime (entries age out lazily and the
+    /// flow falls back to RSS until re-learned). `None` = no aging.
+    pub atr_lifetime: Option<Duration>,
+    /// Idle window after which a recycle pool self-invalidates and
+    /// releases its LLC footprint. `None` = pools keep their footprint.
+    pub pool_idle_flush: Option<Duration>,
     /// The tenants, in declaration (report) order.
     pub tenants: Vec<TenantDef>,
 }
@@ -181,6 +219,11 @@ impl Scenario {
         cfg.steering = self.steering;
         cfg.duration = self.duration;
         cfg.drain_grace = self.drain_grace;
+        if let Some(entries) = self.perfect_filters {
+            cfg.perfect_filter_entries = entries;
+        }
+        cfg.atr_lifetime = self.atr_lifetime;
+        cfg.pool_idle_flush = self.pool_idle_flush;
         cfg.workloads.clear();
         cfg
     }
@@ -202,6 +245,8 @@ impl Scenario {
             workloads: (first..cfg.workloads.len()).collect(),
             flows: t.flows,
             base_port: t.base_port,
+            churn: t.churn,
+            train: t.train,
             traffic: t.traffic,
             packet_len: t.packet_len,
             dscp: t.dscp,
@@ -285,6 +330,9 @@ mod tests {
             steering: FlowSteering::Perfect,
             duration: SimTime::from_us(100),
             drain_grace: Duration::from_us(100),
+            perfect_filters: None,
+            atr_lifetime: None,
+            pool_idle_flush: None,
             tenants: vec![
                 TenantDef::new(
                     "a",

@@ -37,7 +37,7 @@ use std::path::Path;
 use idio_core::cache::config::HierarchyConfig;
 use idio_core::cache::set::WayMask;
 use idio_core::config::FlowSteering;
-use idio_core::net::gen::{BurstSpec, TrafficPattern};
+use idio_core::net::gen::{BurstSpec, TrafficPattern, MAX_FLOW_SET_FLOWS};
 use idio_core::net::packet::{Dscp, MIN_FRAME_BYTES};
 use idio_core::net::trace::read_trace;
 use idio_core::policy::{CatMode, PolicyCaps, PolicySpec, PrefetchMode, SteeringPolicy};
@@ -604,11 +604,18 @@ const TIME_SUFFIXES: [(&str, u64); 3] = [("us", 1_000_000), ("ns", 1_000), ("ps"
 /// `_ps` spelling round-trips values the coarser units cannot (e.g. a
 /// 51.2 ns intra-burst gap).
 fn time_ps(table: &Table, base: &str, default_ps: u64) -> Result<u64, SpecError> {
-    let mut found: Option<(String, u64)> = None;
+    Ok(opt_time_ps(table, base)?.map_or(default_ps, |(_, ps)| ps))
+}
+
+/// Like [`time_ps`] but with no default: `None` when no suffixed spelling
+/// of the key is present. Returns the value's position so callers can
+/// anchor range errors (e.g. "churn must be positive") to the token.
+fn opt_time_ps(table: &Table, base: &str) -> Result<Option<(Pos, u64)>, SpecError> {
+    let mut found: Option<(String, Pos, u64)> = None;
     for (suffix, scale) in TIME_SUFFIXES {
         let key = format!("{base}_{suffix}");
         let Some(e) = table.get(&key) else { continue };
-        if let Some((first, _)) = &found {
+        if let Some((first, _, _)) = &found {
             return Err(SpecError::new(
                 e.key_pos,
                 format!("give '{first}' or '{key}', not both"),
@@ -618,9 +625,21 @@ fn time_ps(table: &Table, base: &str, default_ps: u64) -> Result<u64, SpecError>
         let ps = v
             .checked_mul(scale)
             .ok_or_else(|| SpecError::new(e.val_pos, format!("{key} overflows picoseconds")))?;
-        found = Some((key, ps));
+        found = Some((key, e.val_pos, ps));
     }
-    Ok(found.map_or(default_ps, |(_, ps)| ps))
+    Ok(found.map(|(_, pos, ps)| (pos, ps)))
+}
+
+/// Parses an optional positive duration key (`<base>_us/_ns/_ps`),
+/// rejecting zero — a zero flow lifetime or flush window is always a
+/// spec mistake, not a request to disable the feature (omit the key for
+/// that).
+fn opt_positive_time(table: &Table, base: &str) -> Result<Option<Duration>, SpecError> {
+    match opt_time_ps(table, base)? {
+        Some((pos, 0)) => Err(SpecError::new(pos, format!("{base} must be positive"))),
+        Some((_, ps)) => Ok(Some(Duration::from_ps(ps))),
+        None => Ok(None),
+    }
 }
 
 /// Whether any spelling of the time key `<base>_{us,ns,ps}` is present.
@@ -896,6 +915,13 @@ const TOP_KEYS: &[&str] = &[
     "drain_grace_us",
     "drain_grace_ns",
     "drain_grace_ps",
+    "perfect_filters",
+    "atr_lifetime_us",
+    "atr_lifetime_ns",
+    "atr_lifetime_ps",
+    "pool_idle_flush_us",
+    "pool_idle_flush_ns",
+    "pool_idle_flush_ps",
 ];
 
 const TENANT_KEYS: &[&str] = &[
@@ -905,6 +931,10 @@ const TENANT_KEYS: &[&str] = &[
     "pool",
     "cores",
     "flows",
+    "churn_us",
+    "churn_ns",
+    "churn_ps",
+    "train",
     "base_port",
     "packet_len",
     "dscp",
@@ -1135,13 +1165,24 @@ fn build_tenant(
     let flows_entry = t
         .get("flows")
         .ok_or_else(|| missing(t, "tenant", "flows"))?;
-    let flows = want_u16(flows_entry, "flows")?;
+    let flows = want_uint(flows_entry, u128::from(MAX_FLOW_SET_FLOWS), "flows")? as u32;
     if flows == 0 {
         return Err(SpecError::new(
             flows_entry.val_pos,
             "flows must be positive",
         ));
     }
+    let churn = opt_positive_time(t, "churn")?;
+    let train = match t.get("train") {
+        Some(e) => {
+            let v = want_u32(e, "train")?;
+            if v == 0 {
+                return Err(SpecError::new(e.val_pos, "train must be positive"));
+            }
+            v
+        }
+        None => 1,
+    };
     let base_port = want_u16(
         t.get("base_port")
             .ok_or_else(|| missing(t, "tenant", "base_port"))?,
@@ -1238,6 +1279,8 @@ fn build_tenant(
         nf,
         cores,
         flows,
+        churn,
+        train,
         base_port,
         traffic,
         packet_len,
@@ -1276,7 +1319,7 @@ fn build_generate(g: &Table) -> Result<GenSpec, SpecError> {
         spec.cores_per_tenant = v;
     }
     if let Some(e) = g.get("flows_per_tenant") {
-        let v = want_u16(e, "flows_per_tenant")?;
+        let v = want_uint(e, u128::from(MAX_FLOW_SET_FLOWS), "flows_per_tenant")? as u32;
         if v == 0 {
             return Err(SpecError::new(
                 e.val_pos,
@@ -1428,6 +1471,21 @@ fn build_scenario(raw: &RawFile, base_dir: Option<&Path>) -> Result<Scenario, Sp
         "drain_grace",
         Duration::from_us(300).as_ps(),
     )?);
+    let perfect_filters = match raw.top.get("perfect_filters") {
+        Some(e) => {
+            let v = want_uint(e, 1 << 20, "perfect_filters")? as usize;
+            if v == 0 {
+                return Err(SpecError::new(
+                    e.val_pos,
+                    "perfect_filters must be positive",
+                ));
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    let atr_lifetime = opt_positive_time(&raw.top, "atr_lifetime")?;
+    let pool_idle_flush = opt_positive_time(&raw.top, "pool_idle_flush")?;
 
     let mut scenario = Scenario {
         name,
@@ -1436,6 +1494,9 @@ fn build_scenario(raw: &RawFile, base_dir: Option<&Path>) -> Result<Scenario, Sp
         steering,
         duration,
         drain_grace,
+        perfect_filters,
+        atr_lifetime,
+        pool_idle_flush,
         tenants: Vec::new(),
     };
 
@@ -1587,6 +1648,15 @@ pub fn to_file_string(scenario: &Scenario) -> String {
     let _ = writeln!(w, "steering = {}", fmt_str(steering));
     fmt_time(w, "duration", scenario.duration.as_ps());
     fmt_time(w, "drain_grace", scenario.drain_grace.as_ps());
+    if let Some(v) = scenario.perfect_filters {
+        let _ = writeln!(w, "perfect_filters = {v}");
+    }
+    if let Some(d) = scenario.atr_lifetime {
+        fmt_time(w, "atr_lifetime", d.as_ps());
+    }
+    if let Some(d) = scenario.pool_idle_flush {
+        fmt_time(w, "pool_idle_flush", d.as_ps());
+    }
     for t in &scenario.tenants {
         let _ = writeln!(w);
         let _ = writeln!(w, "[[tenant]]");
@@ -1606,6 +1676,12 @@ pub fn to_file_string(scenario: &Scenario) -> String {
         let cores: Vec<String> = t.cores.iter().map(|c| c.to_string()).collect();
         let _ = writeln!(w, "cores = [{}]", cores.join(", "));
         let _ = writeln!(w, "flows = {}", t.flows);
+        if let Some(d) = t.churn {
+            fmt_time(w, "churn", d.as_ps());
+        }
+        if t.train != 1 {
+            let _ = writeln!(w, "train = {}", t.train);
+        }
         let _ = writeln!(w, "base_port = {}", t.base_port);
         let _ = writeln!(w, "packet_len = {}", t.packet_len);
         let _ = writeln!(w, "dscp = {}", t.dscp.get());
@@ -1964,11 +2040,23 @@ attacker_frac = 0.3
                         NfKind::DeepFwd,
                     ]),
                     g.vec(1..4, |g| g.u16(0..u16::MAX)),
-                    g.u16(1..200),
+                    // Mostly narrow counts, sometimes past the port space
+                    // (a wide flow set) to exercise both derivations.
+                    if g.bool() {
+                        u32::from(g.u16(1..200))
+                    } else {
+                        g.u32(1..MAX_FLOW_SET_FLOWS)
+                    },
                     g.u16(0..60_000),
                     traffic,
                     packet_len,
                 );
+                if g.bool() {
+                    t = t.with_churn(Duration::from_ps(g.u64(1..10_000_000_000)));
+                }
+                if g.bool() {
+                    t = t.with_train(g.u32(2..64));
+                }
                 t.dscp = Dscp::new(g.u16(0..64) as u8).expect("in range");
                 if g.bool() {
                     t = t.with_policy(arbitrary_policy(g));
@@ -1992,6 +2080,13 @@ attacker_frac = 0.3
             steering: *g.choose(&[FlowSteering::Perfect, FlowSteering::Atr]),
             duration: SimTime::from_ps(g.u64(1..10_000_000_000)),
             drain_grace: Duration::from_ps(g.u64(0..10_000_000_000)),
+            perfect_filters: g.bool().then(|| g.usize(1..1 << 20)),
+            atr_lifetime: g
+                .bool()
+                .then(|| Duration::from_ps(g.u64(1..10_000_000_000))),
+            pool_idle_flush: g
+                .bool()
+                .then(|| Duration::from_ps(g.u64(1..10_000_000_000))),
             tenants,
         }
     }

@@ -30,6 +30,8 @@ fn tenant_cfg(policy: SteeringPolicy) -> SystemConfig {
             name: "lat".into(),
             workloads: vec![0, 1],
             flows: 6,
+            churn: None,
+            train: 1,
             base_port: 5000,
             traffic: TrafficPattern::Steady { rate_gbps: 8.0 },
             packet_len: 1514,
@@ -41,6 +43,8 @@ fn tenant_cfg(policy: SteeringPolicy) -> SystemConfig {
             name: "stream".into(),
             workloads: vec![2, 3],
             flows: 4,
+            churn: None,
+            train: 1,
             base_port: 6000,
             traffic: TrafficPattern::Steady { rate_gbps: 20.0 },
             packet_len: 1514,

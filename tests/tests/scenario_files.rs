@@ -226,6 +226,13 @@ fn bad_corpus_errors_name_line_and_column() {
             "unknown chain stage 'classfy'",
         ),
         ("bad-pool.toml", 9, 8, "unknown pool 'hugepages'"),
+        (
+            "bad-flow-count.toml",
+            10,
+            9,
+            "flows 16777217 out of range (0..=16777216)",
+        ),
+        ("bad-churn.toml", 13, 12, "churn must be positive"),
     ];
     let dir = bad_dir();
     for (file, line, col, needle) in cases {

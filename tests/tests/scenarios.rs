@@ -56,3 +56,40 @@ fn trace_replay_spreads_flows_across_queues() {
     let lat = replay.latency.expect("replayed packets completed");
     assert!(lat.count > 0);
 }
+
+/// The flow-churn scenario is the flow-scale tentpole: tenants whose flow
+/// counts dwarf the perfect-filter table must show a *non-degenerate*
+/// steering split (perfect hits, live ATR hits, RSS fallbacks all
+/// present), with eviction, aging and mis-steer accounting live. Run the
+/// mixed cell directly so the raw engine counters are visible alongside
+/// the per-tenant report section.
+#[test]
+fn flow_churn_shows_the_perfect_atr_rss_degradation() {
+    let scenario = builtin("flow-churn").expect("built-in");
+    let report = idio_core::system::System::new(scenario.mixed_config()).run();
+    let c = |name: &str| report.metrics.counter(name);
+    for (name, val) in report.metrics.counters() {
+        if name.starts_with("fd.") && !name.contains(".q") {
+            eprintln!("{name} = {val}");
+        }
+    }
+    assert!(c("fd.perfect_hits") > 0, "pinned flows steer perfectly");
+    assert!(c("fd.atr_hits") > 0, "learned flows steer by filter table");
+    assert!(
+        c("fd.rss_fallbacks") > 0,
+        "excess flows fall through to RSS"
+    );
+    assert!(c("fd.perfect_evicted") > 0, "churn refresh evicts filters");
+    assert!(c("fd.atr_aged") > 0, "stale filter-table entries age out");
+    assert!(
+        c("fd.mis_steered") > 0,
+        "RSS lands flows off their home queue"
+    );
+    let steered =
+        c("fd.perfect_hits") + c("fd.atr_hits") + c("fd.atr_collisions") + c("fd.rss_fallbacks");
+    assert_eq!(
+        steered,
+        report.totals.rx_packets + report.totals.rx_drops,
+        "every arrival is steered exactly once"
+    );
+}
